@@ -1,0 +1,33 @@
+"""Ablation G — the value of functionality constraints.
+
+The paper's §V workflow: loop bounds alone give a first estimate; user
+constraints then tighten it ("the user can provide additional
+functionality constraints and re-estimate the bounds again").  This
+bench quantifies that tightening for every routine that ships
+constraints, and asserts monotonicity (constraints never widen).
+"""
+
+from conftest import one_shot
+
+from repro.experiments import information_value_study
+
+
+def test_information_value(benchmark):
+    rows = one_shot(benchmark, information_value_study)
+    by_name = {row.function: row for row in rows}
+
+    for row in rows:
+        # Constraints only ever shrink the interval.
+        assert row.constrained[0] >= row.minimal[0]
+        assert row.constrained[1] <= row.minimal[1]
+        assert 0.0 <= row.tightening <= 1.0
+
+    # fft's triangular butterfly structure is the showcase: aggregate
+    # per-loop bounds are wildly loose, the exact trip-count equalities
+    # recover almost everything.
+    assert by_name["fft"].tightening > 0.9
+    # check_data's mutual-exclusion constraint (paper (16)) buys a
+    # measurable chunk.
+    assert by_name["check_data"].tightening > 0.1
+    # dhry's pinned branch counts cut more than half the width.
+    assert by_name["dhry"].tightening > 0.5

@@ -1,0 +1,59 @@
+"""Ablation A — implicit vs explicit path enumeration (paper §I-II).
+
+The paper's motivation: explicit enumeration "runs out of steam rather
+quickly since the number of feasible program paths is typically
+exponential in the size of the program".  This bench measures both
+approaches on the same CFG while the loop bound grows, asserting
+agreement where enumeration is feasible and exponential blowup where
+it is not.
+"""
+
+import pytest
+from conftest import one_shot
+
+from repro.analysis import Analysis, PathExplosionError, enumerate_paths
+from repro.experiments.ablations import BRANCHY_LOOP
+
+
+def _setup(bound):
+    analysis = Analysis(BRANCHY_LOOP, entry="work")
+    analysis.bound_loop(lo=bound, hi=bound)
+    return analysis
+
+
+@pytest.mark.parametrize("bound", [2, 4, 6, 8])
+def test_explicit_enumeration(benchmark, bound):
+    analysis = _setup(bound)
+    key = analysis.loops[0].key
+
+    result = one_shot(benchmark, enumerate_paths, analysis.program,
+                      "work", {key: (bound, bound)})
+    # 4 feasible paths per iteration: 4^bound complete paths.
+    assert result.paths == 4 ** bound
+
+
+@pytest.mark.parametrize("bound", [2, 8, 32, 128, 512])
+def test_ipet(benchmark, bound):
+    analysis = _setup(bound)
+    report = one_shot(benchmark, analysis.estimate)
+    assert report.lp_calls == 2     # one max + one min, no branching
+
+
+def test_agreement_and_blowup():
+    # Where both run, they agree exactly.
+    for bound in (2, 4, 6):
+        analysis = _setup(bound)
+        key = analysis.loops[0].key
+        enum = enumerate_paths(analysis.program, "work",
+                               {key: (bound, bound)})
+        report = analysis.estimate()
+        assert enum.worst == report.worst
+        assert enum.best == report.best
+    # Beyond ~10 iterations (4^10 paths) enumeration explodes while
+    # IPET solves instantly.
+    analysis = _setup(12)
+    key = analysis.loops[0].key
+    with pytest.raises(PathExplosionError):
+        enumerate_paths(analysis.program, "work", {key: (12, 12)},
+                        max_paths=500_000)
+    assert analysis.estimate().worst > 0

@@ -1,0 +1,36 @@
+"""Table I — benchmark suite composition and ILP constraint-set counts.
+
+Regenerates the paper's Table I (function, description, lines, number
+of constraint sets passed to the ILP solver) and checks the headline
+facts: check_data expands to 2 sets, dhry to 8 of which 5 are pruned
+leaving 3.
+"""
+
+from conftest import one_shot
+
+from repro.experiments import render_table1
+
+
+def test_table1(benchmark, experiments):
+    rows = one_shot(benchmark, experiments.table1)
+
+    assert [r.function for r in rows] == [
+        "check_data", "fft", "piksrt", "des", "line", "circle",
+        "jpeg_fdct_islow", "jpeg_idct_islow", "recon", "fullsearch",
+        "whetstone", "dhry", "matgen"]
+    by_name = {r.function: r for r in rows}
+    # Paper: check_data's (16)-(17) expand into two sets (§III-D).
+    assert by_name["check_data"].sets == 2
+    # Paper: "Of the eight constraint sets of function dhry, five of
+    # them are detected as null sets and eliminated."
+    assert by_name["dhry"].sets == 3
+    dhry = experiments.report("dhry")
+    assert dhry.sets_total == 8 and dhry.sets_pruned == 5
+    # Routines with purely conjunctive constraints solve one set.
+    for name in ("fft", "piksrt", "circle", "matgen", "whetstone"):
+        assert by_name[name].sets == 1
+    # Every routine is nontrivial source (paper sizes: 15-377 lines).
+    assert all(r.lines >= 14 for r in rows)
+
+    print()
+    print(render_table1(rows))

@@ -1,0 +1,50 @@
+"""Table II — pessimism in path analysis (estimated vs calculated).
+
+One benchmark per Table-I routine: run the IPET estimate and the
+counter-instrumented calculated bound, assert the Fig.-1 soundness
+nesting, and assert the paper's qualitative result — with the supplied
+functionality constraints the path analysis is accurate (pessimism
+well under 25% everywhere, and exactly zero for most routines).
+"""
+
+import pytest
+from conftest import one_shot
+
+from repro.analysis import calculated_bound, pessimism
+from repro.experiments import render_table2
+from repro.programs import all_benchmarks
+
+NAMES = list(all_benchmarks())
+
+
+@pytest.mark.parametrize("name", NAMES)
+def test_table2_row(benchmark, benchmarks, experiments, name):
+    bench = benchmarks[name]
+
+    def row():
+        report = experiments.report(name)
+        calc = calculated_bound(bench.program, bench.entry,
+                                bench.best_data, bench.worst_data)
+        return report, calc
+
+    report, calc = one_shot(benchmark, row)
+
+    # Fig. 1: estimated bound encloses the calculated bound.
+    assert report.best <= calc.best
+    assert calc.worst <= report.worst
+    # Paper's Table II: path analysis "can be very accurate".
+    lower, upper = pessimism(report.interval, calc.interval)
+    assert lower <= 0.25, f"{name}: lower pessimism {lower:.2f}"
+    assert upper <= 0.25, f"{name}: upper pessimism {upper:.2f}"
+
+
+def test_table2_rendering(experiments):
+    rows = experiments.table2()
+    text = render_table2(rows)
+    assert all(r.sound for r in rows)
+    # Most rows reach [0.00, 0.00] like the paper's.
+    exact = sum(1 for r in rows
+                if r.pessimism[0] < 0.005 and r.pessimism[1] < 0.005)
+    assert exact >= 7
+    print()
+    print(text)

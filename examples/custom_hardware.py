@@ -1,0 +1,57 @@
+"""Hardware/software co-design with the timing analyzer.
+
+The paper's third motivation (§I-A): "the selection of the partition
+between hardware and software, as well as the selection of the
+hardware components is strongly driven by the timing analysis of
+software."
+
+This example sweeps I-cache configurations and miss penalties for two
+routines and prints how the worst-case bound responds — the kind of
+what-if a designer runs before committing to silicon.  It also shows
+the §IV cache-split refinement interacting with cache size.
+
+Run with:  python examples/custom_hardware.py
+"""
+
+from repro.hw import Machine
+from repro.programs import get_benchmark
+
+
+def worst(name: str, machine: Machine, cache_split: bool = False) -> int:
+    bench = get_benchmark(name)
+    analysis = bench.make_analysis(machine=machine,
+                                   cache_split=cache_split)
+    return analysis.estimate().worst
+
+
+def main() -> None:
+    routines = ("jpeg_fdct_islow", "matgen")
+
+    print("Worst-case bound vs I-cache size (miss penalty 8 cycles):")
+    for name in routines:
+        print(f"\n  {name}:")
+        for kib in (0.25, 0.5, 1, 2):
+            size = int(kib * 1024)
+            machine = Machine(name=f"i960KB/{size}B", icache_bytes=size)
+            plain = worst(name, machine)
+            split = worst(name, machine, cache_split=True)
+            print(f"    {size:>5} B cache: worst {plain:>8,} cycles"
+                  f"  (with first-iteration split: {split:>8,})")
+
+    print("\nWorst-case bound vs miss penalty (512 B cache):")
+    for name in routines:
+        line = [f"  {name}:"]
+        for penalty in (0, 4, 8, 16, 32):
+            machine = Machine(name=f"i960KB/mp{penalty}",
+                              miss_penalty=penalty)
+            line.append(f"mp{penalty}={worst(name, machine):,}")
+        print(" ".join(line))
+
+    print("\nA perfect (all-hit) instruction cache collapses the "
+          "cache share of the bound;")
+    print("a designer can read the cache's worst-case contribution "
+          "straight off the difference.")
+
+
+if __name__ == "__main__":
+    main()

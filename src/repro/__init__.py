@@ -1,0 +1,64 @@
+"""repro — a reproduction of Li & Malik, "Performance Analysis of
+Embedded Software Using Implicit Path Enumeration" (DAC 1995).
+
+The package is a full reimplementation of the paper's *cinderella*
+toolchain in Python:
+
+* :mod:`repro.lang` / :mod:`repro.codegen` — a MiniC front end and a
+  compiler to IR960, a virtual i960KB-flavored instruction set;
+* :mod:`repro.cfg` — basic blocks, d-edges, f-edges, loops, call graph;
+* :mod:`repro.constraints` — automatic structural constraints plus the
+  functionality-constraint language with disjunctions and call-context
+  scoping;
+* :mod:`repro.ilp` — a from-scratch simplex + branch & bound solver;
+* :mod:`repro.hw` / :mod:`repro.sim` — the i960KB timing model, its
+  cycle-accurate simulator and the paper's measurement protocol;
+* :mod:`repro.analysis` — the IPET estimator itself and the explicit
+  path-enumeration baseline;
+* :mod:`repro.programs` / :mod:`repro.experiments` — the 13 Table-I
+  benchmarks and the drivers regenerating Tables I-III.
+
+Quick start
+-----------
+>>> import repro
+>>> analysis = repro.Analysis('''
+...     int data[10];
+...     int sum() {
+...         int i; int s; s = 0;
+...         for (i = 0; i < 10; i++) s += data[i];
+...         return s;
+...     }''', entry="sum")
+>>> analysis.bound_loop(lo=10, hi=10)
+>>> report = analysis.estimate()
+>>> report.best <= report.worst
+True
+"""
+
+from .analysis import (Analysis, BoundReport, CalculatedBound,
+                       EnumerationResult, PathExplosionError,
+                       annotate_program, calculated_bound, enumerate_paths,
+                       pessimism)
+from .codegen import Program, compile_source, disassemble
+from .errors import (AnalysisError, ConstraintSyntaxError, InfeasibleError,
+                     MiniCError, MissingLoopBoundError, ReproError,
+                     SimulationError, UnboundedError)
+from .hw import Machine, i960kb, no_cache, perfect_cache
+from .sim import (Dataset, Interpreter, MeasuredBound, measure_bounds,
+                  run_program)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Analysis", "BoundReport", "pessimism",
+    "CalculatedBound", "calculated_bound",
+    "EnumerationResult", "PathExplosionError", "enumerate_paths",
+    "annotate_program",
+    "Program", "compile_source", "disassemble",
+    "Machine", "i960kb", "no_cache", "perfect_cache",
+    "Dataset", "Interpreter", "MeasuredBound", "measure_bounds",
+    "run_program",
+    "ReproError", "MiniCError", "AnalysisError", "ConstraintSyntaxError",
+    "InfeasibleError", "MissingLoopBoundError", "SimulationError",
+    "UnboundedError",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""IPET analysis: estimator, baselines, annotation, reporting."""
+
+from .annotate import annotate_function, annotate_program
+from .autobound import DerivedBound, derive_loop_bounds
+from .calculated import CalculatedBound, calculated_bound
+from .export import markdown_report
+from .ipet import Analysis
+from .path_extract import (PathTrace, best_case_path, extract_path,
+                           worst_case_path)
+from .pathenum import EnumerationResult, PathExplosionError, enumerate_paths
+from .report import BoundReport, SetResult, pessimism
+
+__all__ = [
+    "Analysis",
+    "BoundReport", "SetResult", "pessimism",
+    "CalculatedBound", "calculated_bound",
+    "EnumerationResult", "PathExplosionError", "enumerate_paths",
+    "annotate_function", "annotate_program",
+    "DerivedBound", "derive_loop_bounds",
+    "PathTrace", "extract_path", "worst_case_path", "best_case_path",
+    "markdown_report",
+]

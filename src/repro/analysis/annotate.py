@@ -1,0 +1,55 @@
+"""Annotated source listing (cinderella's UX, paper Fig. 5).
+
+cinderella "reads the source files and outputs the annotated source
+files, where all the x_i and f_i variables are labelled alongside with
+the source code" — that is what the user writes functionality
+constraints against.  This module reproduces that listing.
+"""
+
+from __future__ import annotations
+
+from ..cfg import CFG
+
+
+def annotate_function(cfg: CFG, source: str) -> str:
+    """Annotated listing of one function.
+
+    Each source line is prefixed with the ``x_i`` of the block that
+    starts there (if any) and the ``f_k`` of call edges leaving it.
+    """
+    markers: dict[int, list[str]] = {}
+    for block in sorted(cfg.blocks.values(), key=lambda b: b.id):
+        line = block.instrs[0].line
+        if not line:
+            continue
+        markers.setdefault(line, []).append(block.var)
+    for edge in cfg.call_edges():
+        call_instr = cfg.blocks[edge.src].instrs[-1]
+        if call_instr.line:
+            markers.setdefault(call_instr.line, []).append(edge.name)
+
+    fn_lines = {line for block in cfg.blocks.values()
+                for line in block.lines}
+    if not fn_lines:
+        return ""
+    first, last = min(fn_lines), max(fn_lines)
+
+    width = max((len(" ".join(m)) for m in markers.values()), default=2)
+    out = []
+    lines = source.splitlines()
+    for number in range(first, min(last, len(lines)) + 1):
+        text = lines[number - 1]
+        label = " ".join(markers.get(number, []))
+        out.append(f"{number:4d}: {label:<{width}}  {text}")
+    return "\n".join(out)
+
+
+def annotate_program(cfgs: dict[str, CFG], source: str,
+                     functions: list[str] | None = None) -> str:
+    """Annotated listing for several functions of one source text."""
+    names = functions if functions is not None else sorted(cfgs)
+    chunks = []
+    for name in names:
+        chunks.append(f"// --- {name}() ---")
+        chunks.append(annotate_function(cfgs[name], source))
+    return "\n".join(chunks)

@@ -1,0 +1,370 @@
+"""Automatic loop-bound derivation (the paper's §VII future work).
+
+"We would also like to explore the possibility of using symbolic
+analysis techniques to automatically derive some of the functionality
+constraints."
+
+This module derives iteration bounds for counted loops whose init,
+limit and step are compile-time constants and whose index is not
+otherwise modified:
+
+    for (i = C0; i < C1; i += C2) ...          -> exactly N trips
+    i = C0; while (i < C1) { ...; i += C2; }   -> exactly N trips
+
+(the while form requires the initialization to be the statement
+immediately before the loop and a single top-level step with no
+``continue`` that could skip it).  When the body can leave early
+(``break`` or ``return``), only the upper bound is derivable, giving
+``(0, N)``.  A global index in a body that makes calls is refused —
+a callee could rewrite it.  Everything else is left for the user,
+exactly as in the paper's workflow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..lang import ast
+
+
+@dataclass(frozen=True)
+class DerivedBound:
+    """An automatically derived iteration bound for one loop."""
+
+    function: str
+    line: int                # the for-statement's header source line
+    lo: int
+    hi: int
+    exact: bool              # False when an early exit weakens lo to 0
+
+    @property
+    def key(self) -> tuple[str, int]:
+        return (self.function, self.line)
+
+
+def derive_loop_bounds(program: ast.Program) -> list[DerivedBound]:
+    """Derive bounds for every analyzable counted loop in `program`."""
+    constants = _const_globals(program)
+    globals_ = {g.name for g in program.globals}
+    derived: list[DerivedBound] = []
+    for fn in program.functions:
+        _scan(fn.body, fn.name, constants, globals_, derived)
+    return derived
+
+
+def _const_globals(program: ast.Program) -> dict[str, int]:
+    return {g.name: int(g.init) for g in program.globals
+            if g.const and isinstance(g.init, (int, float))}
+
+
+def _scan(stmt: ast.Stmt, function: str, constants: dict,
+          globals_: set, out: list[DerivedBound]) -> None:
+    for child in _children(stmt):
+        _scan(child, function, constants, globals_, out)
+    if isinstance(stmt, ast.For):
+        bound = _analyze_for(stmt, function, constants, globals_)
+        if bound is not None:
+            out.append(bound)
+    if isinstance(stmt, ast.Block):
+        # While-loops need their init statement for context: pair each
+        # while with the statement immediately before it.
+        previous: ast.Stmt | None = None
+        for child in stmt.stmts:
+            if isinstance(child, ast.While) and previous is not None:
+                bound = _analyze_while(previous, child, function,
+                                       constants, globals_)
+                if bound is not None:
+                    out.append(bound)
+            previous = child
+
+
+def _children(stmt: ast.Stmt):
+    if isinstance(stmt, ast.Block):
+        return stmt.stmts
+    if isinstance(stmt, ast.If):
+        return [s for s in (stmt.then, stmt.orelse) if s is not None]
+    if isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+        return [stmt.body] if stmt.body is not None else []
+    return []
+
+
+def _analyze_for(loop: ast.For, function: str, constants: dict,
+                 globals_: set = frozenset()) -> DerivedBound | None:
+    index, start = _init_pattern(loop.init, constants)
+    if index is None:
+        return None
+    limit = _cond_pattern(loop.cond, index, constants)
+    if limit is None:
+        return None
+    relation, bound_value = limit
+    step = _update_pattern(loop.update, index, constants)
+    if step is None or step == 0:
+        return None
+    trips = _trip_count(start, relation, bound_value, step)
+    if trips is None:
+        return None
+    if _modifies(loop.body, index) or _redeclares(loop.body, index):
+        return None
+    if index in globals_ and _calls_anything(loop.body):
+        return None          # a callee could write the global index
+    exact = not _may_exit_early(loop.body)
+    return DerivedBound(function, loop.line,
+                        trips if exact else 0, trips, exact)
+
+
+def _analyze_while(init: ast.Stmt, loop: ast.While, function: str,
+                   constants: dict,
+                   globals_: set = frozenset()) -> DerivedBound | None:
+    """``i = C0; while (i < C1) { ... i += C2; ... }``.
+
+    The counter must be initialized by the immediately preceding
+    statement, compared against a constant, and stepped by exactly one
+    top-level constant update in the body; ``continue`` could skip the
+    step, so its presence (at this loop's level) refuses derivation.
+    """
+    index, start = _init_pattern(init, constants)
+    if index is None:
+        return None
+    limit = _cond_pattern(loop.cond, index, constants)
+    if limit is None:
+        return None
+    relation, bound_value = limit
+    body = loop.body
+    top_level = body.stmts if isinstance(body, ast.Block) else [body]
+    steps = []
+    for stmt in top_level:
+        if isinstance(stmt, ast.ExprStmt) and stmt.expr is not None:
+            step = _update_pattern(stmt.expr, index, constants)
+            if step is not None:
+                steps.append(step)
+    if len(steps) != 1 or steps[0] == 0:
+        return None
+    # The single top-level step must be the only write to the index.
+    writes = sum(1 for stmt in _walk(body)
+                 for expr in _expressions(stmt)
+                 if _expr_writes(expr, index))
+    if writes != 1 or _redeclares(body, index):
+        return None
+    if _has_continue(body):
+        return None
+    if index in globals_ and _calls_anything(body):
+        return None          # a callee could write the global index
+    trips = _trip_count(start, relation, bound_value, steps[0])
+    if trips is None:
+        return None
+    exact = not _may_exit_early(body)
+    return DerivedBound(function, loop.line,
+                        trips if exact else 0, trips, exact)
+
+
+def _calls_anything(body: ast.Stmt) -> bool:
+    def expr_calls(expr) -> bool:
+        if isinstance(expr, ast.Call):
+            return True
+        for attr in ("operand", "left", "right", "value", "cond",
+                     "then", "other", "target"):
+            child = getattr(expr, attr, None)
+            if isinstance(child, ast.Expr) and expr_calls(child):
+                return True
+        for seq_attr in ("args", "indices"):
+            for child in getattr(expr, seq_attr, ()):
+                if expr_calls(child):
+                    return True
+        return False
+
+    return any(expr_calls(expr)
+               for stmt in _walk(body)
+               for expr in _expressions(stmt))
+
+
+def _has_continue(body: ast.Stmt, depth: int = 0) -> bool:
+    if isinstance(body, ast.Continue) and depth == 0:
+        return True
+    if isinstance(body, (ast.While, ast.DoWhile, ast.For)):
+        return body.body is not None and \
+            _has_continue(body.body, depth + 1)
+    return any(_has_continue(child, depth) for child in _children(body))
+
+
+# ----------------------------------------------------------------------
+# Pattern recognition
+# ----------------------------------------------------------------------
+def _const_value(expr: ast.Expr | None, constants: dict) -> int | None:
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.Name) and expr.name in constants:
+        return constants[expr.name]
+    if isinstance(expr, ast.Unary) and expr.op == "-":
+        inner = _const_value(expr.operand, constants)
+        return None if inner is None else -inner
+    if isinstance(expr, ast.Binary) and expr.op in ("+", "-", "*"):
+        left = _const_value(expr.left, constants)
+        right = _const_value(expr.right, constants)
+        if left is None or right is None:
+            return None
+        if expr.op == "+":
+            return left + right
+        if expr.op == "-":
+            return left - right
+        return left * right
+    return None
+
+
+def _init_pattern(init, constants) -> tuple[str | None, int | None]:
+    """``int i = C`` or ``i = C``."""
+    if isinstance(init, ast.Decl) and not init.type.is_array:
+        value = _const_value(init.init, constants)
+        if value is not None:
+            return init.name, value
+    if isinstance(init, ast.ExprStmt) and isinstance(init.expr, ast.Assign):
+        assign = init.expr
+        if assign.op == "=" and isinstance(assign.target, ast.Name):
+            value = _const_value(assign.value, constants)
+            if value is not None:
+                return assign.target.name, value
+    return None, None
+
+
+def _cond_pattern(cond, index: str, constants) -> tuple[str, int] | None:
+    """``i REL C`` or ``C REL i`` with REL in < <= > >=."""
+    if not isinstance(cond, ast.Binary):
+        return None
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<="}
+    if cond.op not in flip:
+        return None
+    if isinstance(cond.left, ast.Name) and cond.left.name == index:
+        value = _const_value(cond.right, constants)
+        return None if value is None else (cond.op, value)
+    if isinstance(cond.right, ast.Name) and cond.right.name == index:
+        value = _const_value(cond.left, constants)
+        return None if value is None else (flip[cond.op], value)
+    return None
+
+
+def _update_pattern(update, index: str, constants) -> int | None:
+    """``i++``, ``i--``, ``i += C``, ``i -= C``, ``i = i + C``."""
+    if isinstance(update, ast.IncDec):
+        if isinstance(update.target, ast.Name) and \
+                update.target.name == index:
+            return 1 if update.op == "++" else -1
+        return None
+    if isinstance(update, ast.Assign) and \
+            isinstance(update.target, ast.Name) and \
+            update.target.name == index:
+        if update.op in ("+=", "-="):
+            value = _const_value(update.value, constants)
+            if value is None:
+                return None
+            return value if update.op == "+=" else -value
+        if update.op == "=" and isinstance(update.value, ast.Binary):
+            binop = update.value
+            if binop.op in ("+", "-") and \
+                    isinstance(binop.left, ast.Name) and \
+                    binop.left.name == index:
+                value = _const_value(binop.right, constants)
+                if value is None:
+                    return None
+                return value if binop.op == "+" else -value
+    return None
+
+
+def _trip_count(start: int, relation: str, limit: int,
+                step: int) -> int | None:
+    if relation in ("<", "<=") and step > 0:
+        end = limit if relation == "<" else limit + 1
+        span = end - start
+        return max(0, -(-span // step))
+    if relation in (">", ">=") and step < 0:
+        end = limit if relation == ">" else limit - 1
+        span = start - end
+        return max(0, -(-span // -step))
+    # Mismatched direction: either 0 trips or unbounded; punt.
+    return None
+
+
+# ----------------------------------------------------------------------
+# Body checks
+# ----------------------------------------------------------------------
+def _walk(stmt: ast.Stmt):
+    yield stmt
+    for child in _children(stmt):
+        yield from _walk(child)
+
+
+def _expressions(stmt: ast.Stmt):
+    if isinstance(stmt, ast.ExprStmt) and stmt.expr is not None:
+        yield stmt.expr
+    if isinstance(stmt, ast.Decl) and isinstance(stmt.init, ast.Expr):
+        yield stmt.init
+    if isinstance(stmt, ast.DeclGroup):
+        for decl in stmt.decls:
+            if isinstance(decl.init, ast.Expr):
+                yield decl.init
+    if isinstance(stmt, (ast.If, ast.While, ast.DoWhile)) and \
+            stmt.cond is not None:
+        yield stmt.cond
+    if isinstance(stmt, ast.For):
+        if stmt.cond is not None:
+            yield stmt.cond
+        if stmt.update is not None:
+            yield stmt.update
+        if isinstance(stmt.init, ast.ExprStmt) and stmt.init.expr:
+            yield stmt.init.expr
+    if isinstance(stmt, ast.Return) and stmt.value is not None:
+        yield stmt.value
+
+
+def _expr_writes(expr: ast.Expr, name: str) -> bool:
+    if isinstance(expr, ast.Assign):
+        target = expr.target
+        if isinstance(target, ast.Name) and target.name == name:
+            return True
+        return (_expr_writes(expr.value, name)
+                or (isinstance(target, ast.Index)
+                    and any(_expr_writes(i, name) for i in target.indices)))
+    if isinstance(expr, ast.IncDec):
+        return isinstance(expr.target, ast.Name) and \
+            expr.target.name == name
+    if isinstance(expr, ast.Unary):
+        return expr.operand is not None and _expr_writes(expr.operand, name)
+    if isinstance(expr, ast.Binary):
+        return _expr_writes(expr.left, name) or _expr_writes(expr.right, name)
+    if isinstance(expr, ast.Call):
+        return any(_expr_writes(a, name) for a in expr.args)
+    if isinstance(expr, ast.Ternary):
+        return any(_expr_writes(e, name)
+                   for e in (expr.cond, expr.then, expr.other))
+    if isinstance(expr, ast.Index):
+        return any(_expr_writes(i, name) for i in expr.indices)
+    return False
+
+
+def _modifies(body: ast.Stmt, index: str) -> bool:
+    return any(_expr_writes(expr, index)
+               for stmt in _walk(body)
+               for expr in _expressions(stmt))
+
+
+def _redeclares(body: ast.Stmt, index: str) -> bool:
+    for stmt in _walk(body):
+        if isinstance(stmt, ast.Decl) and stmt.name == index:
+            return True
+        if isinstance(stmt, ast.DeclGroup) and \
+                any(d.name == index for d in stmt.decls):
+            return True
+        if isinstance(stmt, ast.For) and isinstance(stmt.init, ast.Decl) \
+                and stmt.init.name == index:
+            return True
+    return False
+
+
+def _may_exit_early(body: ast.Stmt, depth: int = 0) -> bool:
+    """Break at this loop's level, or a return anywhere inside."""
+    if isinstance(body, ast.Return):
+        return True
+    if isinstance(body, ast.Break) and depth == 0:
+        return True
+    if isinstance(body, (ast.While, ast.DoWhile, ast.For)):
+        return body.body is not None and \
+            _may_exit_early(body.body, depth + 1)
+    return any(_may_exit_early(child, depth) for child in _children(body))

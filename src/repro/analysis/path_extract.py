@@ -1,0 +1,133 @@
+"""Reconstructing a concrete extreme-case path from ILP counts.
+
+The paper points out that "a single value of the basic block counts for
+the worst case is provided in the solution" — the ILP answers *how
+often* each block runs, not *in what order*.  But flow conservation
+makes the count vector an Eulerian flow: there is always a concrete
+path through the CFG realizing it.  This module recovers one with
+Hierholzer's algorithm, so users can inspect the worst (or best) case
+as an actual block/source-line trace — handy for explaining a WCET
+report to a developer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+from ..cfg import CFG
+from ..constraints import qualified
+from ..errors import AnalysisError
+
+#: Virtual nodes bracketing the path.
+ENTRY = "entry"
+EXIT = "exit"
+
+
+@dataclass
+class PathTrace:
+    """A concrete block-level path realizing a count vector."""
+
+    function: str
+    blocks: list[int]                  # block ids, in execution order
+    lines: list[int]                   # leading source line per block
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    def block_counts(self) -> dict[int, int]:
+        counts: dict[int, int] = {}
+        for block in self.blocks:
+            counts[block] = counts.get(block, 0) + 1
+        return counts
+
+    def line_trace(self) -> list[tuple[int, int]]:
+        """Run-length-encoded source-line sequence: (line, repeats)."""
+        encoded: list[tuple[int, int]] = []
+        for line in self.lines:
+            if encoded and encoded[-1][0] == line:
+                encoded[-1] = (line, encoded[-1][1] + 1)
+            else:
+                encoded.append((line, 1))
+        return encoded
+
+    def __str__(self) -> str:
+        parts = [f"B{b}" for b in self.blocks]
+        return f"{self.function}: " + " -> ".join(parts)
+
+
+def extract_path(cfg: CFG, counts: Mapping[str, float],
+                 scope: str | None = None) -> PathTrace:
+    """Recover an entry-to-exit path realizing `counts` over `cfg`.
+
+    `counts` maps qualified edge variables (``scope::d1`` ...) to the
+    ILP solution values; `scope` defaults to the CFG's function name.
+    """
+    scope = scope if scope is not None else cfg.name
+    remaining: dict[int, int] = {}
+    adjacency: dict[object, list] = {}
+    total_edges = 0
+    for index, edge in enumerate(cfg.edges):
+        count = int(round(counts.get(qualified(scope, edge.name), 0.0)))
+        if count < 0:
+            raise AnalysisError(f"negative count on {edge}")
+        if count == 0:
+            continue
+        src = ENTRY if edge.src is None else edge.src
+        dst = EXIT if edge.dst is None else edge.dst
+        remaining[index] = count
+        adjacency.setdefault(src, []).append((index, dst))
+        total_edges += count
+
+    if total_edges == 0:
+        raise AnalysisError(f"{cfg.name}: count vector has no flow")
+
+    # Hierholzer's algorithm for a directed Eulerian trail ENTRY->EXIT.
+    stack: list[object] = [ENTRY]
+    trail: list[object] = []
+    cursor: dict[object, int] = {}
+    while stack:
+        node = stack[-1]
+        edges = adjacency.get(node, [])
+        i = cursor.get(node, 0)
+        while i < len(edges) and remaining[edges[i][0]] == 0:
+            i += 1
+        cursor[node] = i
+        if i < len(edges):
+            index, dst = edges[i]
+            remaining[index] -= 1
+            stack.append(dst)
+        else:
+            trail.append(stack.pop())
+    trail.reverse()
+
+    if trail[0] is not ENTRY or trail[-1] is not EXIT:
+        raise AnalysisError(
+            f"{cfg.name}: counts do not form an entry-to-exit flow")
+    if any(remaining.values()):
+        raise AnalysisError(
+            f"{cfg.name}: count vector is not connected; "
+            "no single path realizes it")
+
+    blocks = [node for node in trail if node not in (ENTRY, EXIT)]
+    lines = [cfg.blocks[b].instrs[0].line for b in blocks]
+    return PathTrace(cfg.name, blocks, lines)
+
+
+def worst_case_path(analysis, function: str | None = None) -> PathTrace:
+    """Extract the worst-case path of `function` (default: the entry)
+    from a fresh estimate of `analysis`."""
+    report = analysis.estimate()
+    name = function or analysis.entry
+    if name not in analysis.cfgs:
+        raise AnalysisError(f"no function named {name!r}")
+    return extract_path(analysis.cfgs[name], report.worst_counts)
+
+
+def best_case_path(analysis, function: str | None = None) -> PathTrace:
+    """Extract the best-case path of `function` (default: the entry)."""
+    report = analysis.estimate()
+    name = function or analysis.entry
+    if name not in analysis.cfgs:
+        raise AnalysisError(f"no function named {name!r}")
+    return extract_path(analysis.cfgs[name], report.best_counts)

@@ -1,0 +1,186 @@
+"""Explicit path enumeration — the prior-art baseline (paper §II).
+
+Park & Shaw's approach examines feasible program paths explicitly; the
+paper's motivation is that their number is typically exponential in
+program size.  This module implements that baseline over our CFGs so
+the reproduction can (a) cross-check IPET results on small programs and
+(b) demonstrate the blowup IPET avoids (ablation bench A).
+
+Loop bounds are enforced per loop entry (each entry executes the body
+between ``lo`` and ``hi`` times), which is the semantics an explicit
+enumerator naturally has.  Calls are handled compositionally: a call
+edge costs the callee's own extreme bound (callees enumerated first;
+recursion is impossible).  Cross-function functionality constraints are
+out of scope for this baseline — one of the expressiveness limits the
+paper's ILP formulation removes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..cfg import CFG, CallGraph, Loop, build_cfgs, find_loops
+from ..codegen import Program
+from ..errors import AnalysisError
+from ..hw import Machine, cost_table, i960kb
+
+
+class PathExplosionError(AnalysisError):
+    """Enumeration exceeded the path budget — the failure mode IPET
+    was invented to avoid."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        super().__init__(
+            f"explicit enumeration exceeded {limit} paths; "
+            "use the IPET estimator instead")
+
+
+@dataclass
+class EnumerationResult:
+    """Extreme costs found by exhaustive path enumeration."""
+
+    best: int
+    worst: int
+    paths: int                       # complete feasible paths examined
+    best_counts: dict[int, int] = field(default_factory=dict)
+    worst_counts: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        return (self.best, self.worst)
+
+
+def enumerate_paths(program: Program, entry: str,
+                    loop_bounds: dict,
+                    machine: Machine | None = None,
+                    max_paths: int = 2_000_000,
+                    count_filter=None) -> EnumerationResult:
+    """Exhaustively enumerate feasible paths of `entry`.
+
+    Parameters
+    ----------
+    loop_bounds:
+        ``{(function, header_line): (lo, hi)}`` for every loop reachable
+        from `entry`.
+    count_filter:
+        Optional predicate on the entry function's ``{block_id: count}``
+        vector; paths failing it are discarded (a crude stand-in for
+        functionality constraints, applied per complete path).
+    """
+    machine = machine or i960kb()
+    cfgs = build_cfgs(program)
+    callgraph = CallGraph(cfgs)
+    order = callgraph.reachable_from(entry)
+
+    budget = _Budget(max_paths)
+    extremes: dict[str, tuple[int, int]] = {}
+    result: EnumerationResult | None = None
+    for name in reversed(order):         # callees before callers
+        use_filter = count_filter if name == entry else None
+        result = _enumerate_function(
+            cfgs[name], loop_bounds, machine, extremes, budget, use_filter)
+        extremes[name] = (result.best, result.worst)
+    assert result is not None
+    return result
+
+
+class _Budget:
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def spend(self) -> None:
+        self.used += 1
+        if self.used > self.limit:
+            raise PathExplosionError(self.limit)
+
+
+def _enumerate_function(cfg: CFG, loop_bounds: dict, machine: Machine,
+                        callee_extremes: dict, budget: _Budget,
+                        count_filter) -> EnumerationResult:
+    costs = cost_table(cfg, machine)
+    loops = find_loops(cfg)
+    bounds: dict[int, tuple[int, int]] = {}
+    for loop in loops:
+        if loop.key not in loop_bounds:
+            raise AnalysisError(f"no bound for {loop}")
+        bounds[loop.header] = tuple(loop_bounds[loop.key])
+    loop_of_back_edge = {}
+    membership: dict[int, list[Loop]] = {}
+    for loop in loops:
+        for edge in loop.back_edges:
+            loop_of_back_edge[id(edge)] = loop
+        for block in loop.blocks:
+            membership.setdefault(block, []).append(loop)
+
+    best = worst = None
+    best_counts = worst_counts = None
+    paths = 0
+
+    # DFS stack entries: (block, cost_best, cost_worst, iteration map,
+    # counts).  Costs are tracked under both cost models at once so one
+    # enumeration yields both extremes.
+    start = cfg.entry_block
+    init_counts = {start: 1}
+    stack = [(start, costs[start].best, costs[start].worst,
+              {}, init_counts)]
+    while stack:
+        block, cost_b, cost_w, iters, counts = stack.pop()
+        for edge in cfg.out_edges(block):
+            if edge.dst is None:
+                # Complete path.
+                exiting_ok = all(
+                    iters.get(loop.header, 0) >= bounds[loop.header][0]
+                    for loop in membership.get(block, []))
+                if not exiting_ok:
+                    continue
+                budget.spend()
+                if count_filter is not None and not count_filter(counts):
+                    continue
+                paths += 1
+                if worst is None or cost_w > worst:
+                    worst, worst_counts = cost_w, counts
+                if best is None or cost_b < best:
+                    best, best_counts = cost_b, counts
+                continue
+
+            new_iters = dict(iters)
+            back_loop = loop_of_back_edge.get(id(edge))
+            if back_loop is not None:
+                used = new_iters.get(back_loop.header, 0) + 1
+                if used > bounds[back_loop.header][1]:
+                    continue
+                new_iters[back_loop.header] = used
+            # Leaving a loop requires its minimum iterations; entering
+            # resets the counter.
+            src_loops = membership.get(block, [])
+            dst_loops = membership.get(edge.dst, [])
+            feasible = True
+            for loop in src_loops:
+                if loop not in dst_loops and loop is not back_loop:
+                    if new_iters.get(loop.header, 0) < bounds[loop.header][0]:
+                        feasible = False
+                        break
+                    new_iters.pop(loop.header, None)
+            if not feasible:
+                continue
+            for loop in dst_loops:
+                if loop not in src_loops:
+                    new_iters.setdefault(loop.header, 0)
+
+            extra_b = costs[edge.dst].best
+            extra_w = costs[edge.dst].worst
+            if edge.is_call:
+                callee_b, callee_w = callee_extremes[edge.callee]
+                extra_b += callee_b
+                extra_w += callee_w
+            new_counts = dict(counts)
+            new_counts[edge.dst] = new_counts.get(edge.dst, 0) + 1
+            stack.append((edge.dst, cost_b + extra_b, cost_w + extra_w,
+                          new_iters, new_counts))
+
+    if worst is None:
+        raise AnalysisError(
+            f"{cfg.name}(): no feasible path satisfies the loop bounds")
+    return EnumerationResult(best, worst, paths, best_counts, worst_counts)

@@ -1,0 +1,18 @@
+"""Control-flow graph substrate: blocks, edges, dominators, loops,
+call graph and per-call-site context expansion."""
+
+from .builder import build_cfg, build_cfgs
+from .callgraph import CallGraph
+from .dominance import dominates, immediate_dominators, reverse_postorder
+from .graph import CFG, BasicBlock, Edge
+from .inline import Instance, expand_contexts, instances_of
+from .loops import Loop, find_loops, loops_by_key
+
+__all__ = [
+    "CFG", "BasicBlock", "Edge",
+    "build_cfg", "build_cfgs",
+    "CallGraph",
+    "Instance", "expand_contexts", "instances_of",
+    "Loop", "find_loops", "loops_by_key",
+    "dominates", "immediate_dominators", "reverse_postorder",
+]

@@ -1,0 +1,98 @@
+"""CFG construction from laid-out IR960 code.
+
+Leaders are the classic ones (function entry, branch targets, and the
+instruction after any control transfer), plus the instruction after a
+CALL: the paper models calls as block boundaries whose connecting edge
+is the f-edge (Fig. 4).
+"""
+
+from __future__ import annotations
+
+from ..codegen import FunctionCode, Program
+from ..codegen.isa import Op
+from ..errors import CFGError
+from .graph import CFG, BasicBlock, Edge
+
+
+def build_cfg(program: Program, function: FunctionCode) -> CFG:
+    """Build the CFG of one function."""
+    base = function.entry_index
+    count = len(function.instrs)
+    if count == 0:
+        raise CFGError(f"function {function.name} has no code")
+
+    leaders = {0}
+    for local, instr in enumerate(function.instrs):
+        if instr.is_branch:
+            target = instr.target - base
+            if not 0 <= target < count:
+                raise CFGError(
+                    f"branch out of {function.name}")  # pragma: no cover
+            leaders.add(target)
+        if instr.ends_block or instr.op is Op.CALL:
+            if local + 1 < count:
+                leaders.add(local + 1)
+
+    starts = sorted(leaders)
+    cfg = CFG(function)
+    block_of_local: dict[int, int] = {}
+    for i, start in enumerate(starts):
+        end = starts[i + 1] if i + 1 < len(starts) else count
+        block = BasicBlock(
+            id=i + 1,
+            function=function.name,
+            start=base + start,
+            end=base + end,
+            instrs=function.instrs[start:end],
+        )
+        cfg.add_block(block)
+        block_of_local[start] = block.id
+
+    # Edges.  The entry pseudo edge is d1, then d-edges in (src block,
+    # fall-through-before-taken) order, f-edges numbered separately in
+    # call-site address order.
+    d_counter = 1
+    f_counter = 0
+    cfg.add_edge(Edge("d1", None, cfg.entry_block))
+
+    def next_d() -> str:
+        nonlocal d_counter
+        d_counter += 1
+        return f"d{d_counter}"
+
+    def next_f() -> str:
+        nonlocal f_counter
+        f_counter += 1
+        return f"f{f_counter}"
+
+    for block in cfg.blocks.values():
+        last = block.instrs[-1]
+        local_end = block.end - base
+        if last.op is Op.RET:
+            cfg.add_edge(Edge(next_d(), block.id, None))
+        elif last.op is Op.B:
+            cfg.add_edge(Edge(next_d(), block.id,
+                              block_of_local[last.target - base], taken=True))
+        elif last.is_conditional:
+            if local_end >= count:  # pragma: no cover - RET-terminated
+                raise CFGError(f"{function.name} falls off the end")
+            cfg.add_edge(Edge(next_d(), block.id,
+                              block_of_local[local_end], taken=False))
+            cfg.add_edge(Edge(next_d(), block.id,
+                              block_of_local[last.target - base], taken=True))
+        elif last.op is Op.CALL:
+            if local_end >= count:  # pragma: no cover - RET-terminated
+                raise CFGError(f"{function.name} falls off the end")
+            cfg.add_edge(Edge(next_f(), block.id,
+                              block_of_local[local_end], callee=last.callee))
+        else:
+            # Plain fall-through into a branch target.
+            cfg.add_edge(Edge(next_d(), block.id, block_of_local[local_end]))
+
+    return cfg
+
+
+def build_cfgs(program: Program) -> dict[str, CFG]:
+    """CFGs for every function in the program."""
+    return {name: build_cfg(program, fn)
+            for name, fn in program.functions.items()}

@@ -1,0 +1,76 @@
+"""Call graph over the per-function CFGs."""
+
+from __future__ import annotations
+
+from ..errors import RecursionForbiddenError
+from .graph import CFG
+
+
+class CallGraph:
+    """Who calls whom, with the f-edges that realize each call."""
+
+    def __init__(self, cfgs: dict[str, CFG]):
+        self.cfgs = cfgs
+        #: caller -> list of (f-edge, callee name)
+        self.sites: dict[str, list] = {
+            name: [(edge, edge.callee) for edge in cfg.call_edges()]
+            for name, cfg in cfgs.items()
+        }
+        self._check_acyclic()
+
+    def callees(self, name: str) -> set[str]:
+        return {callee for _, callee in self.sites.get(name, [])}
+
+    def callers_of(self, name: str) -> list[tuple[str, object]]:
+        """(caller, f-edge) pairs for every site calling `name`."""
+        result = []
+        for caller, sites in self.sites.items():
+            for edge, callee in sites:
+                if callee == name:
+                    result.append((caller, edge))
+        return result
+
+    def reachable_from(self, entry: str) -> list[str]:
+        """Functions reachable from `entry`, in topological order
+        (callers before callees)."""
+        order: list[str] = []
+        seen: set[str] = set()
+
+        def visit(name: str) -> None:
+            if name in seen:
+                return
+            seen.add(name)
+            order.append(name)
+            for callee in sorted(self.callees(name)):
+                visit(callee)
+
+        visit(entry)
+        return order
+
+    def _check_acyclic(self) -> None:
+        # Semantic analysis already rejects recursion at the source
+        # level; this guards CFGs built by other means.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self.cfgs}
+        for root in self.cfgs:
+            if color[root] != WHITE:
+                continue
+            stack = [(root, iter(sorted(self.callees(root))))]
+            color[root] = GRAY
+            while stack:
+                node, it = stack[-1]
+                advanced = False
+                for nxt in it:
+                    if nxt not in color:
+                        continue
+                    if color[nxt] == GRAY:
+                        raise RecursionForbiddenError(
+                            f"call graph cycle through {nxt!r}")
+                    if color[nxt] == WHITE:
+                        color[nxt] = GRAY
+                        stack.append((nxt, iter(sorted(self.callees(nxt)))))
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()

@@ -1,0 +1,75 @@
+"""Dominator computation (iterative Cooper-Harvey-Kennedy algorithm)."""
+
+from __future__ import annotations
+
+from .graph import CFG
+
+
+def reverse_postorder(cfg: CFG) -> list[int]:
+    """Reachable blocks in reverse postorder from the entry block."""
+    seen: set[int] = set()
+    order: list[int] = []
+    stack: list[tuple[int, list[int]]] = []
+    root = cfg.entry_block
+    seen.add(root)
+    stack.append((root, sorted(cfg.successors(root), reverse=True)))
+    while stack:
+        node, todo = stack[-1]
+        while todo:
+            nxt = todo.pop()
+            if nxt not in seen:
+                seen.add(nxt)
+                stack.append((nxt, sorted(cfg.successors(nxt), reverse=True)))
+                break
+        else:
+            order.append(node)
+            stack.pop()
+    order.reverse()
+    return order
+
+
+def immediate_dominators(cfg: CFG) -> dict[int, int]:
+    """Map each reachable block to its immediate dominator.
+
+    The entry block maps to itself.  Unreachable blocks are absent.
+    """
+    order = reverse_postorder(cfg)
+    position = {block: i for i, block in enumerate(order)}
+    idom: dict[int, int] = {cfg.entry_block: cfg.entry_block}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while position[a] > position[b]:
+                a = idom[a]
+            while position[b] > position[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for block in order:
+            if block == cfg.entry_block:
+                continue
+            preds = [p for p in cfg.predecessors(block) if p in idom]
+            if not preds:
+                continue
+            new_idom = preds[0]
+            for pred in preds[1:]:
+                new_idom = intersect(pred, new_idom)
+            if idom.get(block) != new_idom:
+                idom[block] = new_idom
+                changed = True
+    return idom
+
+
+def dominates(idom: dict[int, int], a: int, b: int) -> bool:
+    """True when block `a` dominates block `b` (given the idom map)."""
+    node = b
+    while True:
+        if node == a:
+            return True
+        parent = idom.get(node)
+        if parent is None or parent == node:
+            return node == a
+        node = parent

@@ -1,0 +1,60 @@
+"""Per-call-site context expansion (virtual inlining).
+
+The paper's inter-procedural constraints (Fig. 6, eq. 18) use
+call-context scoped counts like ``x8.f1`` — "the count of block B8 in
+check_data *when called at location f1*".  Supporting those requires a
+separate set of count variables per call-site instance of the callee,
+which the paper notes it creates "for purpose of analysis".
+
+This module materializes that: starting from the entry function, every
+call edge spawns a child *instance* of the callee.  Since recursion is
+forbidden the instance tree is finite.  Instance ids are paths of
+f-edge names: ``task``, ``task/f1``, ``task/f1/f2``, …
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .callgraph import CallGraph
+from .graph import Edge
+
+
+@dataclass(frozen=True)
+class Instance:
+    """One call-site-specific copy of a function for analysis."""
+
+    id: str
+    function: str
+    parent: str | None = None      # parent instance id
+    via: Edge | None = None        # call edge in the parent's CFG
+
+    def child_id(self, edge: Edge) -> str:
+        return f"{self.id}/{edge.name}"
+
+    def __str__(self) -> str:
+        return self.id
+
+
+def expand_contexts(callgraph: CallGraph, entry: str) -> dict[str, Instance]:
+    """All instances reachable from `entry`, keyed by instance id."""
+    root = Instance(entry, entry)
+    instances = {root.id: root}
+    worklist = [root]
+    while worklist:
+        instance = worklist.pop()
+        cfg = callgraph.cfgs[instance.function]
+        for edge in cfg.call_edges():
+            child = Instance(instance.child_id(edge), edge.callee,
+                             instance.id, edge)
+            instances[child.id] = child
+            worklist.append(child)
+    return instances
+
+
+def instances_of(instances: dict[str, Instance],
+                 function: str) -> list[Instance]:
+    """All instances of one function, in id order."""
+    return sorted((inst for inst in instances.values()
+                   if inst.function == function),
+                  key=lambda inst: inst.id)

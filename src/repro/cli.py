@@ -1,0 +1,249 @@
+"""Command-line front end — the cinderella workflow from a shell.
+
+Subcommands mirror §V of the paper:
+
+* ``annotate``  — print the annotated source listing (x_i / f_k labels);
+* ``analyze``   — estimate the [best, worst] bound of a routine;
+* ``run``       — execute a routine on the simulator (optionally with
+  cycle accounting);
+* ``disasm``    — show the compiled IR960 code.
+
+Examples
+--------
+::
+
+    python -m repro annotate prog.c
+    python -m repro analyze prog.c --entry check_data \\
+        --bound check_data:8:1:10 \\
+        --constraint "(x4 = 0 & x6 = 1) | (x4 = 1 & x6 = 0)"
+    python -m repro analyze prog.c --entry f --auto-bounds --machine dsp3210
+    python -m repro run prog.c --entry f --arg 5 --set "data=1,2,3" --cycles
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .analysis import Analysis, annotate_program
+from .codegen import compile_source, disassemble
+from .errors import ReproError
+from .hw import dsp3210, i960kb, no_cache, perfect_cache
+from .sim import CycleModel, Interpreter
+
+MACHINES = {
+    "i960kb": i960kb,
+    "dsp3210": dsp3210,
+    "perfect": perfect_cache,
+    "nocache": no_cache,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="IPET timing analysis for MiniC programs "
+                    "(Li & Malik, DAC 1995).")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    annotate = sub.add_parser(
+        "annotate", help="print the annotated source listing")
+    annotate.add_argument("file")
+    annotate.add_argument("--functions",
+                          help="comma-separated subset of functions")
+
+    analyze = sub.add_parser(
+        "analyze", help="estimate [best, worst] execution bounds")
+    analyze.add_argument("file")
+    analyze.add_argument("--entry", required=True,
+                         help="routine to bound")
+    analyze.add_argument("--bound", action="append", default=[],
+                         metavar="[FN:][LINE:]LO:HI",
+                         help="loop bound; FN defaults to the entry, "
+                              "LINE may be omitted for a single loop")
+    analyze.add_argument("--constraint", action="append", default=[],
+                         metavar='TEXT[@FN]',
+                         help="functionality constraint, optionally "
+                              "scoped to function FN")
+    analyze.add_argument("--auto-bounds", action="store_true",
+                         help="derive counted-loop bounds automatically")
+    analyze.add_argument("--machine", choices=sorted(MACHINES),
+                         default="i960kb")
+    analyze.add_argument("--context", action="store_true",
+                         help="per-call-site callee instances")
+    analyze.add_argument("--cache-split", action="store_true",
+                         help="first-iteration cache refinement (par. IV)")
+    analyze.add_argument("--show-counts", action="store_true",
+                         help="print the extreme-case block counts")
+    analyze.add_argument("--optimize", action="store_true",
+                         help="constant folding + peephole before analysis")
+
+    run = sub.add_parser("run", help="execute a routine on the simulator")
+    run.add_argument("file")
+    run.add_argument("--entry", required=True)
+    run.add_argument("--arg", action="append", default=[], type=float,
+                     help="scalar argument (repeatable)")
+    run.add_argument("--set", action="append", default=[],
+                     metavar="NAME=V[,V...]",
+                     help="initialize a global scalar or array")
+    run.add_argument("--cycles", action="store_true",
+                     help="cycle-accurate timing (cold cache)")
+    run.add_argument("--machine", choices=sorted(MACHINES),
+                     default="i960kb")
+    run.add_argument("--optimize", action="store_true")
+
+    disasm = sub.add_parser("disasm", help="print compiled IR960 code")
+    disasm.add_argument("file")
+    disasm.add_argument("--optimize", action="store_true")
+
+    report = sub.add_parser(
+        "report", help="full Markdown WCET report (auto bounds)")
+    report.add_argument("file")
+    report.add_argument("--entry", required=True)
+    report.add_argument("--bound", action="append", default=[],
+                        metavar="[FN:][LINE:]LO:HI")
+    report.add_argument("--machine", choices=sorted(MACHINES),
+                        default="i960kb")
+    report.add_argument("--optimize", action="store_true")
+    return parser
+
+
+def _load(path: str) -> str:
+    with open(path) as handle:
+        return handle.read()
+
+
+def _parse_bound(spec: str, entry: str):
+    """[FN:][LINE:]LO:HI -> (function, line, lo, hi)."""
+    parts = spec.split(":")
+    if len(parts) == 2:
+        fn, line = entry, None
+    elif len(parts) == 3:
+        if parts[0].isdigit():
+            fn, line = entry, int(parts[0])
+        else:
+            fn, line = parts[0], None
+    elif len(parts) == 4:
+        fn, line = parts[0], int(parts[1])
+    else:
+        raise ReproError(f"bad --bound {spec!r}; use [FN:][LINE:]LO:HI")
+    lo, hi = int(parts[-2]), int(parts[-1])
+    return fn, line, lo, hi
+
+
+def _apply_sets(interp: Interpreter, specs: list[str]) -> None:
+    for spec in specs:
+        name, _, values = spec.partition("=")
+        if not values:
+            raise ReproError(f"bad --set {spec!r}; use NAME=V[,V...]")
+        parsed = [float(v) if "." in v else int(v)
+                  for v in values.split(",")]
+        interp.set_global(name.strip(),
+                          parsed if len(parsed) > 1 else parsed[0])
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return _dispatch(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args) -> int:
+    source = _load(args.file)
+
+    if args.command == "disasm":
+        print(disassemble(compile_source(source,
+                                         optimize=args.optimize)))
+        return 0
+
+    if args.command == "annotate":
+        program = compile_source(source)
+        from .cfg import build_cfgs
+
+        cfgs = build_cfgs(program)
+        functions = (args.functions.split(",")
+                     if args.functions else None)
+        print(annotate_program(cfgs, source, functions))
+        return 0
+
+    if args.command == "run":
+        machine = MACHINES[args.machine]()
+        model = CycleModel(machine) if args.cycles else None
+        if model is not None:
+            model.flush()
+        program = compile_source(source, optimize=args.optimize)
+        interp = Interpreter(program, cycle_model=model)
+        _apply_sets(interp, args.set)
+        numbers = [int(a) if a == int(a) else a for a in args.arg]
+        result = interp.run(args.entry, *numbers)
+        print(f"return value: {result.value}")
+        print(f"instructions: {result.steps:,}")
+        if args.cycles:
+            print(f"cycles ({machine.name}): {result.cycles:,}")
+        return 0
+
+    if args.command == "report":
+        from .analysis import markdown_report
+
+        machine = MACHINES[args.machine]()
+        program = compile_source(source, optimize=args.optimize)
+        analysis = Analysis(program, entry=args.entry, machine=machine)
+        analysis.auto_bound_loops()
+        for spec in args.bound:
+            fn, line, lo, hi = _parse_bound(spec, args.entry)
+            analysis.bound_loop(lo, hi, function=fn, line=line)
+        missing = analysis.loops_needing_bounds()
+        if missing:
+            print("loops still needing --bound:", file=sys.stderr)
+            for loop in missing:
+                print(f"  {loop}", file=sys.stderr)
+            return 2
+        print(markdown_report(analysis))
+        return 0
+
+    assert args.command == "analyze"
+    machine = MACHINES[args.machine]()
+    program = compile_source(source, optimize=args.optimize)
+    analysis = Analysis(program, entry=args.entry, machine=machine,
+                        context_sensitive=args.context,
+                        cache_split=args.cache_split)
+    if args.auto_bounds:
+        for derived in analysis.auto_bound_loops():
+            flavor = "exact" if derived.exact else "upper"
+            print(f"auto bound: {derived.function}() line "
+                  f"{derived.line}: [{derived.lo}, {derived.hi}] "
+                  f"({flavor})")
+    for spec in args.bound:
+        fn, line, lo, hi = _parse_bound(spec, args.entry)
+        analysis.bound_loop(lo, hi, function=fn, line=line)
+    missing = analysis.loops_needing_bounds()
+    if missing:
+        print("loops still needing --bound:", file=sys.stderr)
+        for loop in missing:
+            print(f"  {loop}", file=sys.stderr)
+        return 2
+    for spec in args.constraint:
+        text, _, fn = spec.partition("@")
+        analysis.add_constraint(text, function=fn or None)
+
+    report = analysis.estimate()
+    print(report)
+    print(f"constraint sets: {report.sets_solved} solved, "
+          f"{report.sets_pruned} pruned of {report.sets_total}")
+    print(f"LP calls: {report.lp_calls}; first relaxation integral: "
+          f"{report.all_first_relaxations_integral}")
+    if args.show_counts:
+        print("\nworst-case block counts (nonzero):")
+        for name in sorted(report.worst_counts):
+            value = report.worst_counts[name]
+            if value and "::x" in name:
+                print(f"  {name} = {value:g}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

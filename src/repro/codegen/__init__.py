@@ -1,0 +1,31 @@
+"""IR960 code generation: ISA, compiler and layout."""
+
+from .compiler import FunctionCode, GlobalSlot, Program, compile_program
+from .isa import (BRANCH_TESTS, BRANCHES, INSTRUCTION_BYTES, ISSUE_CYCLES,
+                  LOAD_USE_STALL, Instruction, MemRef, Op)
+from .layout import disassemble, lay_out
+
+
+def compile_source(source: str, optimize: bool = False) -> Program:
+    """Front end + code generation in one step.
+
+    ``optimize=True`` enables AST constant folding and the IR960
+    peephole passes — the timing analysis then runs on the optimized
+    code, as the paper prescribes.
+    """
+    from ..lang import frontend
+    from ..lang.fold import fold_program
+
+    tree = frontend(source)
+    if optimize:
+        fold_program(tree)
+    return compile_program(tree, optimize=optimize)
+
+
+__all__ = [
+    "FunctionCode", "GlobalSlot", "Program", "compile_program",
+    "compile_source", "disassemble", "lay_out",
+    "Instruction", "MemRef", "Op",
+    "BRANCH_TESTS", "BRANCHES", "INSTRUCTION_BYTES", "ISSUE_CYCLES",
+    "LOAD_USE_STALL",
+]

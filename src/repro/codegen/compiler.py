@@ -1,0 +1,607 @@
+"""MiniC -> IR960 compiler.
+
+A deliberately simple, predictable code generator: scalars live in
+virtual registers, local arrays live in the frame, globals live at
+fixed data addresses.  Control flow is compiled the classic way
+(conditions become conditional branches, ``&&``/``||`` short-circuit),
+so the CFGs it produces look exactly like the paper's Figs. 2-4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import CodegenError
+from ..lang import ast
+from ..lang.semantic import BUILTINS
+from .isa import INTRINSIC_OPS, INVERSE_BRANCH, Instruction, MemRef, Op
+
+_COMPARE_OPS = {
+    "==": Op.BEQ, "!=": Op.BNE, "<": Op.BLT,
+    "<=": Op.BLE, ">": Op.BGT, ">=": Op.BGE,
+}
+_INT_ARITH = {
+    "+": Op.ADD, "-": Op.SUB, "*": Op.MUL, "/": Op.DIV, "%": Op.REM,
+    "&": Op.AND, "|": Op.OR, "^": Op.XOR, "<<": Op.SHL, ">>": Op.SHR,
+}
+_FLOAT_ARITH = {"+": Op.FADD, "-": Op.FSUB, "*": Op.FMUL, "/": Op.FDIV}
+
+
+@dataclass
+class GlobalSlot:
+    """A global variable's place in the data segment."""
+
+    name: str
+    addr: int
+    type: ast.Type
+    init: object = None
+    const: bool = False
+
+
+@dataclass
+class FunctionCode:
+    """Compiled body of one MiniC function.
+
+    Branch targets are *local* instruction indices until
+    :func:`repro.codegen.layout.lay_out` rewrites them to global ones.
+    """
+
+    name: str
+    params: list[tuple[str, str]]          # (name, base type)
+    ret_type: str
+    instrs: list[Instruction] = field(default_factory=list)
+    reg_count: int = 0
+    frame_words: int = 0
+    line: int = 0
+    entry_index: int = -1                  # global index, set by layout
+
+
+@dataclass
+class Program:
+    """A fully compiled MiniC program (before or after layout)."""
+
+    functions: dict[str, FunctionCode]
+    globals: dict[str, GlobalSlot]
+    data_words: int
+    ast: ast.Program
+    source: str
+    #: Flattened instruction list; populated by layout.
+    code: list[Instruction] = field(default_factory=list)
+
+    def function_at(self, index: int) -> FunctionCode:
+        """The function owning global instruction `index`."""
+        owner = None
+        for fn in self.functions.values():
+            if fn.entry_index <= index:
+                if owner is None or fn.entry_index > owner.entry_index:
+                    owner = fn
+        if owner is None:
+            raise CodegenError(f"no function at instruction {index}")
+        return owner
+
+
+def compile_program(program: ast.Program, optimize: bool = False) -> Program:
+    """Compile an analyzed AST into IR960 (and lay it out).
+
+    With ``optimize=True``, constant folding has usually already run
+    on the AST (see :func:`compile_source`) and the IR960 peephole
+    optimizer runs before layout.
+    """
+    from .layout import lay_out
+
+    globals_map: dict[str, GlobalSlot] = {}
+    addr = 0
+    for decl in program.globals:
+        globals_map[decl.name] = GlobalSlot(decl.name, addr, decl.type,
+                                            decl.init, decl.const)
+        addr += decl.type.size_words
+    functions = {}
+    for fn in program.functions:
+        functions[fn.name] = _FunctionCompiler(fn, program,
+                                               globals_map).compile()
+    compiled = Program(functions, globals_map, addr, program, program.source)
+    if optimize:
+        from .optimize import optimize_program
+
+        optimize_program(compiled)
+    lay_out(compiled)
+    return compiled
+
+
+class _Loop:
+    """Break/continue targets for the innermost enclosing loop."""
+
+    def __init__(self, continue_label: str, break_label: str):
+        self.continue_label = continue_label
+        self.break_label = break_label
+
+
+class _FunctionCompiler:
+    def __init__(self, fn: ast.FunctionDef, program: ast.Program,
+                 globals_map: dict[str, GlobalSlot]):
+        self.fn = fn
+        self.program = program
+        self.globals = globals_map
+        self.instrs: list[Instruction] = []
+        self.labels: dict[str, int] = {}
+        self.label_counter = 0
+        self.reg_counter = 0
+        self.frame_words = 0
+        self.scopes: list[dict[str, tuple]] = [{}]
+        self.loops: list[_Loop] = []
+
+    # -- small helpers ---------------------------------------------------
+    def new_reg(self) -> int:
+        reg = self.reg_counter
+        self.reg_counter += 1
+        return reg
+
+    def new_label(self, hint: str = "L") -> str:
+        self.label_counter += 1
+        return f"{hint}{self.label_counter}"
+
+    def mark(self, label: str) -> None:
+        self.labels[label] = len(self.instrs)
+
+    def emit(self, op: Op, **kwargs) -> Instruction:
+        instr = Instruction(op, **kwargs)
+        self.instrs.append(instr)
+        return instr
+
+    def declare(self, name: str, entry: tuple) -> None:
+        self.scopes[-1][name] = entry
+
+    def lookup(self, name: str) -> tuple:
+        for scope in reversed(self.scopes):
+            if name in scope:
+                return scope[name]
+        slot = self.globals.get(name)
+        if slot is None:
+            raise CodegenError(f"unknown symbol {name!r}")  # pragma: no cover
+        return ("global", slot)
+
+    # -- entry point -------------------------------------------------------
+    def compile(self) -> FunctionCode:
+        for param in self.fn.params:
+            reg = self.new_reg()
+            self.declare(param.name, ("reg", reg, param.type.base))
+        self.statement(self.fn.body)
+        if not self.instrs or self.instrs[-1].op is not Op.RET:
+            # Implicit return for void functions (and an unreachable
+            # safety net after all-paths-return bodies).
+            self.emit(Op.RET, line=self.fn.body.line)
+        referenced = {self.labels.get(i.target) for i in self.instrs
+                      if i.is_branch}
+        if len(self.instrs) in referenced:
+            # A dead jump (e.g. after `if/else` where both arms return)
+            # targets the join point past the last instruction; give it
+            # an unreachable landing pad.
+            self.emit(Op.RET, line=self.fn.body.line)
+        self._resolve_labels()
+        return FunctionCode(
+            name=self.fn.name,
+            params=[(p.name, p.type.base) for p in self.fn.params],
+            ret_type=self.fn.ret_type.base,
+            instrs=self.instrs,
+            reg_count=self.reg_counter,
+            frame_words=self.frame_words,
+            line=self.fn.line,
+        )
+
+    def _resolve_labels(self) -> None:
+        for instr in self.instrs:
+            if instr.is_branch:
+                target = self.labels.get(instr.target)
+                if target is None:
+                    raise CodegenError(
+                        f"unresolved label {instr.target!r}")  # pragma: no cover
+                if target >= len(self.instrs):
+                    raise CodegenError(
+                        f"branch past function end in {self.fn.name}"
+                    )  # pragma: no cover - trailing RET prevents this
+                instr.target = target
+
+    # -- statements -------------------------------------------------------
+    def statement(self, stmt: ast.Stmt) -> None:
+        if isinstance(stmt, ast.Block):
+            self.scopes.append({})
+            for child in stmt.stmts:
+                self.statement(child)
+            self.scopes.pop()
+        elif isinstance(stmt, ast.Decl):
+            self._decl(stmt)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._decl(decl)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self.expression(stmt.expr)
+        elif isinstance(stmt, ast.If):
+            self._if(stmt)
+        elif isinstance(stmt, ast.While):
+            self._while(stmt)
+        elif isinstance(stmt, ast.DoWhile):
+            self._do_while(stmt)
+        elif isinstance(stmt, ast.For):
+            self._for(stmt)
+        elif isinstance(stmt, ast.Return):
+            if stmt.value is None:
+                self.emit(Op.RET, line=stmt.line)
+            else:
+                reg, kind = self.expression(stmt.value)
+                reg = self.coerce(reg, kind, self.fn.ret_type.base, stmt.line)
+                self.emit(Op.RET, src1=reg, line=stmt.line)
+        elif isinstance(stmt, ast.Break):
+            if not self.loops:
+                raise CodegenError("break outside loop")  # pragma: no cover
+            self.emit(Op.B, target=self.loops[-1].break_label, line=stmt.line)
+        elif isinstance(stmt, ast.Continue):
+            if not self.loops:
+                raise CodegenError("continue outside loop")  # pragma: no cover
+            self.emit(Op.B, target=self.loops[-1].continue_label,
+                      line=stmt.line)
+        else:  # pragma: no cover
+            raise CodegenError(f"cannot compile statement {stmt!r}")
+
+    def _decl(self, decl: ast.Decl) -> None:
+        if decl.type.is_array:
+            offset = self.frame_words
+            self.frame_words += decl.type.size_words
+            self.declare(decl.name, ("frame", offset, decl.type))
+            if decl.init:
+                for i, value in enumerate(decl.init):
+                    reg = self.new_reg()
+                    value = float(value) if decl.type.base == "float" \
+                        else int(value)
+                    self.emit(Op.LDI, dest=reg, imm=value, line=decl.line)
+                    self.emit(Op.ST, src1=reg,
+                              mem=MemRef("frame", offset + i), line=decl.line)
+            return
+        reg = self.new_reg()
+        self.declare(decl.name, ("reg", reg, decl.type.base))
+        if decl.init is not None:
+            value, kind = self.expression(decl.init)
+            value = self.coerce(value, kind, decl.type.base, decl.line)
+            self.emit(Op.MOV, dest=reg, src1=value, line=decl.line)
+
+    def _if(self, stmt: ast.If) -> None:
+        else_label = self.new_label("Lelse")
+        end_label = self.new_label("Lend")
+        target = else_label if stmt.orelse is not None else end_label
+        self.branch_if(stmt.cond, target, when_true=False)
+        self.statement(stmt.then)
+        if stmt.orelse is not None:
+            self.emit(Op.B, target=end_label, line=stmt.line)
+            self.mark(else_label)
+            self.statement(stmt.orelse)
+        self.mark(end_label)
+
+    def _while(self, stmt: ast.While) -> None:
+        head = self.new_label("Lwhile")
+        end = self.new_label("Lendw")
+        self.mark(head)
+        self.branch_if(stmt.cond, end, when_true=False)
+        self.loops.append(_Loop(head, end))
+        self.statement(stmt.body)
+        self.loops.pop()
+        self.emit(Op.B, target=head, line=stmt.line)
+        self.mark(end)
+
+    def _do_while(self, stmt: ast.DoWhile) -> None:
+        head = self.new_label("Ldo")
+        cond = self.new_label("Ldocond")
+        end = self.new_label("Lenddo")
+        self.mark(head)
+        self.loops.append(_Loop(cond, end))
+        self.statement(stmt.body)
+        self.loops.pop()
+        self.mark(cond)
+        self.branch_if(stmt.cond, head, when_true=True)
+        self.mark(end)
+
+    def _for(self, stmt: ast.For) -> None:
+        self.scopes.append({})
+        if stmt.init is not None:
+            self.statement(stmt.init)
+        head = self.new_label("Lfor")
+        cont = self.new_label("Lforc")
+        end = self.new_label("Lendf")
+        self.mark(head)
+        if stmt.cond is not None:
+            self.branch_if(stmt.cond, end, when_true=False)
+        self.loops.append(_Loop(cont, end))
+        self.statement(stmt.body)
+        self.loops.pop()
+        self.mark(cont)
+        if stmt.update is not None:
+            self.expression(stmt.update)
+        self.emit(Op.B, target=head, line=stmt.line)
+        self.mark(end)
+        self.scopes.pop()
+
+    # -- conditions ---------------------------------------------------------
+    def branch_if(self, cond: ast.Expr, label: str, when_true: bool) -> None:
+        """Branch to `label` when `cond`'s truth equals `when_true`."""
+        if isinstance(cond, ast.Unary) and cond.op == "!":
+            self.branch_if(cond.operand, label, not when_true)
+            return
+        if isinstance(cond, ast.Binary) and cond.op in _COMPARE_OPS:
+            left, lkind = self.expression(cond.left)
+            right, rkind = self.expression(cond.right)
+            common = "float" if "float" in (lkind, rkind) else "int"
+            left = self.coerce(left, lkind, common, cond.line)
+            right = self.coerce(right, rkind, common, cond.line)
+            op = _COMPARE_OPS[cond.op]
+            if not when_true:
+                op = INVERSE_BRANCH[op]
+            self.emit(op, src1=left, src2=right, target=label, line=cond.line)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "&&":
+            if when_true:
+                skip = self.new_label("Lskip")
+                self.branch_if(cond.left, skip, when_true=False)
+                self.branch_if(cond.right, label, when_true=True)
+                self.mark(skip)
+            else:
+                self.branch_if(cond.left, label, when_true=False)
+                self.branch_if(cond.right, label, when_true=False)
+            return
+        if isinstance(cond, ast.Binary) and cond.op == "||":
+            if when_true:
+                self.branch_if(cond.left, label, when_true=True)
+                self.branch_if(cond.right, label, when_true=True)
+            else:
+                skip = self.new_label("Lskip")
+                self.branch_if(cond.left, skip, when_true=True)
+                self.branch_if(cond.right, label, when_true=False)
+                self.mark(skip)
+            return
+        if isinstance(cond, ast.IntLit):
+            truthy = cond.value != 0
+            if truthy == when_true:
+                self.emit(Op.B, target=label, line=cond.line)
+            return
+        # General case: materialize and compare against zero.
+        reg, kind = self.expression(cond)
+        zero = self.new_reg()
+        self.emit(Op.LDI, dest=zero,
+                  imm=0.0 if kind == "float" else 0, line=cond.line)
+        op = Op.BNE if when_true else Op.BEQ
+        self.emit(op, src1=reg, src2=zero, target=label, line=cond.line)
+
+    # -- expressions ----------------------------------------------------------
+    def coerce(self, reg: int, have: str, want: str, line: int) -> int:
+        if have == want or want == "void":
+            return reg
+        if have == "void":
+            raise CodegenError(f"line {line}: void value used")
+        dest = self.new_reg()
+        op = Op.ITOF if want == "float" else Op.FTOI
+        self.emit(op, dest=dest, src1=reg, line=line)
+        return dest
+
+    def expression(self, expr: ast.Expr) -> tuple[int, str]:
+        """Compile `expr`; returns (register, type)."""
+        if isinstance(expr, ast.IntLit):
+            reg = self.new_reg()
+            self.emit(Op.LDI, dest=reg, imm=int(expr.value), line=expr.line)
+            return reg, "int"
+        if isinstance(expr, ast.FloatLit):
+            reg = self.new_reg()
+            self.emit(Op.LDI, dest=reg, imm=float(expr.value), line=expr.line)
+            return reg, "float"
+        if isinstance(expr, ast.Name):
+            return self._load_name(expr)
+        if isinstance(expr, ast.Index):
+            mem, kind = self.element_address(expr)
+            reg = self.new_reg()
+            self.emit(Op.LD, dest=reg, mem=mem, line=expr.line)
+            return reg, kind
+        if isinstance(expr, ast.Unary):
+            return self._unary(expr)
+        if isinstance(expr, ast.Binary):
+            return self._binary(expr)
+        if isinstance(expr, ast.Assign):
+            return self._assign(expr)
+        if isinstance(expr, ast.IncDec):
+            return self._incdec(expr)
+        if isinstance(expr, ast.Call):
+            return self._compile_call(expr)
+        if isinstance(expr, ast.Ternary):
+            return self._ternary(expr)
+        raise CodegenError(f"cannot compile expression {expr!r}")  # pragma: no cover
+
+    def _load_name(self, expr: ast.Name) -> tuple[int, str]:
+        entry = self.lookup(expr.name)
+        if entry[0] == "reg":
+            return entry[1], entry[2]
+        if entry[0] == "global":
+            slot: GlobalSlot = entry[1]
+            reg = self.new_reg()
+            self.emit(Op.LD, dest=reg, mem=MemRef("abs", slot.addr),
+                      line=expr.line)
+            return reg, slot.type.base
+        raise CodegenError(f"{expr.name!r} is an array")  # pragma: no cover
+
+    def element_address(self, expr: ast.Index) -> tuple[MemRef, str]:
+        """Effective address of an array element plus its scalar type."""
+        entry = self.lookup(expr.name)
+        if entry[0] == "frame":
+            base, offset, atype = "frame", entry[1], entry[2]
+        elif entry[0] == "global":
+            slot: GlobalSlot = entry[1]
+            base, offset, atype = "abs", slot.addr, slot.type
+        else:  # pragma: no cover - semantic rejects indexing scalars
+            raise CodegenError(f"{expr.name!r} is not an array")
+        index_reg = None
+        for axis, index_expr in enumerate(expr.indices):
+            reg, kind = self.expression(index_expr)
+            reg = self.coerce(reg, kind, "int", expr.line)
+            if axis + 1 < len(atype.dims):
+                scaled = self.new_reg()
+                self.emit(Op.MUL, dest=scaled, src1=reg,
+                          imm=atype.dims[axis + 1], line=expr.line)
+                reg = scaled
+            if index_reg is None:
+                index_reg = reg
+            else:
+                combined = self.new_reg()
+                self.emit(Op.ADD, dest=combined, src1=index_reg, src2=reg,
+                          line=expr.line)
+                index_reg = combined
+        return MemRef(base, offset, index_reg), atype.base
+
+    def _unary(self, expr: ast.Unary) -> tuple[int, str]:
+        reg, kind = self.expression(expr.operand)
+        if expr.op == "+":
+            return reg, kind
+        dest = self.new_reg()
+        if expr.op == "-":
+            self.emit(Op.FNEG if kind == "float" else Op.NEG,
+                      dest=dest, src1=reg, line=expr.line)
+            return dest, kind
+        if expr.op == "~":
+            self.emit(Op.NOT, dest=dest, src1=reg, line=expr.line)
+            return dest, "int"
+        if expr.op == "!":
+            # !x == (x == 0), materialized as a value.
+            return self._materialize_bool(expr), "int"
+        raise CodegenError(f"bad unary {expr.op!r}")  # pragma: no cover
+
+    def _materialize_bool(self, expr: ast.Expr) -> int:
+        """Evaluate a boolean-shaped expression into a 0/1 register."""
+        result = self.new_reg()
+        done = self.new_label("Lbool")
+        self.emit(Op.LDI, dest=result, imm=1, line=expr.line)
+        self.branch_if(expr, done, when_true=True)
+        self.emit(Op.LDI, dest=result, imm=0, line=expr.line)
+        self.mark(done)
+        return result
+
+    def _binary(self, expr: ast.Binary) -> tuple[int, str]:
+        if expr.op in _COMPARE_OPS or expr.op in ("&&", "||"):
+            return self._materialize_bool(expr), "int"
+        left, lkind = self.expression(expr.left)
+        right, rkind = self.expression(expr.right)
+        result_kind = expr.type or ("float" if "float" in (lkind, rkind)
+                                    else "int")
+        left = self.coerce(left, lkind, result_kind, expr.line)
+        right = self.coerce(right, rkind, result_kind, expr.line)
+        table = _FLOAT_ARITH if result_kind == "float" else _INT_ARITH
+        op = table.get(expr.op)
+        if op is None:  # pragma: no cover - semantic rejects these
+            raise CodegenError(f"bad operator {expr.op!r} for {result_kind}")
+        dest = self.new_reg()
+        self.emit(op, dest=dest, src1=left, src2=right, line=expr.line)
+        return dest, result_kind
+
+    def _assign(self, expr: ast.Assign) -> tuple[int, str]:
+        # Resolve the target location once (so `a[i] += x` evaluates the
+        # index a single time), then read-modify-write for compound ops.
+        if isinstance(expr.target, ast.Index):
+            mem, kind = self.element_address(expr.target)
+            load = lambda: self._emit_load(mem, expr.line)  # noqa: E731
+            store = lambda reg: self.emit(Op.ST, src1=reg, mem=mem,  # noqa: E731
+                                          line=expr.line)
+        else:
+            entry = self.lookup(expr.target.name)
+            if entry[0] == "reg":
+                _, target_reg, kind = entry
+                load = lambda: target_reg  # noqa: E731
+                store = lambda reg: self.emit(Op.MOV, dest=target_reg,  # noqa: E731
+                                              src1=reg, line=expr.line)
+            else:
+                slot: GlobalSlot = entry[1]
+                mem = MemRef("abs", slot.addr)
+                kind = slot.type.base
+                load = lambda: self._emit_load(mem, expr.line)  # noqa: E731
+                store = lambda reg: self.emit(Op.ST, src1=reg, mem=mem,  # noqa: E731
+                                              line=expr.line)
+
+        value, vkind = self.expression(expr.value)
+        if expr.op != "=":
+            binop = expr.op[:-1]
+            mix = "float" if "float" in (kind, vkind) else "int"
+            left = self.coerce(load(), kind, mix, expr.line)
+            right = self.coerce(value, vkind, mix, expr.line)
+            table = _FLOAT_ARITH if mix == "float" else _INT_ARITH
+            dest = self.new_reg()
+            self.emit(table[binop], dest=dest, src1=left, src2=right,
+                      line=expr.line)
+            value, vkind = dest, mix
+        value = self.coerce(value, vkind, kind, expr.line)
+        store(value)
+        return value, kind
+
+    def _emit_load(self, mem: MemRef, line: int) -> int:
+        reg = self.new_reg()
+        self.emit(Op.LD, dest=reg, mem=mem, line=line)
+        return reg
+
+    def _incdec(self, expr: ast.IncDec) -> tuple[int, str]:
+        delta = 1 if expr.op == "++" else -1
+        if isinstance(expr.target, ast.Name):
+            entry = self.lookup(expr.target.name)
+            if entry[0] == "reg":
+                old = entry[1]
+                saved = None
+                if not expr.prefix:
+                    saved = self.new_reg()
+                    self.emit(Op.MOV, dest=saved, src1=old, line=expr.line)
+                self.emit(Op.ADD, dest=old, src1=old, imm=delta,
+                          line=expr.line)
+                return (old if expr.prefix else saved), "int"
+            slot: GlobalSlot = entry[1]
+            mem = MemRef("abs", slot.addr)
+        else:
+            mem, _ = self.element_address(expr.target)
+        old = self.new_reg()
+        self.emit(Op.LD, dest=old, mem=mem, line=expr.line)
+        new = self.new_reg()
+        self.emit(Op.ADD, dest=new, src1=old, imm=delta, line=expr.line)
+        self.emit(Op.ST, src1=new, mem=mem, line=expr.line)
+        return (new if expr.prefix else old), "int"
+
+    def _compile_call(self, expr: ast.Call) -> tuple[int, str]:
+        if expr.name in INTRINSIC_OPS:
+            param_types, ret = BUILTINS[expr.name]
+            reg, kind = self.expression(expr.args[0])
+            reg = self.coerce(reg, kind, param_types[0], expr.line)
+            dest = self.new_reg()
+            self.emit(INTRINSIC_OPS[expr.name], dest=dest, src1=reg,
+                      line=expr.line)
+            return dest, ret
+        callee = self.fn_ast(expr.name)
+        arg_regs = []
+        for arg, param in zip(expr.args, callee.params):
+            reg, kind = self.expression(arg)
+            arg_regs.append(self.coerce(reg, kind, param.type.base,
+                                        expr.line))
+        ret_kind = callee.ret_type.base
+        dest = self.new_reg() if ret_kind != "void" else None
+        self.emit(Op.CALL, dest=dest, callee=expr.name,
+                  args=tuple(arg_regs), line=expr.line)
+        return (dest if dest is not None else -1), ret_kind
+
+    def fn_ast(self, name: str) -> ast.FunctionDef:
+        for fn in self.program.functions:
+            if fn.name == name:
+                return fn
+        raise CodegenError(f"call to unknown function {name!r}")  # pragma: no cover
+
+    def _ternary(self, expr: ast.Ternary) -> tuple[int, str]:
+        kind = expr.type or "int"
+        result = self.new_reg()
+        other = self.new_label("Ltern")
+        done = self.new_label("Lterndone")
+        self.branch_if(expr.cond, other, when_true=False)
+        then_reg, then_kind = self.expression(expr.then)
+        then_reg = self.coerce(then_reg, then_kind, kind, expr.line)
+        self.emit(Op.MOV, dest=result, src1=then_reg, line=expr.line)
+        self.emit(Op.B, target=done, line=expr.line)
+        self.mark(other)
+        else_reg, else_kind = self.expression(expr.other)
+        else_reg = self.coerce(else_reg, else_kind, kind, expr.line)
+        self.emit(Op.MOV, dest=result, src1=else_reg, line=expr.line)
+        self.mark(done)
+        return result, kind

@@ -1,0 +1,219 @@
+"""IR960: the virtual instruction set the compiler targets.
+
+IR960 is a RISC-flavored load/store ISA modeled on the Intel i960KB the
+paper's cinderella tool targets: every instruction is 4 bytes (which
+drives the direct-mapped I-cache model), integer multiply/divide and
+floating point are multi-cycle, loads carry a memory latency, and
+transcendentals map to single expensive instructions (the i960KB has
+on-chip FP with microcoded transcendentals).
+
+Registers are virtual (per-frame slots, unlimited); memory is
+word-addressed and disjoint from the instruction address space
+(Harvard style).  Only instruction fetch goes through the I-cache —
+the i960KB has no data cache — so data access latencies are constants,
+which is exactly the property the paper's block-cost model relies on.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class Op(enum.Enum):
+    """IR960 opcodes."""
+
+    # Moves / constants
+    LDI = "ldi"          # dest <- imm
+    MOV = "mov"          # dest <- src
+
+    # Integer ALU (dest <- src1 op src2)
+    ADD = "add"
+    SUB = "sub"
+    MUL = "mul"
+    DIV = "div"          # truncates toward zero, like C
+    REM = "rem"          # sign follows the dividend, like C
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    SHL = "shl"
+    SHR = "shr"          # arithmetic shift right
+    NEG = "neg"
+    NOT = "not"          # bitwise complement
+    IABS = "iabs"
+
+    # Floating point
+    FADD = "fadd"
+    FSUB = "fsub"
+    FMUL = "fmul"
+    FDIV = "fdiv"
+    FNEG = "fneg"
+    FABS = "fabs"
+    ITOF = "itof"
+    FTOI = "ftoi"        # truncates toward zero
+
+    # Transcendentals (microcoded on the FP unit)
+    SQRT = "sqrt"
+    SIN = "sin"
+    COS = "cos"
+    ATAN = "atan"
+    EXP = "exp"
+    LOG = "log"
+
+    # Memory (word addressed)
+    LD = "ld"            # dest <- mem[ea]
+    ST = "st"            # mem[ea] <- src1
+
+    # Control flow.  Conditional branches compare src1 with src2.
+    B = "b"
+    BEQ = "beq"
+    BNE = "bne"
+    BLT = "blt"
+    BLE = "ble"
+    BGT = "bgt"
+    BGE = "bge"
+    CALL = "call"
+    RET = "ret"
+    NOP = "nop"
+
+
+#: Branch opcodes and the Python comparison they perform.
+BRANCH_TESTS = {
+    Op.BEQ: lambda a, b: a == b,
+    Op.BNE: lambda a, b: a != b,
+    Op.BLT: lambda a, b: a < b,
+    Op.BLE: lambda a, b: a <= b,
+    Op.BGT: lambda a, b: a > b,
+    Op.BGE: lambda a, b: a >= b,
+}
+
+CONDITIONAL_BRANCHES = frozenset(BRANCH_TESTS)
+BRANCHES = CONDITIONAL_BRANCHES | {Op.B}
+
+#: Negation map used when the compiler inverts a branch condition.
+INVERSE_BRANCH = {
+    Op.BEQ: Op.BNE, Op.BNE: Op.BEQ,
+    Op.BLT: Op.BGE, Op.BGE: Op.BLT,
+    Op.BGT: Op.BLE, Op.BLE: Op.BGT,
+}
+
+#: Issue cost in cycles for each opcode (the pipeline's per-instruction
+#: effective time, before cache effects).  Values follow the i960KB's
+#: flavor: cheap integer ALU, multi-cycle multiply/divide, slow FP,
+#: microcoded transcendentals, and memory-latency loads/stores.
+ISSUE_CYCLES: dict[Op, int] = {
+    Op.LDI: 1, Op.MOV: 1, Op.NOP: 1,
+    Op.ADD: 1, Op.SUB: 1, Op.AND: 1, Op.OR: 1, Op.XOR: 1,
+    Op.SHL: 1, Op.SHR: 1, Op.NEG: 1, Op.NOT: 1, Op.IABS: 2,
+    Op.MUL: 5, Op.DIV: 36, Op.REM: 36,
+    Op.FADD: 10, Op.FSUB: 10, Op.FMUL: 18, Op.FDIV: 34,
+    Op.FNEG: 2, Op.FABS: 2, Op.ITOF: 5, Op.FTOI: 5,
+    Op.SQRT: 80, Op.SIN: 300, Op.COS: 300, Op.ATAN: 320,
+    Op.EXP: 280, Op.LOG: 280,
+    Op.LD: 3, Op.ST: 2,
+    Op.B: 2, Op.BEQ: 2, Op.BNE: 2, Op.BLT: 2, Op.BLE: 2,
+    Op.BGT: 2, Op.BGE: 2,
+    Op.CALL: 6, Op.RET: 4,
+}
+
+#: Extra cycles when an instruction reads the register a LD wrote on
+#: the immediately preceding instruction (classic load-use hazard in
+#: the 4-stage pipeline).
+LOAD_USE_STALL = 2
+
+#: Every IR960 instruction occupies 4 bytes of instruction memory.
+INSTRUCTION_BYTES = 4
+
+#: Math intrinsic name -> opcode.
+INTRINSIC_OPS = {
+    "sin": Op.SIN, "cos": Op.COS, "atan": Op.ATAN,
+    "exp": Op.EXP, "log": Op.LOG, "sqrt": Op.SQRT,
+    "fabs": Op.FABS, "abs": Op.IABS,
+}
+
+
+@dataclass(frozen=True)
+class MemRef:
+    """Effective address ``base + offset + index_reg``.
+
+    ``base`` is ``"abs"`` (global data, offset is the absolute word
+    address) or ``"frame"`` (offset within the current frame's local
+    array area).  ``index`` is a register number holding an element
+    index, or None.
+    """
+
+    base: str                  # "abs" | "frame"
+    offset: int
+    index: int | None = None
+
+    def __str__(self) -> str:
+        inner = f"fp+{self.offset}" if self.base == "frame" else str(self.offset)
+        if self.index is not None:
+            inner += f"+r{self.index}"
+        return f"[{inner}]"
+
+
+@dataclass
+class Instruction:
+    """One IR960 instruction.
+
+    ``target`` holds a branch destination: a local label string during
+    code generation, rewritten to a global instruction index by
+    :mod:`repro.codegen.layout`.  ``addr`` is the byte address assigned
+    by layout.
+    """
+
+    op: Op
+    dest: int | None = None
+    src1: int | None = None
+    src2: int | None = None
+    imm: object = None
+    mem: MemRef | None = None
+    target: object = None           # label str, then global index
+    callee: str | None = None
+    args: tuple[int, ...] = ()
+    line: int = 0                   # source line, for annotation
+    addr: int = -1
+
+    @property
+    def is_branch(self) -> bool:
+        return self.op in BRANCHES
+
+    @property
+    def is_conditional(self) -> bool:
+        return self.op in CONDITIONAL_BRANCHES
+
+    @property
+    def ends_block(self) -> bool:
+        return self.op in BRANCHES or self.op is Op.RET
+
+    def reads(self) -> tuple[int, ...]:
+        """Registers this instruction reads (for hazard detection)."""
+        regs = [r for r in (self.src1, self.src2) if r is not None]
+        if self.mem is not None and self.mem.index is not None:
+            regs.append(self.mem.index)
+        regs.extend(self.args)
+        return tuple(regs)
+
+    def __str__(self) -> str:
+        parts = [self.op.value]
+        if self.op is Op.CALL:
+            arglist = ", ".join(f"r{a}" for a in self.args)
+            ret = f"r{self.dest} <- " if self.dest is not None else ""
+            return f"{ret}call {self.callee}({arglist})"
+        if self.dest is not None:
+            parts.append(f"r{self.dest},")
+        if self.src1 is not None:
+            parts.append(f"r{self.src1}" + ("," if self.src2 is not None
+                                            or self.mem is not None
+                                            or self.target is not None else ""))
+        if self.src2 is not None:
+            parts.append(f"r{self.src2}" + ("," if self.target is not None
+                                            else ""))
+        if self.imm is not None:
+            parts.append(repr(self.imm))
+        if self.mem is not None:
+            parts.append(str(self.mem))
+        if self.target is not None:
+            parts.append(f"-> {self.target}")
+        return " ".join(parts)

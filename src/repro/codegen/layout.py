@@ -1,0 +1,40 @@
+"""Code layout: assign instruction addresses and flatten the program.
+
+Functions are concatenated in definition order; every instruction gets
+a 4-byte slot.  Branch targets move from function-local indices to
+global ones, so the CFG builder, the simulator and the I-cache model
+all work on one flat instruction array with real addresses — the same
+view cinderella gets by reading an executable.
+"""
+
+from __future__ import annotations
+
+from .isa import INSTRUCTION_BYTES
+from .compiler import Program
+
+
+def lay_out(program: Program) -> Program:
+    """Flatten `program.functions` into `program.code` (in place)."""
+    code = []
+    for fn in program.functions.values():
+        fn.entry_index = len(code)
+        code.extend(fn.instrs)
+    for fn in program.functions.values():
+        for instr in fn.instrs:
+            if instr.is_branch:
+                instr.target = instr.target + fn.entry_index
+    for index, instr in enumerate(code):
+        instr.addr = index * INSTRUCTION_BYTES
+    program.code = code
+    return program
+
+
+def disassemble(program: Program) -> str:
+    """Human-readable listing of the laid-out program."""
+    lines = []
+    entries = {fn.entry_index: name for name, fn in program.functions.items()}
+    for index, instr in enumerate(program.code):
+        if index in entries:
+            lines.append(f"{entries[index]}:")
+        lines.append(f"  {instr.addr:6d}  {instr}")
+    return "\n".join(lines)

@@ -1,0 +1,152 @@
+"""IR960 peephole optimizer.
+
+Together with AST constant folding (:mod:`repro.lang.fold`) this gives
+the toolchain real compiler optimizations, supporting the paper's §II
+position that timing analysis must run on the *final* assembly "so as
+to capture all the effects of the compiler optimizations".
+
+Passes (iterated to a fixpoint, per function, before layout):
+
+* **immediate fusion** — ``ldi r, K`` feeding the very next ALU or
+  conditional-branch instruction folds into its immediate operand when
+  ``r`` has no other reader or writer;
+* **strength reduction** — multiply by a power-of-two immediate becomes
+  a shift;
+* **copy cleanup** — ``mov r, r`` disappears;
+* **dead constant elimination** — ``ldi`` into a never-read register
+  disappears (constant folding upstream creates these).
+
+All passes preserve branch-target correctness by remapping local
+targets after deletions, and never delete an instruction that is a
+branch target.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from .compiler import FunctionCode, Program
+from .isa import CONDITIONAL_BRANCHES, Op
+
+#: Opcodes whose src2 may be replaced by an immediate.
+_FUSABLE = frozenset({
+    Op.ADD, Op.SUB, Op.MUL, Op.DIV, Op.REM,
+    Op.AND, Op.OR, Op.XOR, Op.SHL, Op.SHR,
+    Op.FADD, Op.FSUB, Op.FMUL, Op.FDIV,
+}) | CONDITIONAL_BRANCHES
+
+#: Fusable opcodes where the operands may be swapped.
+_COMMUTATIVE = frozenset({Op.ADD, Op.MUL, Op.AND, Op.OR, Op.XOR,
+                          Op.FADD, Op.FMUL, Op.BEQ, Op.BNE})
+
+
+def optimize_program(program: Program) -> Program:
+    """Peephole-optimize every function in place (pre-layout)."""
+    for fn in program.functions.values():
+        optimize_function(fn)
+    return program
+
+
+def optimize_function(fn: FunctionCode, max_rounds: int = 4) -> None:
+    for _ in range(max_rounds):
+        changed = _fuse_immediates(fn)
+        changed |= _reduce_strength(fn)
+        changed |= _drop_dead(fn)
+        if not changed:
+            break
+
+
+# ----------------------------------------------------------------------
+# Analyses
+# ----------------------------------------------------------------------
+def _branch_targets(fn: FunctionCode) -> set[int]:
+    return {i.target for i in fn.instrs if i.is_branch}
+
+
+def _usage(fn: FunctionCode) -> tuple[Counter, Counter]:
+    reads: Counter = Counter()
+    writes: Counter = Counter()
+    for instr in fn.instrs:
+        for reg in instr.reads():
+            reads[reg] += 1
+        if instr.dest is not None:
+            writes[instr.dest] += 1
+    return reads, writes
+
+
+def _delete(fn: FunctionCode, dead: set[int]) -> None:
+    """Remove instructions at `dead` local indices, remapping targets."""
+    if not dead:
+        return
+    kept = [i for i in range(len(fn.instrs)) if i not in dead]
+    new_index = {}
+    cursor = 0
+    for old in range(len(fn.instrs) + 1):
+        while cursor < len(kept) and kept[cursor] < old:
+            cursor += 1
+        new_index[old] = cursor
+    fn.instrs = [fn.instrs[i] for i in kept]
+    for instr in fn.instrs:
+        if instr.is_branch:
+            instr.target = new_index[instr.target]
+
+
+# ----------------------------------------------------------------------
+# Passes
+# ----------------------------------------------------------------------
+def _fuse_immediates(fn: FunctionCode) -> bool:
+    reads, writes = _usage(fn)
+    targets = _branch_targets(fn)
+    dead: set[int] = set()
+    for k in range(len(fn.instrs) - 1):
+        ldi = fn.instrs[k]
+        if ldi.op is not Op.LDI or k in dead:
+            continue
+        reg = ldi.dest
+        if reads[reg] != 1 or writes[reg] != 1:
+            continue
+        if k + 1 in targets:
+            # A jump could land between the pair; leave it alone.
+            continue
+        user = fn.instrs[k + 1]
+        if user.op not in _FUSABLE or user.imm is not None:
+            continue
+        if user.src2 == reg:
+            user.src2 = None
+            user.imm = ldi.imm
+        elif user.src1 == reg and user.op in _COMMUTATIVE \
+                and user.src2 is not None:
+            user.src1 = user.src2
+            user.src2 = None
+            user.imm = ldi.imm
+        else:
+            continue
+        dead.add(k)
+    _delete(fn, dead)
+    return bool(dead)
+
+
+def _reduce_strength(fn: FunctionCode) -> bool:
+    changed = False
+    for instr in fn.instrs:
+        if instr.op is Op.MUL and isinstance(instr.imm, int) \
+                and instr.imm > 0 and instr.imm & (instr.imm - 1) == 0:
+            instr.op = Op.SHL
+            instr.imm = instr.imm.bit_length() - 1
+            changed = True
+    return changed
+
+
+def _drop_dead(fn: FunctionCode) -> bool:
+    reads, _ = _usage(fn)
+    targets = _branch_targets(fn)
+    dead = set()
+    for k, instr in enumerate(fn.instrs):
+        if k in targets:
+            continue
+        if instr.op is Op.LDI and reads[instr.dest] == 0:
+            dead.add(k)
+        elif instr.op is Op.MOV and instr.dest == instr.src1:
+            dead.add(k)
+    _delete(fn, dead)
+    return bool(dead)

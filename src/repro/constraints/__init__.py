@@ -1,0 +1,19 @@
+"""Structural and functionality constraints for IPET."""
+
+from .dnf import Expansion, combine, trivially_null
+from .language import (DNF, ConstraintSet, Formula, Relation, SymExpr,
+                       VarRef, parse_constraint)
+from .loopbounds import LoopBound, loop_bound_relations
+from .names import local_part, qualified, scope_part, split
+from .structural import (entry_constraint, flow_constraints,
+                         linking_constraints, structural_system)
+
+__all__ = [
+    "Expansion", "combine", "trivially_null",
+    "DNF", "ConstraintSet", "Formula", "Relation", "SymExpr", "VarRef",
+    "parse_constraint",
+    "LoopBound", "loop_bound_relations",
+    "qualified", "split", "local_part", "scope_part",
+    "entry_constraint", "flow_constraints", "linking_constraints",
+    "structural_system",
+]

@@ -1,0 +1,94 @@
+"""Combining functionality constraints into constraint sets (§III-D).
+
+Structural constraints are conjunctive.  Each functionality constraint
+is a DNF; intersecting all of them yields the cross product of their
+sets — "a set of constraint sets, at least one of which is satisfied".
+The size doubles with every disjunctive constraint, and, as the paper
+observes, most of the growth is pruned because many combined sets are
+trivially null (e.g. ``x3 = 0`` intersected with ``x3 >= 1``).
+
+Pruning here uses cheap single-variable interval propagation; sets that
+are inconsistent in deeper ways are still discovered (and skipped) when
+their ILP turns out infeasible.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+
+from .language import Formula, Relation
+
+
+@dataclass
+class Expansion:
+    """Result of combining functionality constraints."""
+
+    sets: list[list[Relation]]
+    total_before_pruning: int
+    pruned: int = 0
+
+    @property
+    def count(self) -> int:
+        """Number of constraint sets passed to the ILP solver — the
+        paper's Table I "Sets" column."""
+        return len(self.sets)
+
+
+def combine(formulas: list[Formula], prune: bool = True) -> Expansion:
+    """Cross product of all formulas' DNF sets, with null pruning."""
+    if not formulas:
+        return Expansion([[]], 1)
+    total = math.prod(len(f.sets) for f in formulas)
+    sets = []
+    pruned = 0
+    for combo in itertools.product(*(f.sets for f in formulas)):
+        merged: list[Relation] = []
+        for conjunct in combo:
+            merged.extend(conjunct)
+        if prune and trivially_null(merged):
+            pruned += 1
+            continue
+        sets.append(merged)
+    return Expansion(sets, total, pruned)
+
+
+def trivially_null(relations: list[Relation]) -> bool:
+    """True when single-variable interval propagation finds an empty
+    domain (counts are nonnegative integers)."""
+    bounds: dict = {}
+    for relation in relations:
+        single = relation.single_var()
+        if single is None:
+            if not relation.expr.terms and not _const_ok(relation):
+                return True
+            continue
+        ref, coef, const = single
+        lo, hi = bounds.get(ref, (0.0, math.inf))
+        # coef * v + const (sense) 0
+        limit = -const / coef
+        sense = relation.sense
+        if coef < 0:
+            sense = {"<=": ">=", ">=": "<=", "==": "=="}[sense]
+        if sense == "<=":
+            hi = min(hi, limit)
+        elif sense == ">=":
+            lo = max(lo, limit)
+        else:
+            lo = max(lo, limit)
+            hi = min(hi, limit)
+        if math.isfinite(hi) and math.floor(hi + 1e-9) < math.ceil(lo - 1e-9):
+            return True
+        bounds[ref] = (lo, hi)
+    return False
+
+
+def _const_ok(relation: Relation) -> bool:
+    """Check a variable-free relation like ``0 <= 3``."""
+    value = relation.expr.const
+    if relation.sense == "<=":
+        return value <= 1e-9
+    if relation.sense == ">=":
+        return value >= -1e-9
+    return abs(value) <= 1e-9

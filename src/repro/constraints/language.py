@@ -1,0 +1,301 @@
+"""The functionality-constraint language (paper §III-C).
+
+Users state path information as linear relations over count variables,
+combined with ``&`` (conjunction) and ``|`` (disjunction), e.g. the
+paper's (14)-(17) for ``check_data``:
+
+    "x2 >= 1 x1"
+    "x2 <= 10 x1"
+    "(x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0)"
+    "x3 = x8"
+
+and the inter-procedural (18):
+
+    "x12 = x8.f1"
+
+Variable references:
+
+* ``x3`` / ``d2`` / ``f1`` — a count in the constraint's scope function;
+* ``other.x3`` — a count in function ``other`` (merged mode);
+* ``x8.f1`` or ``x8.f1.f2`` — call-context scoped: the count of ``x8``
+  in the callee instance reached through call edge ``f1`` (… then
+  ``f2``); requires context-sensitive analysis.
+
+Numbers may multiply variables with or without ``*`` (the paper writes
+``10x1``).  ``<`` and ``>`` are strict integer comparisons and are
+normalized to ``<=``/``>=``.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import ConstraintSyntaxError
+from ..ilp import Constraint, LinExpr
+
+_TOKEN_RE = re.compile(
+    r"\s*(?:(?P<num>\d+(?:\.\d+)?)|(?P<id>[A-Za-z_][A-Za-z0-9_]*)"
+    r"|(?P<op><=|>=|==|[()&|.+*=<>-]))")
+
+_LOCAL_RE = re.compile(r"^[xdf]\d+$")
+_FEDGE_RE = re.compile(r"^f\d+$")
+
+
+@dataclass(frozen=True)
+class VarRef:
+    """A (possibly scoped) reference to a count variable."""
+
+    local: str                      # "x3", "d2", "f1"
+    function: str | None = None     # explicit function scope, or None
+    path: tuple[str, ...] = ()      # call-context chain of f-edge names
+
+    def __str__(self) -> str:
+        prefix = f"{self.function}." if self.function else ""
+        suffix = "".join(f".{p}" for p in self.path)
+        return f"{prefix}{self.local}{suffix}"
+
+
+@dataclass
+class SymExpr:
+    """A linear expression over :class:`VarRef` terms."""
+
+    terms: dict[VarRef, float] = field(default_factory=dict)
+    const: float = 0.0
+
+    def add(self, ref: VarRef, coef: float) -> None:
+        self.terms[ref] = self.terms.get(ref, 0.0) + coef
+
+    def merge(self, other: "SymExpr", sign: float) -> None:
+        for ref, coef in other.terms.items():
+            self.add(ref, sign * coef)
+        self.const += sign * other.const
+
+    def scale(self, factor: float) -> None:
+        self.terms = {r: c * factor for r, c in self.terms.items()}
+        self.const *= factor
+
+
+@dataclass
+class Relation:
+    """``expr sense 0`` over symbolic variable references."""
+
+    expr: SymExpr
+    sense: str                      # "<=", ">=", "=="
+    text: str = ""                  # original source, for messages
+
+    def resolve(self, resolver: Callable[[VarRef], LinExpr]) -> Constraint:
+        """Lower to an ILP constraint using `resolver` for variables."""
+        total = LinExpr({}, self.expr.const)
+        for ref, coef in self.expr.terms.items():
+            total = total + coef * resolver(ref)
+        constraint = Constraint(total, self.sense)
+        constraint.name = self.text
+        return constraint
+
+    def single_var(self) -> tuple[VarRef, float, float] | None:
+        """(ref, coef, const) when the relation mentions one variable
+        with nonzero coefficient; used for cheap null-set pruning."""
+        live = [(r, c) for r, c in self.expr.terms.items() if c]
+        if len(live) != 1:
+            return None
+        ref, coef = live[0]
+        return ref, coef, self.expr.const
+
+
+#: A conjunctive constraint set; all relations must hold together.
+ConstraintSet = list
+#: Disjunctive normal form: satisfied iff at least one set is.
+DNF = list
+
+
+@dataclass
+class Formula:
+    """Parsed functionality constraint in DNF."""
+
+    sets: DNF                        # list[list[Relation]]
+    text: str
+
+    @property
+    def is_disjunctive(self) -> bool:
+        return len(self.sets) > 1
+
+
+def parse_constraint(text: str) -> Formula:
+    """Parse one functionality-constraint string into DNF."""
+    parser = _Parser(text)
+    dnf = parser.parse()
+    return Formula(dnf, text)
+
+
+class _Parser:
+    """Recursive descent over `disj := conj ('|' conj)*` with
+    distribution into DNF on the fly."""
+
+    def __init__(self, text: str):
+        self.text = text
+        self.tokens = self._tokenize(text)
+        self.pos = 0
+
+    @staticmethod
+    def _tokenize(text: str) -> list[tuple[str, object]]:
+        tokens = []
+        pos = 0
+        while pos < len(text):
+            match = _TOKEN_RE.match(text, pos)
+            if match is None:
+                if text[pos:].strip():
+                    raise ConstraintSyntaxError(
+                        f"bad character {text[pos]!r} in constraint "
+                        f"{text!r}")
+                break
+            pos = match.end()
+            if match.lastgroup == "num":
+                tokens.append(("num", float(match.group("num"))))
+            elif match.lastgroup == "id":
+                tokens.append(("id", match.group("id")))
+            else:
+                tokens.append(("op", match.group("op")))
+        tokens.append(("end", None))
+        return tokens
+
+    # -- token helpers --------------------------------------------------
+    def peek(self) -> tuple[str, object]:
+        return self.tokens[self.pos]
+
+    def take(self) -> tuple[str, object]:
+        token = self.tokens[self.pos]
+        self.pos += 1
+        return token
+
+    def accept_op(self, *ops: str) -> str | None:
+        kind, value = self.peek()
+        if kind == "op" and value in ops:
+            self.pos += 1
+            return value
+        return None
+
+    def fail(self, message: str):
+        raise ConstraintSyntaxError(f"{message} in constraint {self.text!r}")
+
+    # -- grammar ----------------------------------------------------------
+    def parse(self) -> DNF:
+        dnf = self._disj()
+        if self.peek()[0] != "end":
+            self.fail(f"unexpected {self.peek()[1]!r}")
+        if not dnf:
+            self.fail("empty constraint")
+        return dnf
+
+    def _disj(self) -> DNF:
+        sets = self._conj()
+        while self.accept_op("|"):
+            sets = sets + self._conj()
+        return sets
+
+    def _conj(self) -> DNF:
+        dnf = self._atom()
+        while self.accept_op("&"):
+            right = self._atom()
+            # Distribute: (A1|A2) & (B1|B2) = A1B1 | A1B2 | A2B1 | A2B2.
+            dnf = [a + b for a in dnf for b in right]
+        return dnf
+
+    def _atom(self) -> DNF:
+        if self.accept_op("("):
+            inner = self._disj()
+            if not self.accept_op(")"):
+                self.fail("missing ')'")
+            return inner
+        return [[self._relation()]]
+
+    def _relation(self) -> Relation:
+        start = self.pos
+        left = self._linexpr()
+        kind, value = self.take()
+        if kind != "op" or value not in ("=", "==", "<=", ">=", "<", ">"):
+            self.fail("expected a comparison operator")
+        right = self._linexpr()
+        expr = SymExpr(dict(left.terms), left.const)
+        expr.merge(right, -1.0)
+        if value in ("=", "=="):
+            sense = "=="
+        elif value == "<=":
+            sense = "<="
+        elif value == ">=":
+            sense = ">="
+        elif value == "<":
+            sense = "<="
+            expr.const += 1.0       # expr < 0  <=>  expr + 1 <= 0 (ints)
+        else:
+            sense = ">="
+            expr.const -= 1.0
+        end = self.pos
+        text = self._slice_text(start, end)
+        return Relation(expr, sense, text)
+
+    def _slice_text(self, start: int, end: int) -> str:
+        parts = []
+        for kind, value in self.tokens[start:end]:
+            if kind == "num":
+                parts.append(f"{value:g}")
+            else:
+                parts.append(str(value))
+        return " ".join(parts)
+
+    def _linexpr(self) -> SymExpr:
+        expr = SymExpr()
+        sign = 1.0
+        if self.accept_op("-"):
+            sign = -1.0
+        self._term(expr, sign)
+        while True:
+            if self.accept_op("+"):
+                self._term(expr, 1.0)
+            elif self.accept_op("-"):
+                self._term(expr, -1.0)
+            else:
+                return expr
+
+    def _term(self, expr: SymExpr, sign: float) -> None:
+        kind, value = self.peek()
+        if kind == "num":
+            self.take()
+            coef = sign * value
+            self.accept_op("*")
+            kind, _ = self.peek()
+            if kind == "id":
+                expr.add(self._varref(), coef)
+            else:
+                expr.const += coef
+            return
+        if kind == "id":
+            expr.add(self._varref(), sign)
+            return
+        self.fail(f"expected a term, found {value!r}")
+
+    def _varref(self) -> VarRef:
+        kind, first = self.take()
+        if kind != "id":
+            self.fail("expected a variable")  # pragma: no cover
+        components = [first]
+        while self.accept_op("."):
+            kind, name = self.take()
+            if kind != "id":
+                self.fail("expected a name after '.'")
+            components.append(name)
+
+        if _LOCAL_RE.match(components[0]):
+            local, rest = components[0], components[1:]
+            function = None
+        else:
+            if len(components) < 2 or not _LOCAL_RE.match(components[1]):
+                self.fail(f"{'.'.join(components)!r} is not a valid "
+                          "variable reference")
+            function, local, rest = components[0], components[1], components[2:]
+        for part in rest:
+            if not _FEDGE_RE.match(part):
+                self.fail(f"context path component {part!r} must be an "
+                          "f-edge like f1")
+        return VarRef(local, function, tuple(rest))

@@ -1,0 +1,51 @@
+"""Loop-bound constraints (the paper's eqs. 14-15, generalized).
+
+The minimum information the user must supply is a ``(lo, hi)`` bound on
+the body iterations of every loop.  If the body runs ``n`` times per
+entry to the loop, the loop's back edges are taken ``n`` times per
+entry, so the bound lowers to
+
+    sum(back edges) >= lo * sum(entry edges)
+    sum(back edges) <= hi * sum(entry edges)
+
+For the paper's ``check_data`` example this produces exactly
+``x2 >= 1 x1`` / ``x2 <= 10 x1`` up to variable renaming (the back-edge
+count equals the first-body-block count there).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg import Loop
+from ..errors import AnalysisError
+from .language import Relation, SymExpr, VarRef
+
+
+@dataclass(frozen=True)
+class LoopBound:
+    """User-supplied iteration bound for one loop."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.lo < 0 or self.hi < self.lo:
+            raise AnalysisError(
+                f"bad loop bound [{self.lo}, {self.hi}]")
+
+
+def loop_bound_relations(loop: Loop, bound: LoopBound) -> list[Relation]:
+    """Symbolic relations (scoped to `loop.function`) for one bound."""
+    back = [VarRef(edge.name) for edge in loop.back_edges]
+    entry = [VarRef(edge.name) for edge in loop.entry_edges]
+    relations = []
+    for sense, factor in ((">=", bound.lo), ("<=", bound.hi)):
+        expr = SymExpr()
+        for ref in back:
+            expr.add(ref, 1.0)
+        for ref in entry:
+            expr.add(ref, -float(factor))
+        text = (f"sum(back {loop}) {sense} {factor} * sum(entries)")
+        relations.append(Relation(expr, sense, text))
+    return relations

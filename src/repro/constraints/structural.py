@@ -1,0 +1,77 @@
+"""Automatic extraction of program structural constraints (paper §III-B).
+
+For every basic block the execution count equals both the flow in and
+the flow out:
+
+    x_i = sum(d_in) = sum(d_out)
+
+plus the inter-procedural linking constraints of Fig. 4: a callee's
+entry edge count equals the sum of the f-edge counts of its call sites
+(paper eq. 12), and the analyzed routine's entry edge is pinned to one
+(eq. 13).
+"""
+
+from __future__ import annotations
+
+from ..cfg import CFG, CallGraph
+from ..ilp import Constraint, LinExpr
+from .names import qualified
+
+
+def _sum(names: list[str]) -> LinExpr:
+    return LinExpr({name: 1.0 for name in names})
+
+
+def flow_constraints(cfg: CFG, scope: str | None = None) -> list[Constraint]:
+    """Flow-conservation equalities of one CFG.
+
+    `scope` prefixes variable names; defaults to the CFG's function
+    name (merged mode).
+    """
+    scope = scope if scope is not None else cfg.name
+    out: list[Constraint] = []
+    for block_id in sorted(cfg.blocks):
+        x = LinExpr({qualified(scope, f"x{block_id}"): 1.0})
+        incoming = [qualified(scope, e.name) for e in cfg.in_edges(block_id)]
+        outgoing = [qualified(scope, e.name) for e in cfg.out_edges(block_id)]
+        out.append(x == _sum(incoming))
+        out.append(x == _sum(outgoing))
+    return out
+
+
+def entry_constraint(cfg: CFG, scope: str | None = None,
+                     count: int = 1) -> Constraint:
+    """Pin the function-entry edge: ``d1 = count`` (paper eq. 13)."""
+    scope = scope if scope is not None else cfg.name
+    return LinExpr({qualified(scope, cfg.entry_edge.name): 1.0}) == count
+
+
+def linking_constraints(callgraph: CallGraph,
+                        entry: str) -> list[Constraint]:
+    """Merged-mode inter-procedural constraints (paper eqs. 12-13).
+
+    Only functions reachable from `entry` participate; the returned
+    list includes one ``d1 = sum(f-sites)`` equality per reachable
+    callee and ``d1 = 1`` for the entry function.
+    """
+    reachable = callgraph.reachable_from(entry)
+    constraints = [entry_constraint(callgraph.cfgs[entry])]
+    for name in reachable:
+        if name == entry:
+            continue
+        cfg = callgraph.cfgs[name]
+        sites = [qualified(caller, edge.name)
+                 for caller, edge in callgraph.callers_of(name)
+                 if caller in reachable]
+        d1 = LinExpr({qualified(name, cfg.entry_edge.name): 1.0})
+        constraints.append(d1 == _sum(sites))
+    return constraints
+
+
+def structural_system(callgraph: CallGraph, entry: str) -> list[Constraint]:
+    """The complete merged-mode structural constraint set."""
+    constraints: list[Constraint] = []
+    for name in callgraph.reachable_from(entry):
+        constraints.extend(flow_constraints(callgraph.cfgs[name]))
+    constraints.extend(linking_constraints(callgraph, entry))
+    return constraints

@@ -1,0 +1,95 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised by the library derives from :class:`ReproError`, so
+applications can catch one type.  Subsystems raise the most specific
+subclass that applies.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class MiniCError(ReproError):
+    """Base class for errors in the MiniC front end."""
+
+    def __init__(self, message: str, line: int | None = None, col: int | None = None):
+        self.line = line
+        self.col = col
+        if line is not None:
+            message = f"line {line}: {message}"
+        super().__init__(message)
+
+
+class LexError(MiniCError):
+    """A character sequence could not be tokenized."""
+
+
+class ParseError(MiniCError):
+    """The token stream does not form a valid MiniC program."""
+
+
+class SemanticError(MiniCError):
+    """The program parsed but violates MiniC's static rules.
+
+    This includes the paper's decidability restrictions: no recursion,
+    no dynamic data structures, and declared-before-use symbols.
+    """
+
+
+class CodegenError(ReproError):
+    """The compiler could not lower an AST construct to IR960."""
+
+
+class CFGError(ReproError):
+    """A control-flow graph could not be built or is malformed."""
+
+
+class RecursionForbiddenError(SemanticError):
+    """The call graph contains a cycle (recursion), which the paper's
+    analysis model (and ours) forbids."""
+
+
+class ILPError(ReproError):
+    """Base class for errors from the ILP substrate."""
+
+
+class InfeasibleError(ILPError):
+    """The constraint system has no solution.
+
+    For IPET this usually means contradictory functionality constraints;
+    individual infeasible DNF sets are pruned rather than raised.
+    """
+
+
+class UnboundedError(ILPError):
+    """The objective is unbounded.
+
+    For IPET this almost always means a loop without a loop-bound
+    annotation; the message should say which counts are unconstrained.
+    """
+
+
+class AnalysisError(ReproError):
+    """The IPET analysis could not produce a bound."""
+
+
+class MissingLoopBoundError(AnalysisError):
+    """A loop in the analyzed code has no user-provided iteration bound."""
+
+    def __init__(self, loops):
+        self.loops = list(loops)
+        names = ", ".join(str(loop) for loop in self.loops)
+        super().__init__(
+            "loop bounds are required for every loop; missing bounds for: " + names
+        )
+
+
+class ConstraintSyntaxError(ReproError):
+    """A functionality-constraint string could not be parsed."""
+
+
+class SimulationError(ReproError):
+    """The simulator hit an invalid state (bad address, step limit, ...)."""

@@ -1,0 +1,21 @@
+"""Experiment drivers: Tables I-III and the ablation studies."""
+
+from .ablations import (CacheSplitRow, ContextRow, EnumVsIpetRow,
+                        InformationRow, SolverRow, cache_split_study,
+                        context_study, enumeration_blowup,
+                        information_value_study, solver_study)
+from .fig1 import render_fig1
+from .results import collect_results, write_results
+from .tables import (BoundRow, Experiments, Table1Row, render_table1,
+                     render_table2, render_table3)
+
+__all__ = [
+    "Experiments", "Table1Row", "BoundRow",
+    "render_table1", "render_table2", "render_table3",
+    "EnumVsIpetRow", "CacheSplitRow", "ContextRow", "SolverRow",
+    "enumeration_blowup", "cache_split_study", "context_study",
+    "solver_study",
+    "InformationRow", "information_value_study",
+    "render_fig1",
+    "collect_results", "write_results",
+]

@@ -1,0 +1,44 @@
+"""Fig. 1 — "Estimated bound and Actual bound" as an ASCII diagram.
+
+The paper's Fig. 1 shows the estimated interval enclosing the actual
+one, with the slack labelled *pessimism*.  This renderer draws that
+nesting for every benchmark, using the measured interval as the stand-
+in for the unknowable actual bound (as the paper's experiments do).
+"""
+
+from __future__ import annotations
+
+from .tables import BoundRow
+
+_WIDTH = 46
+
+
+def render_fig1(rows: list[BoundRow]) -> str:
+    """One nesting bar per row: ``|==[####]====|`` with the outer bar
+    the estimate and the inner one the reference interval."""
+    lines = [
+        "estimated bound |====[ reference bound ]====|; "
+        "the '=' runs are the pessimism (paper Fig. 1)",
+        "",
+    ]
+    for row in rows:
+        e_lo, e_hi = row.estimated
+        r_lo, r_hi = row.reference
+        span = max(e_hi - e_lo, 1)
+
+        def pos(value: float) -> int:
+            return round((value - e_lo) / span * (_WIDTH - 1))
+
+        cells = ["="] * _WIDTH
+        left, right = pos(r_lo), pos(r_hi)
+        for i in range(left, right + 1):
+            cells[i] = "#"
+        if left > 0:
+            cells[left] = "["
+        if right < _WIDTH - 1:
+            cells[right] = "]"
+        bar = "".join(cells)
+        lines.append(f"{row.function:<18} |{bar}|  "
+                     f"E=[{e_lo:,}, {e_hi:,}] "
+                     f"ref=[{r_lo:,}, {r_hi:,}]")
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Machine-readable experiment results (JSON).
+
+`python -m repro.experiments all --json results.json` dumps every
+table and the solver stats as one JSON document, for regression
+tracking and external plotting.
+"""
+
+from __future__ import annotations
+
+import json
+
+from .tables import Experiments
+
+
+def collect_results(experiments: Experiments) -> dict:
+    """All tables as plain dictionaries."""
+    table1 = [
+        {"function": r.function, "description": r.description,
+         "lines": r.lines, "sets": r.sets}
+        for r in experiments.table1()
+    ]
+
+    def bound_rows(rows):
+        return [
+            {"function": r.function,
+             "estimated": list(r.estimated),
+             "reference": list(r.reference),
+             "pessimism": [round(p, 4) for p in r.pessimism],
+             "sound": r.sound}
+            for r in rows
+        ]
+
+    solver = []
+    for name in experiments.benchmarks:
+        report = experiments.report(name)
+        solver.append({
+            "function": name,
+            "sets_total": report.sets_total,
+            "sets_pruned": report.sets_pruned,
+            "sets_solved": report.sets_solved,
+            "lp_calls": report.lp_calls,
+            "first_relaxations_integral":
+                report.all_first_relaxations_integral,
+        })
+    return {
+        "machine": experiments.machine.name,
+        "table1": table1,
+        "table2": bound_rows(experiments.table2()),
+        "table3": bound_rows(experiments.table3()),
+        "solver": solver,
+    }
+
+
+def write_results(experiments: Experiments, path: str) -> None:
+    with open(path, "w") as handle:
+        json.dump(collect_results(experiments), handle, indent=2)
+        handle.write("\n")

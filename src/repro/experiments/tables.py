@@ -1,0 +1,131 @@
+"""Drivers that regenerate the paper's Tables I, II and III.
+
+Absolute cycle numbers differ from the paper (our IR960 timing table is
+a documented approximation of the i960KB, not the real chip), but the
+tables' *shape* is the reproduction target:
+
+* Table I  — suite composition and how many constraint sets each
+  routine hands the ILP solver;
+* Table II — estimated vs calculated bounds: path-analysis pessimism
+  near zero when enough functionality constraints are given;
+* Table III — estimated vs measured bounds: hardware-model pessimism
+  dominating (all-hit/all-miss cache assumptions), bounds still sound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..analysis import BoundReport, calculated_bound, pessimism
+from ..hw import Machine, i960kb
+from ..programs import Benchmark, all_benchmarks
+from ..sim import measure_bounds
+
+
+@dataclass
+class Table1Row:
+    function: str
+    description: str
+    lines: int
+    sets: int
+
+
+@dataclass
+class BoundRow:
+    """A row of Table II (reference = calculated) or Table III
+    (reference = measured)."""
+
+    function: str
+    estimated: tuple[int, int]
+    reference: tuple[int, int]
+    pessimism: tuple[float, float]
+
+    @property
+    def sound(self) -> bool:
+        return (self.estimated[0] <= self.reference[0]
+                and self.reference[1] <= self.estimated[1])
+
+
+class Experiments:
+    """Shared context: compiled benchmarks and cached IPET estimates."""
+
+    def __init__(self, machine: Machine | None = None,
+                 benchmarks: dict[str, Benchmark] | None = None):
+        self.machine = machine or i960kb()
+        self.benchmarks = benchmarks or all_benchmarks()
+        self._reports: dict[str, BoundReport] = {}
+
+    def report(self, name: str) -> BoundReport:
+        if name not in self._reports:
+            bench = self.benchmarks[name]
+            analysis = bench.make_analysis(machine=self.machine)
+            self._reports[name] = analysis.estimate()
+        return self._reports[name]
+
+    # ------------------------------------------------------------------
+    def table1(self) -> list[Table1Row]:
+        rows = []
+        for name, bench in self.benchmarks.items():
+            report = self.report(name)
+            rows.append(Table1Row(name, bench.description, bench.lines,
+                                  report.sets_solved))
+        return rows
+
+    def table2(self) -> list[BoundRow]:
+        rows = []
+        for name, bench in self.benchmarks.items():
+            report = self.report(name)
+            calc = calculated_bound(bench.program, bench.entry,
+                                    bench.best_data, bench.worst_data,
+                                    machine=self.machine)
+            rows.append(BoundRow(
+                name, report.interval, calc.interval,
+                pessimism(report.interval, calc.interval)))
+        return rows
+
+    def table3(self) -> list[BoundRow]:
+        rows = []
+        for name, bench in self.benchmarks.items():
+            report = self.report(name)
+            measured = measure_bounds(bench.program, bench.entry,
+                                      bench.best_data, bench.worst_data,
+                                      machine=self.machine)
+            rows.append(BoundRow(
+                name, report.interval, measured.interval,
+                pessimism(report.interval, measured.interval)))
+        return rows
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_table1(rows: list[Table1Row]) -> str:
+    header = f"{'Function':<18} {'Description':<42} {'Lines':>5} {'Sets':>4}"
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        lines.append(f"{row.function:<18} {row.description:<42} "
+                     f"{row.lines:>5} {row.sets:>4}")
+    return "\n".join(lines)
+
+
+def _interval(value: tuple[int, int]) -> str:
+    return f"[{value[0]:,}, {value[1]:,}]"
+
+
+def render_bound_table(rows: list[BoundRow], reference_label: str) -> str:
+    header = (f"{'Function':<18} {'Estimated Bound':>26} "
+              f"{reference_label:>26} {'Pessimism':>16}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        pess = f"[{row.pessimism[0]:.2f}, {row.pessimism[1]:.2f}]"
+        lines.append(f"{row.function:<18} {_interval(row.estimated):>26} "
+                     f"{_interval(row.reference):>26} {pess:>16}")
+    return "\n".join(lines)
+
+
+def render_table2(rows: list[BoundRow]) -> str:
+    return render_bound_table(rows, "Calculated Bound")
+
+
+def render_table3(rows: list[BoundRow]) -> str:
+    return render_bound_table(rows, "Measured Bound")

@@ -1,0 +1,17 @@
+"""Micro-architectural model: machine config, block costs, I-cache."""
+
+from .blockcost import (BlockCost, block_cost, cost_table, entry_stall,
+                        lines_touched, pipeline_cycles)
+from .blockcost import data_miss_worst
+from .dcache import DCache
+from .icache import ICache
+from .machine import (Machine, dsp3210, i960kb, i960kb_dcache,
+                      no_cache, perfect_cache)
+
+__all__ = [
+    "BlockCost", "block_cost", "cost_table", "entry_stall",
+    "lines_touched", "pipeline_cycles",
+    "ICache", "DCache", "data_miss_worst",
+    "Machine", "dsp3210", "i960kb", "i960kb_dcache", "no_cache",
+    "perfect_cache",
+]

@@ -1,0 +1,98 @@
+"""Static per-basic-block cycle costs (the paper's ``c_i``).
+
+Following §IV of the paper, the cost of a block is built from the
+effective execution times of its instructions (pipeline model) plus
+cache assumptions:
+
+* **best case** — every instruction fetch hits the I-cache;
+* **worst case** — every cache line the block touches is a miss, every
+  time the block executes, plus one conservative load-use stall that
+  may ride in across a fall-through block boundary.
+
+Both bounds bracket what the cycle-accurate simulator
+(:mod:`repro.sim.cycles`) can ever produce for the block, by
+construction — that is the Fig.-1 invariant at block granularity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg import BasicBlock
+from ..codegen.isa import Instruction, Op
+from .machine import Machine
+
+
+@dataclass(frozen=True)
+class BlockCost:
+    """Best/worst cycle cost of one basic block execution."""
+
+    best: int
+    worst: int
+
+    def __post_init__(self):
+        if self.best > self.worst:
+            raise ValueError(f"best {self.best} > worst {self.worst}")
+
+
+def pipeline_cycles(instrs: list[Instruction], machine: Machine) -> int:
+    """Deterministic pipeline time of a straight-line sequence.
+
+    Sum of issue cycles plus load-use stalls between adjacent
+    instructions.  Cache effects are *not* included.
+    """
+    total = 0
+    prev_load_dest = None
+    for instr in instrs:
+        total += machine.issue(instr.op)
+        if prev_load_dest is not None and prev_load_dest in instr.reads():
+            total += machine.load_use_stall
+        prev_load_dest = instr.dest if instr.op is Op.LD else None
+    return total
+
+
+def lines_touched(block: BasicBlock, machine: Machine) -> int:
+    """Distinct I-cache lines the block's instructions occupy."""
+    if not machine.num_lines:
+        return 0
+    first = machine.line_of(block.instrs[0].addr)
+    last = machine.line_of(block.instrs[-1].addr)
+    return last - first + 1
+
+
+def entry_stall(block: BasicBlock, machine: Machine) -> int:
+    """Conservative incoming load-use stall.
+
+    A load at the end of a fall-through predecessor can stall this
+    block's first instruction; the static model cannot see predecessors'
+    dynamics, so the worst case charges one stall whenever the first
+    instruction reads any register.
+    """
+    return machine.load_use_stall if block.instrs[0].reads() else 0
+
+
+def data_miss_worst(block: BasicBlock, machine: Machine) -> int:
+    """Worst-case data-cache cycles: every load misses (§VII model).
+
+    Data addresses are dynamic, so no distinct-line argument applies;
+    the sound worst case charges the fill penalty per load.
+    """
+    if not machine.dcache_miss_penalty:
+        return 0
+    loads = sum(1 for i in block.instrs if i.op is Op.LD)
+    return loads * machine.dcache_miss_penalty
+
+
+def block_cost(block: BasicBlock, machine: Machine) -> BlockCost:
+    """The paper's ``c_i`` interval for one block."""
+    static = pipeline_cycles(block.instrs, machine)
+    worst = (static + entry_stall(block, machine)
+             + lines_touched(block, machine) * machine.miss_penalty
+             + data_miss_worst(block, machine))
+    return BlockCost(best=static, worst=worst)
+
+
+def cost_table(cfg, machine: Machine) -> dict[int, BlockCost]:
+    """``c_i`` for every block of a CFG."""
+    return {block_id: block_cost(block, machine)
+            for block_id, block in cfg.blocks.items()}

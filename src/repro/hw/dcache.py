@@ -1,0 +1,42 @@
+"""Direct-mapped data cache (the §VII extension).
+
+Word-addressed (IR960 data memory is word granular), read allocate,
+write through without allocation — only loads consult the tag store.
+The static cost model brackets it with hit (best) / miss (worst) per
+load, so the usual Fig.-1 invariant carries over.
+"""
+
+from __future__ import annotations
+
+from .machine import Machine
+
+
+class DCache:
+    """Tag store of a direct-mapped data cache over word addresses."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.tags: list[int | None] = [None] * machine.num_dcache_lines
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.machine.num_dcache_lines > 0
+
+    def flush(self) -> None:
+        self.tags = [None] * self.machine.num_dcache_lines
+
+    def read(self, word_addr: int) -> bool:
+        """Load access; allocates on miss.  True on hit."""
+        if not self.enabled:
+            return True
+        line = word_addr // self.machine.dcache_line_words
+        index = line % self.machine.num_dcache_lines
+        tag = line // self.machine.num_dcache_lines
+        if self.tags[index] == tag:
+            self.hits += 1
+            return True
+        self.tags[index] = tag
+        self.misses += 1
+        return False

@@ -1,0 +1,52 @@
+"""Direct-mapped instruction cache simulation.
+
+Used by the cycle-accurate simulator (:mod:`repro.sim.cycles`) to model
+the i960KB's 512-byte direct-mapped I-cache.  The static block-cost
+model only needs the geometry helpers on :class:`~repro.hw.machine.Machine`;
+this class is the dynamic counterpart.
+"""
+
+from __future__ import annotations
+
+from .machine import Machine
+
+
+class ICache:
+    """Tag store of a direct-mapped instruction cache."""
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.tags: list[int | None] = [None] * machine.num_lines
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.machine.num_lines > 0
+
+    def flush(self) -> None:
+        """Invalidate every line (the paper flushes before worst-case
+        measurement runs, §VI-B)."""
+        self.tags = [None] * self.machine.num_lines
+
+    def access(self, addr: int) -> bool:
+        """Fetch the line containing byte `addr`; True on hit."""
+        if not self.enabled:
+            return True
+        line = self.machine.line_of(addr)
+        index = line % self.machine.num_lines
+        tag = line // self.machine.num_lines
+        if self.tags[index] == tag:
+            self.hits += 1
+            return True
+        self.tags[index] = tag
+        self.misses += 1
+        return False
+
+    def resident(self, addr: int) -> bool:
+        """True when the line holding `addr` is cached (no side effect)."""
+        if not self.enabled:
+            return True
+        line = self.machine.line_of(addr)
+        return self.tags[line % self.machine.num_lines] == \
+            line // self.machine.num_lines

@@ -1,0 +1,26 @@
+"""Integer linear programming substrate.
+
+Built from scratch for this reproduction: a modeling layer
+(:class:`Var`, :class:`LinExpr`, :class:`Constraint`,
+:class:`Problem`), a dense two-phase primal simplex
+(:mod:`repro.ilp.simplex`), and a branch & bound integer solver
+(:mod:`repro.ilp.branch_bound`).  :mod:`scipy` is only used as an
+independent oracle in the test suite.
+"""
+
+from .expr import Constraint, LinExpr, Var
+from .lpformat import read_lp, write_lp
+from .model import Problem
+from .solution import ILPResult, LPResult, SolveStats, Status
+
+__all__ = [
+    "Constraint",
+    "LinExpr",
+    "Var",
+    "Problem",
+    "ILPResult",
+    "LPResult",
+    "SolveStats",
+    "Status",
+    "read_lp", "write_lp",
+]

@@ -1,0 +1,122 @@
+"""Branch & bound integer solver over the two-phase simplex.
+
+The paper observes (§III-D, §VI-A) that IPET constraint systems behave
+like network-flow problems: the first LP relaxation is already integer
+valued, so branch & bound terminates at the root.  This solver records
+exactly that statistic (:class:`~repro.ilp.solution.SolveStats`) while
+still handling the general case correctly by branching on fractional
+variables.
+"""
+
+from __future__ import annotations
+
+import math
+
+from .expr import Constraint, LinExpr
+from .model import Problem
+from .solution import ILPResult, SolveStats, Status
+
+#: A value within this distance of an integer is treated as integral.
+INT_TOL = 1e-6
+
+
+def _fractional_var(problem: Problem, values) -> str | None:
+    """Most fractional integer variable, or None if all are integral."""
+    worst_name = None
+    worst_frac = INT_TOL
+    for name, var in problem.variables.items():
+        if not var.integer:
+            continue
+        value = values.get(name, 0.0)
+        frac = abs(value - round(value))
+        if frac > worst_frac:
+            worst_frac = frac
+            worst_name = name
+    return worst_name
+
+
+def _rounded(problem: Problem, values) -> dict[str, float]:
+    out = {}
+    for name, value in values.items():
+        var = problem.variables.get(name)
+        if var is not None and var.integer:
+            out[name] = float(round(value))
+        else:
+            out[name] = float(value)
+    return out
+
+
+def solve_ilp(problem: Problem, max_nodes: int = 100_000,
+              engine: str = "float") -> ILPResult:
+    """Solve `problem` to integer optimality by branch & bound (DFS).
+
+    ``engine`` selects the LP core ("float" or "exact")."""
+    stats = SolveStats()
+    maximize = problem.sense == "max"
+
+    incumbent_obj: float | None = None
+    incumbent_values: dict[str, float] | None = None
+
+    def better(candidate: float) -> bool:
+        if incumbent_obj is None:
+            return True
+        return candidate > incumbent_obj + INT_TOL if maximize \
+            else candidate < incumbent_obj - INT_TOL
+
+    def can_beat(bound: float) -> bool:
+        if incumbent_obj is None:
+            return True
+        return bound > incumbent_obj + INT_TOL if maximize \
+            else bound < incumbent_obj - INT_TOL
+
+    # Each stack entry is a list of extra bound constraints.
+    stack: list[list[Constraint]] = [[]]
+    first = True
+    while stack:
+        extra = stack.pop()
+        stats.nodes += 1
+        if stats.nodes > max_nodes:
+            raise RuntimeError(f"branch & bound exceeded {max_nodes} nodes")
+        relax = problem.solve_relaxation(extra, engine=engine)
+        stats.lp_calls += 1
+        stats.simplex_iterations += relax.iterations
+        if relax.status is Status.INFEASIBLE:
+            if first:
+                first = False
+                return ILPResult(Status.INFEASIBLE, stats=stats)
+            continue
+        if relax.status is Status.UNBOUNDED:
+            # With a feasible integer point inside an unbounded
+            # polyhedron of integral recession directions, the ILP is
+            # unbounded too; IPET hits this when a loop bound is missing.
+            return ILPResult(Status.UNBOUNDED, stats=stats)
+
+        branch_var = _fractional_var(problem, relax.values)
+        if first:
+            stats.first_relaxation_integral = branch_var is None
+            first = False
+        if not can_beat(relax.objective):
+            continue
+        if branch_var is None:
+            if better(relax.objective):
+                incumbent_obj = relax.objective
+                incumbent_values = _rounded(problem, relax.values)
+            continue
+
+        value = relax.values[branch_var]
+        floor = math.floor(value + INT_TOL)
+        expr = LinExpr({branch_var: 1.0})
+        down = Constraint(expr - floor, "<=")
+        up = Constraint(expr - (floor + 1), ">=")
+        # DFS; explore the side closer to the fractional value first
+        # (pushed last so it pops first).
+        if value - floor > 0.5:
+            stack.append(extra + [down])
+            stack.append(extra + [up])
+        else:
+            stack.append(extra + [up])
+            stack.append(extra + [down])
+
+    if incumbent_obj is None:
+        return ILPResult(Status.INFEASIBLE, stats=stats)
+    return ILPResult(Status.OPTIMAL, incumbent_obj, incumbent_values, stats)

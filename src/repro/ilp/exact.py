@@ -1,0 +1,178 @@
+"""Exact rational simplex (Fraction arithmetic).
+
+A second, independent LP engine: the same two-phase algorithm as
+:mod:`repro.ilp.simplex` but over :class:`fractions.Fraction`, with
+Bland's rule throughout.  No tolerances, no rounding — useful both as
+a verification backend (``Problem.solve(backend="exact")``) and for
+pathological instances where floating point would need care.  Slower
+(pure Python rationals), fine at IPET sizes.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from .solution import LPResult, Status
+
+
+def solve_lp_exact(costs, matrix, senses, rhs,
+                   maximize: bool = False,
+                   max_iter: int = 100_000) -> LPResult:
+    """Exact counterpart of :func:`repro.ilp.simplex.solve_lp`."""
+    costs = [Fraction(c).limit_denominator(10**12) if isinstance(c, float)
+             else Fraction(c) for c in costs]
+    matrix = [[_frac(v) for v in row] for row in matrix]
+    rhs = [_frac(v) for v in rhs]
+    senses = list(senses)
+    m, n = len(matrix), len(costs)
+    if any(len(row) != n for row in matrix) or len(rhs) != m \
+            or len(senses) != m:
+        raise ValueError("inconsistent LP dimensions")
+
+    if maximize:
+        inner = solve_lp_exact([-c for c in costs], matrix, senses, rhs,
+                               maximize=False, max_iter=max_iter)
+        if inner.objective is not None:
+            inner.objective = -inner.objective
+        return inner
+
+    if m == 0:
+        if any(c < 0 for c in costs):
+            return LPResult(Status.UNBOUNDED)
+        return LPResult(Status.OPTIMAL, 0.0,
+                        {str(j): 0.0 for j in range(n)})
+
+    for i in range(m):
+        if rhs[i] < 0:
+            matrix[i] = [-v for v in matrix[i]]
+            rhs[i] = -rhs[i]
+            senses[i] = {"<=": ">=", ">=": "<=", "==": "=="}[senses[i]]
+
+    slack_count = sum(1 for s in senses if s in ("<=", ">="))
+    art_rows = [i for i, s in enumerate(senses) if s in (">=", "==")]
+    total = n + slack_count + len(art_rows)
+    zero = Fraction(0)
+    one = Fraction(1)
+    body = [row + [zero] * (total - n) for row in matrix]
+    basis = [-1] * m
+    col = n
+    for i, sense in enumerate(senses):
+        if sense == "<=":
+            body[i][col] = one
+            basis[i] = col
+            col += 1
+        elif sense == ">=":
+            body[i][col] = -one
+            col += 1
+    art_start = col
+    for i in art_rows:
+        body[i][col] = one
+        basis[i] = col
+        col += 1
+
+    state = _Tableau(body, rhs, basis, max_iter)
+    allowed = [True] * total
+
+    if art_rows:
+        phase1 = [zero] * total
+        for j in range(art_start, total):
+            phase1[j] = one
+        state.optimize(phase1, allowed)
+        if state.objective(phase1) > 0:
+            return LPResult(Status.INFEASIBLE, iterations=state.iterations)
+        state.expel_artificials(art_start)
+        for j in range(art_start, total):
+            allowed[j] = False
+
+    phase2 = list(costs) + [zero] * (total - n)
+    outcome = state.optimize(phase2, allowed)
+    if outcome == "unbounded":
+        return LPResult(Status.UNBOUNDED, iterations=state.iterations)
+
+    values = {str(j): 0.0 for j in range(n)}
+    for row, column in enumerate(state.basis):
+        if column < n:
+            values[str(column)] = float(state.rhs[row])
+    return LPResult(Status.OPTIMAL, float(state.objective(phase2)),
+                    values, state.iterations)
+
+
+def _frac(value) -> Fraction:
+    if isinstance(value, float):
+        return Fraction(value).limit_denominator(10**12)
+    return Fraction(value)
+
+
+class _Tableau:
+    def __init__(self, body, rhs, basis, max_iter):
+        self.body = body
+        self.rhs = rhs
+        self.basis = basis
+        self.max_iter = max_iter
+        self.iterations = 0
+
+    def reduced(self, costs):
+        out = list(costs)
+        for row, b in enumerate(self.basis):
+            cb = costs[b]
+            if cb:
+                for j, v in enumerate(self.body[row]):
+                    if v:
+                        out[j] -= cb * v
+        return out
+
+    def objective(self, costs):
+        return sum(costs[b] * self.rhs[row]
+                   for row, b in enumerate(self.basis))
+
+    def pivot(self, row, col):
+        body, rhs = self.body, self.rhs
+        pivot_value = body[row][col]
+        body[row] = [v / pivot_value for v in body[row]]
+        rhs[row] = rhs[row] / pivot_value
+        for r in range(len(body)):
+            if r == row:
+                continue
+            factor = body[r][col]
+            if factor:
+                body[r] = [a - factor * b
+                           for a, b in zip(body[r], body[row])]
+                rhs[r] = rhs[r] - factor * rhs[row]
+        self.basis[row] = col
+        self.iterations += 1
+
+    def optimize(self, costs, allowed):
+        while True:
+            if self.iterations > self.max_iter:
+                raise RuntimeError("exact simplex iteration limit")
+            reduced = self.reduced(costs)
+            col = next((j for j, r in enumerate(reduced)
+                        if allowed[j] and r < 0), None)   # Bland
+            if col is None:
+                return "optimal"
+            best_row = None
+            best_ratio = None
+            for row in range(len(self.body)):
+                coef = self.body[row][col]
+                if coef > 0:
+                    ratio = self.rhs[row] / coef
+                    if (best_ratio is None or ratio < best_ratio
+                            or (ratio == best_ratio
+                                and self.basis[row] <
+                                self.basis[best_row])):
+                        best_row, best_ratio = row, ratio
+            if best_row is None:
+                return "unbounded"
+            self.pivot(best_row, col)
+
+    def expel_artificials(self, art_start):
+        for row in range(len(self.body)):
+            if self.basis[row] < art_start:
+                continue
+            col = next((j for j in range(art_start)
+                        if self.body[row][j] != 0), None)
+            if col is not None:
+                self.pivot(row, col)
+            else:
+                self.body[row] = [Fraction(0)] * len(self.body[row])
+                self.rhs[row] = Fraction(0)

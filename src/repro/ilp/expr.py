@@ -1,0 +1,239 @@
+"""Linear expressions over named variables.
+
+This is the small modeling layer the rest of the library uses to state
+ILP problems: :class:`Var` objects combine with ``+``, ``-``, ``*`` and
+numbers into :class:`LinExpr`, and the comparison operators ``<=``,
+``>=``, ``==`` produce :class:`Constraint` objects.
+
+Example
+-------
+>>> x, y = Var("x"), Var("y")
+>>> c = 2 * x + 3 * y <= 12
+>>> c.sense
+'<='
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+from typing import Iterable, Mapping
+
+_SENSES = ("<=", ">=", "==")
+
+
+class Var:
+    """A decision variable.
+
+    Parameters
+    ----------
+    name:
+        Unique name.  Problems index variables by name, so two ``Var``
+        objects with the same name denote the same variable.
+    lower, upper:
+        Domain bounds.  ``upper=None`` means unbounded above.  IPET
+        count variables use the default ``lower=0``.
+    integer:
+        Whether the variable is integral (the default, as in the paper).
+    """
+
+    __slots__ = ("name", "lower", "upper", "integer")
+
+    def __init__(self, name: str, lower: float = 0.0,
+                 upper: float | None = None, integer: bool = True):
+        if upper is not None and upper < lower:
+            raise ValueError(f"variable {name}: upper {upper} < lower {lower}")
+        self.name = name
+        self.lower = float(lower)
+        self.upper = None if upper is None else float(upper)
+        self.integer = bool(integer)
+
+    def __hash__(self) -> int:
+        return hash(self.name)
+
+    def __eq__(self, other):  # type: ignore[override]
+        if isinstance(other, Var):
+            # Identity of the modeling object, used by dict keys.  Use
+            # the name so re-created Vars still collide correctly.
+            return self.name == other.name
+        return self._as_expr() == other
+
+    def __ne__(self, other):  # pragma: no cover - not meaningful
+        raise TypeError("!= constraints are not linear; use disjunctions")
+
+    def _as_expr(self) -> "LinExpr":
+        return LinExpr({self.name: 1.0}, 0.0)
+
+    # Arithmetic delegates to LinExpr.
+    def __add__(self, other):
+        return self._as_expr() + other
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self._as_expr() - other
+
+    def __rsub__(self, other):
+        return (-self._as_expr()) + other
+
+    def __mul__(self, other):
+        return self._as_expr() * other
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return -self._as_expr()
+
+    def __le__(self, other):
+        return self._as_expr() <= other
+
+    def __ge__(self, other):
+        return self._as_expr() >= other
+
+    def __repr__(self) -> str:
+        return f"Var({self.name!r})"
+
+
+def _coerce(value) -> "LinExpr":
+    if isinstance(value, LinExpr):
+        return value
+    if isinstance(value, Var):
+        return value._as_expr()
+    if isinstance(value, Real):
+        return LinExpr({}, float(value))
+    raise TypeError(f"cannot use {value!r} in a linear expression")
+
+
+class LinExpr:
+    """An affine expression ``sum coef_i * var_i + const``.
+
+    Immutable; arithmetic returns new expressions.  Variables are keyed
+    by name.
+    """
+
+    __slots__ = ("coefs", "const")
+
+    def __init__(self, coefs: Mapping[str, float] | None = None, const: float = 0.0):
+        clean = {}
+        for name, coef in (coefs or {}).items():
+            coef = float(coef)
+            if coef != 0.0:
+                clean[name] = coef
+        self.coefs: dict[str, float] = clean
+        self.const = float(const)
+
+    def variables(self) -> Iterable[str]:
+        return self.coefs.keys()
+
+    def coefficient(self, name: str) -> float:
+        return self.coefs.get(name, 0.0)
+
+    def evaluate(self, assignment: Mapping[str, float]) -> float:
+        """Value of the expression under a full or partial assignment
+        (missing variables count as 0)."""
+        total = self.const
+        for name, coef in self.coefs.items():
+            total += coef * assignment.get(name, 0.0)
+        return total
+
+    def __add__(self, other):
+        other = _coerce(other)
+        coefs = dict(self.coefs)
+        for name, coef in other.coefs.items():
+            coefs[name] = coefs.get(name, 0.0) + coef
+        return LinExpr(coefs, self.const + other.const)
+
+    __radd__ = __add__
+
+    def __sub__(self, other):
+        return self + (-_coerce(other))
+
+    def __rsub__(self, other):
+        return _coerce(other) + (-self)
+
+    def __mul__(self, other):
+        if not isinstance(other, Real):
+            raise TypeError("linear expressions only scale by constants")
+        scale = float(other)
+        return LinExpr({n: c * scale for n, c in self.coefs.items()},
+                       self.const * scale)
+
+    __rmul__ = __mul__
+
+    def __neg__(self):
+        return self * -1.0
+
+    def __le__(self, other):
+        return Constraint(self - _coerce(other), "<=")
+
+    def __ge__(self, other):
+        return Constraint(self - _coerce(other), ">=")
+
+    def __eq__(self, other):  # type: ignore[override]
+        return Constraint(self - _coerce(other), "==")
+
+    def __hash__(self):  # pragma: no cover - expressions are not dict keys
+        raise TypeError("LinExpr is unhashable")
+
+    def __repr__(self) -> str:
+        parts = []
+        for name in sorted(self.coefs):
+            coef = self.coefs[name]
+            if coef == 1.0:
+                parts.append(f"+ {name}")
+            elif coef == -1.0:
+                parts.append(f"- {name}")
+            elif coef < 0:
+                parts.append(f"- {-coef:g}*{name}")
+            else:
+                parts.append(f"+ {coef:g}*{name}")
+        if self.const or not parts:
+            parts.append(f"+ {self.const:g}" if self.const >= 0
+                         else f"- {-self.const:g}")
+        text = " ".join(parts)
+        return text[2:] if text.startswith("+ ") else text
+
+
+class Constraint:
+    """A linear constraint ``expr sense 0``.
+
+    ``expr`` already has the right-hand side folded in, so the rhs of
+    the normalized row is ``-expr.const``.
+    """
+
+    __slots__ = ("expr", "sense", "name")
+
+    def __init__(self, expr: LinExpr, sense: str, name: str = ""):
+        if sense not in _SENSES:
+            raise ValueError(f"bad constraint sense {sense!r}")
+        self.expr = expr
+        self.sense = sense
+        self.name = name
+
+    @property
+    def rhs(self) -> float:
+        return -self.expr.const
+
+    def coefficients(self) -> Mapping[str, float]:
+        return self.expr.coefs
+
+    def satisfied_by(self, assignment: Mapping[str, float],
+                     tol: float = 1e-6) -> bool:
+        value = self.expr.evaluate(assignment)
+        if self.sense == "<=":
+            return value <= tol
+        if self.sense == ">=":
+            return value >= -tol
+        return abs(value) <= tol
+
+    def trivially_false(self) -> bool:
+        """True when the constraint has no variables and is violated,
+        e.g. the ``0 == 1`` rows that appear while pruning null DNF sets."""
+        if self.expr.coefs:
+            return False
+        return not self.satisfied_by({})
+
+    def __repr__(self) -> str:
+        lhs = LinExpr(self.expr.coefs, 0.0)
+        sense = {"<=": "<=", ">=": ">=", "==": "="}[self.sense]
+        rhs = 0.0 if self.rhs == 0 else self.rhs   # avoid "-0"
+        return f"{lhs!r} {sense} {rhs:g}"

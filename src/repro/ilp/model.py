@@ -1,0 +1,195 @@
+"""Problem container tying expressions to the LP/ILP solvers."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import ILPError
+from .expr import Constraint, LinExpr, Var
+from .solution import ILPResult, LPResult, Status
+
+
+class Problem:
+    """A (mixed-)integer linear program.
+
+    Variables are registered explicitly with :meth:`add_var` or
+    implicitly the first time they appear in a constraint or objective
+    (implicit variables get the IPET defaults: integer, ``>= 0``).
+
+    Example
+    -------
+    >>> p = Problem("demo")
+    >>> x = p.add_var("x")
+    >>> y = p.add_var("y")
+    >>> p.add(x + y <= 4)
+    >>> p.add(x - y <= 2)
+    >>> p.maximize(3 * x + y)
+    >>> result = p.solve()
+    >>> result.objective
+    10.0
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.variables: dict[str, Var] = {}
+        self.constraints: list[Constraint] = []
+        self.objective: LinExpr = LinExpr()
+        self.sense: str = "max"
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_var(self, name: str, lower: float = 0.0,
+                upper: float | None = None, integer: bool = True) -> Var:
+        if name in self.variables:
+            return self.variables[name]
+        var = Var(name, lower=lower, upper=upper, integer=integer)
+        self.variables[name] = var
+        return var
+
+    def var(self, name: str) -> Var:
+        return self.variables[name]
+
+    def add(self, constraint: Constraint) -> None:
+        if not isinstance(constraint, Constraint):
+            raise TypeError(f"expected Constraint, got {constraint!r}")
+        for name in constraint.expr.variables():
+            self.add_var(name)
+        self.constraints.append(constraint)
+
+    def add_all(self, constraints: Iterable[Constraint]) -> None:
+        for constraint in constraints:
+            self.add(constraint)
+
+    def maximize(self, expr: LinExpr | Var) -> None:
+        self._set_objective(expr, "max")
+
+    def minimize(self, expr: LinExpr | Var) -> None:
+        self._set_objective(expr, "min")
+
+    def _set_objective(self, expr, sense: str) -> None:
+        if isinstance(expr, Var):
+            expr = expr + 0
+        for name in expr.variables():
+            self.add_var(name)
+        self.objective = expr
+        self.sense = sense
+
+    # ------------------------------------------------------------------
+    # Standard-form export
+    # ------------------------------------------------------------------
+    def to_arrays(self, extra: Iterable[Constraint] = ()):
+        """Lower the problem to (costs, matrix, senses, rhs, order).
+
+        Variable lower bounds are shifted to zero and upper bounds
+        become explicit rows, so the simplex core only ever sees
+        ``x >= 0``.  ``extra`` constraints (used by branch & bound) are
+        appended without mutating the problem.
+        """
+        order = sorted(self.variables)
+        index = {name: j for j, name in enumerate(order)}
+        shift = np.array([self.variables[name].lower for name in order])
+
+        rows: list[np.ndarray] = []
+        senses: list[str] = []
+        rhs: list[float] = []
+
+        def emit(constraint: Constraint) -> None:
+            row = np.zeros(len(order))
+            for name, coef in constraint.coefficients().items():
+                row[index[name]] = coef
+            # Shift: constraint on x becomes constraint on y = x - lower.
+            rows.append(row)
+            senses.append("==" if constraint.sense == "==" else constraint.sense)
+            rhs.append(constraint.rhs - float(row @ shift))
+
+        for constraint in self.constraints:
+            emit(constraint)
+        for constraint in extra:
+            emit(constraint)
+        for j, name in enumerate(order):
+            var = self.variables[name]
+            if var.upper is not None:
+                row = np.zeros(len(order))
+                row[j] = 1.0
+                rows.append(row)
+                senses.append("<=")
+                rhs.append(var.upper - var.lower)
+
+        matrix = np.vstack(rows) if rows else np.zeros((0, len(order)))
+        costs = np.zeros(len(order))
+        for name, coef in self.objective.coefs.items():
+            costs[index[name]] = coef
+        objective_shift = self.objective.const + float(costs @ shift)
+        return costs, matrix, senses, np.array(rhs), order, shift, objective_shift
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+    def solve_relaxation(self, extra: Iterable[Constraint] = (),
+                         engine: str = "float") -> LPResult:
+        """Solve the LP relaxation (integrality dropped).
+
+        ``engine`` chooses the numeric core: ``"float"`` (NumPy
+        two-phase simplex) or ``"exact"`` (Fraction arithmetic).
+        """
+        (costs, matrix, senses, rhs,
+         order, shift, objective_shift) = self.to_arrays(extra)
+        if engine == "exact":
+            from .exact import solve_lp_exact
+
+            result = solve_lp_exact(costs, matrix, senses, rhs,
+                                    maximize=(self.sense == "max"))
+        else:
+            from . import simplex
+
+            result = simplex.solve_lp(costs, matrix, senses, rhs,
+                                      maximize=(self.sense == "max"))
+        if result.status is not Status.OPTIMAL:
+            return LPResult(result.status, iterations=result.iterations)
+        values = {name: result.values[str(j)] + shift[j]
+                  for j, name in enumerate(order)}
+        return LPResult(Status.OPTIMAL, result.objective + objective_shift,
+                        values, result.iterations)
+
+    def solve(self, backend: str = "simplex") -> ILPResult:
+        """Solve the integer program.
+
+        ``backend`` selects ``"simplex"`` (our branch & bound over the
+        from-scratch simplex, the default) or ``"scipy"`` (HiGHS via
+        :func:`scipy.optimize.milp`, used as a cross-check oracle).
+        """
+        if backend == "simplex":
+            from .branch_bound import solve_ilp
+
+            return solve_ilp(self)
+        if backend == "exact":
+            from .branch_bound import solve_ilp
+
+            return solve_ilp(self, engine="exact")
+        if backend == "scipy":
+            from .scipy_backend import solve_with_scipy
+
+            return solve_with_scipy(self)
+        raise ILPError(f"unknown backend {backend!r}")
+
+    # ------------------------------------------------------------------
+    # Utilities
+    # ------------------------------------------------------------------
+    def check(self, assignment: Mapping[str, float], tol: float = 1e-6) -> bool:
+        """True when `assignment` satisfies every constraint and bound."""
+        for name, var in self.variables.items():
+            value = assignment.get(name, 0.0)
+            if value < var.lower - tol:
+                return False
+            if var.upper is not None and value > var.upper + tol:
+                return False
+            if var.integer and abs(value - round(value)) > tol:
+                return False
+        return all(c.satisfied_by(assignment, tol) for c in self.constraints)
+
+    def __repr__(self) -> str:
+        return (f"Problem({self.name!r}, vars={len(self.variables)}, "
+                f"constraints={len(self.constraints)}, sense={self.sense})")

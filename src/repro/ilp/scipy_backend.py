@@ -1,0 +1,54 @@
+"""Optional scipy (HiGHS) backend, used as a cross-check oracle in tests.
+
+The production path is the from-scratch simplex + branch & bound; this
+module exists so the test suite can validate that solver against an
+independent implementation on randomized instances.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .model import Problem
+from .solution import ILPResult, SolveStats, Status
+
+
+def solve_with_scipy(problem: Problem) -> ILPResult:
+    """Solve `problem` with :func:`scipy.optimize.milp`."""
+    from scipy.optimize import Bounds, LinearConstraint, milp
+
+    (costs, matrix, senses, rhs,
+     order, shift, objective_shift) = problem.to_arrays()
+    sign = -1.0 if problem.sense == "max" else 1.0
+
+    lower = np.full(len(rhs), -np.inf)
+    upper = np.full(len(rhs), np.inf)
+    for i, sense in enumerate(senses):
+        if sense in ("<=", "=="):
+            upper[i] = rhs[i]
+        if sense in (">=", "=="):
+            lower[i] = rhs[i]
+
+    integrality = np.array(
+        [1 if problem.variables[name].integer else 0 for name in order])
+    kwargs = {}
+    if len(rhs):
+        kwargs["constraints"] = LinearConstraint(matrix, lower, upper)
+    result = milp(
+        sign * costs,
+        integrality=integrality,
+        bounds=Bounds(lb=np.zeros(len(order)), ub=np.inf),
+        **kwargs,
+    )
+
+    stats = SolveStats(lp_calls=1, nodes=int(result.get("mip_node_count") or 0))
+    if result.status == 2:
+        return ILPResult(Status.INFEASIBLE, stats=stats)
+    if result.status == 3:
+        return ILPResult(Status.UNBOUNDED, stats=stats)
+    if result.status != 0:
+        raise RuntimeError(f"scipy.milp failed: {result.message}")
+    values = {name: float(result.x[j]) + shift[j]
+              for j, name in enumerate(order)}
+    objective = sign * float(result.fun) + objective_shift
+    return ILPResult(Status.OPTIMAL, objective, values, stats)

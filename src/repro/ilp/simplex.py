@@ -1,0 +1,238 @@
+"""Dense two-phase primal simplex, written from scratch.
+
+This is the LP engine under the branch & bound ILP solver.  It solves
+
+    minimize    c . x
+    subject to  A x (<= | >= | ==) b,   x >= 0
+
+with the classic tableau method: phase 1 drives artificial variables to
+zero (detecting infeasibility), phase 2 optimizes the real objective
+(detecting unboundedness).  Pivot selection uses Dantzig's rule and
+falls back to Bland's rule after a stall threshold, which guarantees
+termination on the highly degenerate flow-conservation systems IPET
+produces.
+
+The implementation is dense NumPy; IPET problems are at most a few
+thousand rows/columns, far below where sparsity would matter.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .solution import LPResult, Status
+
+#: Pivot/feasibility tolerance.  IPET coefficient magnitudes are modest
+#: (unit flow coefficients and loop bounds), so a fixed tolerance works.
+TOL = 1e-9
+
+
+class _Tableau:
+    """Mutable simplex tableau with a basis."""
+
+    def __init__(self, body: np.ndarray, rhs: np.ndarray, basis: list[int]):
+        self.body = body            # m x ncols
+        self.rhs = rhs              # m
+        self.basis = basis          # m basic column indices
+        self.iterations = 0
+
+    @property
+    def nrows(self) -> int:
+        return self.body.shape[0]
+
+    @property
+    def ncols(self) -> int:
+        return self.body.shape[1]
+
+    def reduced_costs(self, costs: np.ndarray) -> tuple[np.ndarray, float]:
+        """Reduced cost row and current objective for cost vector `costs`."""
+        cb = costs[self.basis]
+        reduced = costs - cb @ self.body
+        objective = float(cb @ self.rhs)
+        return reduced, objective
+
+    def pivot(self, row: int, col: int) -> None:
+        """Make `col` basic in `row` by Gaussian elimination."""
+        body, rhs = self.body, self.rhs
+        pivot_value = body[row, col]
+        body[row] /= pivot_value
+        rhs[row] /= pivot_value
+        # Eliminate the pivot column from every other row in one
+        # vectorized rank-1 update.
+        factors = body[:, col].copy()
+        factors[row] = 0.0
+        body -= np.outer(factors, body[row])
+        rhs -= factors * rhs[row]
+        body[:, col] = 0.0
+        body[row, col] = 1.0
+        self.basis[row] = col
+        self.iterations += 1
+
+    def optimize(self, costs: np.ndarray, allowed: np.ndarray,
+                 max_iter: int) -> str:
+        """Pivot to optimality for `costs`.
+
+        `allowed` masks columns that may enter the basis (used to keep
+        artificial variables out during phase 2).  Returns "optimal" or
+        "unbounded".
+        """
+        bland_after = 4 * (self.nrows + self.ncols) + 64
+        stall = 0
+        while True:
+            reduced, _ = self.reduced_costs(costs)
+            candidates = np.flatnonzero((reduced < -TOL) & allowed)
+            if candidates.size == 0:
+                return "optimal"
+            if stall <= bland_after:
+                # Dantzig: most negative reduced cost.
+                col = int(candidates[np.argmin(reduced[candidates])])
+            else:
+                # Bland: smallest index, anti-cycling.
+                col = int(candidates[0])
+            column = self.body[:, col]
+            rows = np.flatnonzero(column > TOL)
+            if rows.size == 0:
+                return "unbounded"
+            ratios = self.rhs[rows] / column[rows]
+            best = ratios.min()
+            ties = rows[np.flatnonzero(ratios <= best + TOL)]
+            # Tie-break by smallest basis index (part of Bland's rule).
+            row = int(min(ties, key=lambda r: self.basis[r]))
+            degenerate = best <= TOL
+            stall = stall + 1 if degenerate else 0
+            self.pivot(row, col)
+            if self.iterations > max_iter:
+                raise RuntimeError(
+                    f"simplex exceeded {max_iter} iterations; "
+                    "the problem is likely numerically pathological")
+
+
+def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
+             max_iter: int = 200_000) -> LPResult:
+    """Solve an LP with nonnegative variables.
+
+    Parameters
+    ----------
+    costs:
+        Objective coefficients, length n.
+    matrix:
+        Constraint matrix, shape (m, n).
+    senses:
+        One of ``"<="``, ``">="``, ``"=="`` per row.
+    rhs:
+        Right-hand sides, length m.
+    maximize:
+        Maximize instead of minimize.
+
+    Returns
+    -------
+    LPResult
+        With ``values`` keyed by column index as strings ("0", "1", ...);
+        the :mod:`repro.ilp.model` layer maps these back to variable
+        names.
+    """
+    costs = np.asarray(costs, dtype=float)
+    matrix = np.asarray(matrix, dtype=float)
+    rhs = np.asarray(rhs, dtype=float)
+    if matrix.ndim != 2:
+        matrix = matrix.reshape(len(rhs), -1)
+    m, n = matrix.shape
+    if costs.shape != (n,) or rhs.shape != (m,) or len(senses) != m:
+        raise ValueError("inconsistent LP dimensions")
+
+    if maximize:
+        inner = solve_lp(-costs, matrix, senses, rhs, maximize=False,
+                         max_iter=max_iter)
+        if inner.objective is not None:
+            inner.objective = -inner.objective
+        return inner
+
+    if m == 0:
+        # No constraints: optimum is 0 on x=0 unless some cost is
+        # negative, in which case the LP is unbounded below.
+        if np.any(costs < -TOL):
+            return LPResult(Status.UNBOUNDED)
+        return LPResult(Status.OPTIMAL, 0.0,
+                        {str(j): 0.0 for j in range(n)})
+
+    # Normalize to b >= 0.
+    senses = list(senses)
+    matrix = matrix.copy()
+    rhs = rhs.copy()
+    for i in range(m):
+        if rhs[i] < 0:
+            matrix[i] *= -1
+            rhs[i] *= -1
+            senses[i] = {"<=": ">=", ">=": "<=", "==": "=="}[senses[i]]
+
+    # Build the extended matrix: original | slacks/surplus | artificials.
+    slack_cols = sum(1 for s in senses if s in ("<=", ">="))
+    art_rows = [i for i, s in enumerate(senses) if s in (">=", "==")]
+    total = n + slack_cols + len(art_rows)
+    body = np.zeros((m, total))
+    body[:, :n] = matrix
+    basis = [-1] * m
+    col = n
+    for i, sense in enumerate(senses):
+        if sense == "<=":
+            body[i, col] = 1.0
+            basis[i] = col
+            col += 1
+        elif sense == ">=":
+            body[i, col] = -1.0
+            col += 1
+    art_start = col
+    for i in art_rows:
+        body[i, col] = 1.0
+        basis[i] = col
+        col += 1
+    assert col == total and all(b >= 0 for b in basis)
+
+    tab = _Tableau(body, rhs, basis)
+    allowed = np.ones(total, dtype=bool)
+
+    if art_rows:
+        phase1 = np.zeros(total)
+        phase1[art_start:] = 1.0
+        outcome = tab.optimize(phase1, allowed, max_iter)
+        # Phase 1 is bounded below by 0, so "unbounded" cannot happen.
+        assert outcome == "optimal"
+        _, artificial_sum = tab.reduced_costs(phase1)
+        if artificial_sum > 1e-7:
+            return LPResult(Status.INFEASIBLE, iterations=tab.iterations)
+        _expel_artificials(tab, art_start)
+        allowed[art_start:] = False
+
+    phase2 = np.zeros(total)
+    phase2[:n] = costs
+    outcome = tab.optimize(phase2, allowed, max_iter)
+    if outcome == "unbounded":
+        return LPResult(Status.UNBOUNDED, iterations=tab.iterations)
+
+    values = {str(j): 0.0 for j in range(n)}
+    for row, column in enumerate(tab.basis):
+        if column < n:
+            values[str(column)] = float(tab.rhs[row])
+    _, objective = tab.reduced_costs(phase2)
+    return LPResult(Status.OPTIMAL, objective, values, tab.iterations)
+
+
+def _expel_artificials(tab: _Tableau, art_start: int) -> None:
+    """Pivot basic artificial variables out of the basis.
+
+    After a feasible phase 1 every basic artificial sits at value 0.  If
+    its row has a nonzero coefficient on a real column we pivot there;
+    otherwise the row is a redundant constraint and is zeroed out (it
+    then never constrains anything again).
+    """
+    for row in range(tab.nrows):
+        if tab.basis[row] < art_start:
+            continue
+        candidates = np.flatnonzero(np.abs(tab.body[row, :art_start]) > TOL)
+        if candidates.size:
+            tab.pivot(row, int(candidates[0]))
+        else:
+            tab.body[row, :] = 0.0
+            tab.rhs[row] = 0.0
+            # Leave the artificial basic at zero; its column is masked
+            # off for phase 2 so it can never become positive.

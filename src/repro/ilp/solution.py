@@ -1,0 +1,61 @@
+"""Result objects returned by the LP and ILP solvers."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Mapping
+
+
+class Status(enum.Enum):
+    """Outcome of a solve."""
+
+    OPTIMAL = "optimal"
+    INFEASIBLE = "infeasible"
+    UNBOUNDED = "unbounded"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+@dataclass
+class LPResult:
+    """Solution of a linear-programming relaxation."""
+
+    status: Status
+    objective: float | None = None
+    values: Mapping[str, float] = field(default_factory=dict)
+    iterations: int = 0
+
+    @property
+    def optimal(self) -> bool:
+        return self.status is Status.OPTIMAL
+
+
+@dataclass
+class SolveStats:
+    """Statistics collected by the branch & bound solver.
+
+    The paper's §VI-A observation is that for IPET problems the very
+    first LP relaxation is already integer valued; the
+    ``first_relaxation_integral`` flag lets callers verify that claim.
+    """
+
+    lp_calls: int = 0
+    nodes: int = 0
+    simplex_iterations: int = 0
+    first_relaxation_integral: bool = False
+
+
+@dataclass
+class ILPResult:
+    """Solution of an integer linear program."""
+
+    status: Status
+    objective: float | None = None
+    values: Mapping[str, float] = field(default_factory=dict)
+    stats: SolveStats = field(default_factory=SolveStats)
+
+    @property
+    def optimal(self) -> bool:
+        return self.status is Status.OPTIMAL

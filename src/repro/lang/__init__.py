@@ -1,0 +1,22 @@
+"""MiniC front end: lexer, parser, AST and semantic analysis.
+
+MiniC is the C subset the benchmark suite is written in.  It keeps the
+control structures that matter for path analysis (loops, conditionals,
+``break``/``continue``, function calls, early returns) and drops
+everything the paper's model forbids (pointers, dynamic memory,
+recursion).
+"""
+
+from . import ast_nodes as ast
+from .lexer import tokenize
+from .parser import parse_program
+from .semantic import BUILTINS, analyze
+
+
+def frontend(source: str) -> ast.Program:
+    """Parse and semantically analyze MiniC source in one step."""
+    return analyze(parse_program(source))
+
+
+__all__ = ["ast", "tokenize", "parse_program", "analyze", "frontend",
+           "BUILTINS"]

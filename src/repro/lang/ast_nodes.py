@@ -1,0 +1,252 @@
+"""Abstract syntax tree for MiniC.
+
+All nodes carry the 1-based source ``line`` they start on; the
+annotated-listing feature (paper Fig. 5) and loop-bound addressing by
+source line both rely on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ----------------------------------------------------------------------
+# Types
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Type:
+    """A MiniC type: scalar ``int``/``float``/``void`` or an array of a
+    scalar with fixed dimensions (row-major)."""
+
+    base: str                      # "int" | "float" | "void"
+    dims: tuple[int, ...] = ()     # () for scalars
+
+    @property
+    def is_array(self) -> bool:
+        return bool(self.dims)
+
+    @property
+    def size_words(self) -> int:
+        """Storage size in machine words (every scalar is one word)."""
+        total = 1
+        for dim in self.dims:
+            total *= dim
+        return total
+
+    def element(self) -> "Type":
+        return Type(self.base)
+
+    def __str__(self) -> str:
+        return self.base + "".join(f"[{d}]" for d in self.dims)
+
+
+INT = Type("int")
+FLOAT = Type("float")
+VOID = Type("void")
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+@dataclass
+class Expr:
+    line: int = field(default=0, kw_only=True)
+    #: Filled in by semantic analysis ("int" or "float").
+    type: str = field(default="", kw_only=True)
+
+
+@dataclass
+class IntLit(Expr):
+    value: int = 0
+
+
+@dataclass
+class FloatLit(Expr):
+    value: float = 0.0
+
+
+@dataclass
+class Name(Expr):
+    name: str = ""
+
+
+@dataclass
+class Index(Expr):
+    """Array element access ``base[i]`` or ``base[i][j]``."""
+
+    name: str = ""
+    indices: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Unary(Expr):
+    op: str = ""                 # "-", "!", "~", "+"
+    operand: Expr | None = None
+
+
+@dataclass
+class Binary(Expr):
+    op: str = ""                 # arithmetic, comparison, bitwise, && ||
+    left: Expr | None = None
+    right: Expr | None = None
+
+
+@dataclass
+class Assign(Expr):
+    """``target op value`` where op is ``=``, ``+=``, ... .
+
+    Usable as an expression (its value is the assigned value), which is
+    what ``for (i = 0; ...)`` and chained assignment need.
+    """
+
+    target: Expr | None = None   # Name or Index
+    op: str = "="
+    value: Expr | None = None
+
+
+@dataclass
+class IncDec(Expr):
+    """``++x`` / ``x++`` / ``--x`` / ``x--`` (paper Fig. 5 uses ``++i``
+    inside a condition)."""
+
+    target: Expr | None = None
+    op: str = "++"
+    prefix: bool = True
+
+
+@dataclass
+class Call(Expr):
+    name: str = ""
+    args: list[Expr] = field(default_factory=list)
+
+
+@dataclass
+class Ternary(Expr):
+    """``cond ? a : b`` — lowered by the compiler into a diamond."""
+
+    cond: Expr | None = None
+    then: Expr | None = None
+    other: Expr | None = None
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+@dataclass
+class Stmt:
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Block(Stmt):
+    stmts: list[Stmt] = field(default_factory=list)
+
+
+@dataclass
+class Decl(Stmt):
+    """Local variable declaration, optionally initialized.
+
+    Arrays take either no initializer or a flat literal list.
+    """
+
+    type: Type = INT
+    name: str = ""
+    init: Expr | list | None = None
+
+
+@dataclass
+class DeclGroup(Stmt):
+    """Several declarations from one ``int a, b, c;`` statement.
+
+    Unlike a :class:`Block` this does not open a new scope.
+    """
+
+    decls: list[Decl] = field(default_factory=list)
+
+
+@dataclass
+class ExprStmt(Stmt):
+    expr: Expr | None = None
+
+
+@dataclass
+class If(Stmt):
+    cond: Expr | None = None
+    then: Stmt | None = None
+    orelse: Stmt | None = None
+
+
+@dataclass
+class While(Stmt):
+    cond: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class DoWhile(Stmt):
+    body: Stmt | None = None
+    cond: Expr | None = None
+
+
+@dataclass
+class For(Stmt):
+    init: Stmt | None = None       # Decl or ExprStmt or None
+    cond: Expr | None = None
+    update: Expr | None = None
+    body: Stmt | None = None
+
+
+@dataclass
+class Return(Stmt):
+    value: Expr | None = None
+
+
+@dataclass
+class Break(Stmt):
+    pass
+
+
+@dataclass
+class Continue(Stmt):
+    pass
+
+
+# ----------------------------------------------------------------------
+# Top level
+# ----------------------------------------------------------------------
+@dataclass
+class Param:
+    type: Type = INT
+    name: str = ""
+    line: int = 0
+
+
+@dataclass
+class FunctionDef:
+    name: str = ""
+    ret_type: Type = VOID
+    params: list[Param] = field(default_factory=list)
+    body: Block | None = None
+    line: int = 0
+
+
+@dataclass
+class GlobalDecl:
+    type: Type = INT
+    name: str = ""
+    init: object = None            # number, flat list of numbers, or None
+    const: bool = False
+    line: int = 0
+
+
+@dataclass
+class Program:
+    globals: list[GlobalDecl] = field(default_factory=list)
+    functions: list[FunctionDef] = field(default_factory=list)
+    source: str = ""
+
+    def function(self, name: str) -> FunctionDef:
+        for fn in self.functions:
+            if fn.name == name:
+                return fn
+        raise KeyError(name)

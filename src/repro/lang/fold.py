@@ -1,0 +1,218 @@
+"""AST-level constant folding.
+
+The paper's §II argues the timing analysis must run on the compiled
+code "so as to capture all the effects of the compiler optimizations".
+This pass (together with :mod:`repro.codegen.optimize`) gives the
+reproduction real optimizations to capture: constant subexpressions
+are evaluated at compile time, constant conditions prune dead
+branches, and the CFG the analysis sees is the optimized one.
+
+Folding preserves MiniC's C-like semantics: integer division truncates
+toward zero, shifts/bitwise stay integral, and division by a constant
+zero is left in place to fault at run time rather than at compile time.
+"""
+
+from __future__ import annotations
+
+import math
+
+from . import ast_nodes as ast
+
+_INT_OPS = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "%": lambda a, b: None if b == 0 else a - math.trunc(a / b) * b,
+    "&": lambda a, b: a & b,
+    "|": lambda a, b: a | b,
+    "^": lambda a, b: a ^ b,
+    "<<": lambda a, b: a << b if 0 <= b < 64 else None,
+    ">>": lambda a, b: a >> b if 0 <= b < 64 else None,
+}
+_CMP_OPS = {
+    "==": lambda a, b: int(a == b),
+    "!=": lambda a, b: int(a != b),
+    "<": lambda a, b: int(a < b),
+    "<=": lambda a, b: int(a <= b),
+    ">": lambda a, b: int(a > b),
+    ">=": lambda a, b: int(a >= b),
+}
+
+
+def fold_program(program: ast.Program) -> ast.Program:
+    """Fold constants everywhere in `program`, in place."""
+    for fn in program.functions:
+        fn.body = _fold_stmt(fn.body)
+    return program
+
+
+def _literal(value, line: int) -> ast.Expr:
+    if isinstance(value, bool):
+        value = int(value)
+    if isinstance(value, int):
+        return ast.IntLit(value, line=line, type="int")
+    return ast.FloatLit(float(value), line=line, type="float")
+
+
+def _value_of(expr: ast.Expr):
+    if isinstance(expr, ast.IntLit):
+        return expr.value
+    if isinstance(expr, ast.FloatLit):
+        return expr.value
+    return None
+
+
+def _truth(expr: ast.Expr):
+    """Constant truth value of a folded condition, or None."""
+    value = _value_of(expr)
+    if value is None:
+        return None
+    return value != 0
+
+
+# ----------------------------------------------------------------------
+# Statements
+# ----------------------------------------------------------------------
+def _fold_stmt(stmt: ast.Stmt | None) -> ast.Stmt | None:
+    if stmt is None:
+        return None
+    if isinstance(stmt, ast.Block):
+        stmt.stmts = [_fold_stmt(s) for s in stmt.stmts]
+        return stmt
+    if isinstance(stmt, ast.DeclGroup):
+        for decl in stmt.decls:
+            _fold_decl(decl)
+        return stmt
+    if isinstance(stmt, ast.Decl):
+        _fold_decl(stmt)
+        return stmt
+    if isinstance(stmt, ast.ExprStmt):
+        if stmt.expr is not None:
+            stmt.expr = _fold_expr(stmt.expr)
+        return stmt
+    if isinstance(stmt, ast.If):
+        stmt.cond = _fold_expr(stmt.cond)
+        stmt.then = _fold_stmt(stmt.then)
+        stmt.orelse = _fold_stmt(stmt.orelse)
+        truth = _truth(stmt.cond)
+        if truth is True:
+            return stmt.then
+        if truth is False:
+            return stmt.orelse if stmt.orelse is not None \
+                else ast.Block([], line=stmt.line)
+        return stmt
+    if isinstance(stmt, ast.While):
+        stmt.cond = _fold_expr(stmt.cond)
+        stmt.body = _fold_stmt(stmt.body)
+        if _truth(stmt.cond) is False:
+            return ast.Block([], line=stmt.line)
+        return stmt
+    if isinstance(stmt, ast.DoWhile):
+        stmt.body = _fold_stmt(stmt.body)
+        stmt.cond = _fold_expr(stmt.cond)
+        return stmt
+    if isinstance(stmt, ast.For):
+        stmt.init = _fold_stmt(stmt.init)
+        if stmt.cond is not None:
+            stmt.cond = _fold_expr(stmt.cond)
+        if stmt.update is not None:
+            stmt.update = _fold_expr(stmt.update)
+        stmt.body = _fold_stmt(stmt.body)
+        return stmt
+    if isinstance(stmt, ast.Return):
+        if stmt.value is not None:
+            stmt.value = _fold_expr(stmt.value)
+        return stmt
+    return stmt
+
+
+def _fold_decl(decl: ast.Decl) -> None:
+    if isinstance(decl.init, ast.Expr):
+        decl.init = _fold_expr(decl.init)
+
+
+# ----------------------------------------------------------------------
+# Expressions
+# ----------------------------------------------------------------------
+def _fold_expr(expr: ast.Expr) -> ast.Expr:
+    if isinstance(expr, ast.Unary):
+        expr.operand = _fold_expr(expr.operand)
+        value = _value_of(expr.operand)
+        if value is not None:
+            if expr.op == "-":
+                return _literal(-value, expr.line)
+            if expr.op == "+":
+                return expr.operand
+            if expr.op == "~" and isinstance(value, int):
+                return _literal(~value, expr.line)
+            if expr.op == "!":
+                return _literal(int(value == 0), expr.line)
+        return expr
+    if isinstance(expr, ast.Binary):
+        return _fold_binary(expr)
+    if isinstance(expr, ast.Assign):
+        expr.value = _fold_expr(expr.value)
+        if isinstance(expr.target, ast.Index):
+            expr.target.indices = [_fold_expr(i)
+                                   for i in expr.target.indices]
+        return expr
+    if isinstance(expr, ast.Index):
+        expr.indices = [_fold_expr(i) for i in expr.indices]
+        return expr
+    if isinstance(expr, ast.Call):
+        expr.args = [_fold_expr(a) for a in expr.args]
+        return expr
+    if isinstance(expr, ast.Ternary):
+        expr.cond = _fold_expr(expr.cond)
+        expr.then = _fold_expr(expr.then)
+        expr.other = _fold_expr(expr.other)
+        truth = _truth(expr.cond)
+        if truth is True:
+            return expr.then
+        if truth is False:
+            return expr.other
+        return expr
+    return expr
+
+
+def _fold_binary(expr: ast.Binary) -> ast.Expr:
+    expr.left = _fold_expr(expr.left)
+    expr.right = _fold_expr(expr.right)
+    left = _value_of(expr.left)
+    right = _value_of(expr.right)
+
+    # Short-circuit operators fold only on a constant left side (the
+    # right side may have side effects that must be preserved when the
+    # left side decides).
+    if expr.op in ("&&", "||"):
+        if left is None:
+            return expr
+        decided_now = (left == 0) if expr.op == "&&" else (left != 0)
+        if decided_now:
+            return _literal(int(expr.op == "||"), expr.line)
+        # Left side passes through: a && b == (b != 0), a || b likewise.
+        if right is not None:
+            return _literal(int(right != 0), expr.line)
+        zero = _literal(0, expr.line)
+        return ast.Binary("!=", expr.right, zero, line=expr.line,
+                          type="int")
+
+    if left is None or right is None:
+        return expr
+    if expr.op in _CMP_OPS:
+        return _literal(_CMP_OPS[expr.op](left, right), expr.line)
+    if expr.op == "/":
+        if right == 0:
+            return expr                    # fault at run time
+        if isinstance(left, int) and isinstance(right, int):
+            return _literal(math.trunc(left / right), expr.line)
+        return _literal(left / right, expr.line)
+    if isinstance(left, float) or isinstance(right, float):
+        if expr.op in ("+", "-", "*"):
+            return _literal(_INT_OPS[expr.op](left, right), expr.line)
+        return expr
+    fn = _INT_OPS.get(expr.op)
+    if fn is None:
+        return expr
+    value = fn(left, right)
+    return expr if value is None else _literal(value, expr.line)

@@ -1,0 +1,387 @@
+"""Semantic analysis for MiniC.
+
+Responsibilities:
+
+* resolve every name against nested scopes and reject use-before-declare
+  and redeclaration;
+* annotate every expression with its computed type (``expr.type``,
+  ``"int"`` or ``"float"``) — the compiler selects integer vs FP
+  instructions from these annotations;
+* enforce MiniC's static rules, which encode the paper's decidability
+  restrictions (§II): no recursion (call-graph cycles rejected), no
+  pointers or dynamic structures (absent from the grammar), arrays with
+  fixed compile-time extents;
+* check ``break``/``continue`` placement, all-paths-return for non-void
+  functions, ``const`` write protection, intrinsic signatures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import RecursionForbiddenError, SemanticError
+from . import ast_nodes as ast
+
+#: Math intrinsics lower to single IR960 instructions with documented
+#: cycle costs (they model the i960KB's on-chip FP/transcendental unit).
+BUILTINS: dict[str, tuple[tuple[str, ...], str]] = {
+    "sin": (("float",), "float"),
+    "cos": (("float",), "float"),
+    "atan": (("float",), "float"),
+    "exp": (("float",), "float"),
+    "log": (("float",), "float"),
+    "sqrt": (("float",), "float"),
+    "fabs": (("float",), "float"),
+    "abs": (("int",), "int"),
+}
+
+
+@dataclass
+class Symbol:
+    name: str
+    type: ast.Type
+    kind: str            # "global" | "local" | "param"
+    const: bool = False
+
+
+class _Scope:
+    def __init__(self, parent: "_Scope | None" = None):
+        self.parent = parent
+        self.symbols: dict[str, Symbol] = {}
+
+    def declare(self, symbol: Symbol, line: int) -> None:
+        if symbol.name in self.symbols:
+            raise SemanticError(f"redeclaration of {symbol.name!r}", line=line)
+        self.symbols[symbol.name] = symbol
+
+    def lookup(self, name: str) -> Symbol | None:
+        scope: _Scope | None = self
+        while scope is not None:
+            if name in scope.symbols:
+                return scope.symbols[name]
+            scope = scope.parent
+        return None
+
+
+def _breaks_at_level(stmt: ast.Stmt | None) -> bool:
+    """True when `stmt` contains a break belonging to the enclosing
+    loop (breaks inside nested loops do not count)."""
+    if stmt is None:
+        return False
+    if isinstance(stmt, ast.Break):
+        return True
+    if isinstance(stmt, (ast.While, ast.DoWhile, ast.For)):
+        return False                      # breaks inside bind to it
+    if isinstance(stmt, ast.Block):
+        return any(_breaks_at_level(s) for s in stmt.stmts)
+    if isinstance(stmt, ast.If):
+        return (_breaks_at_level(stmt.then)
+                or _breaks_at_level(stmt.orelse))
+    return False
+
+
+def analyze(program: ast.Program) -> ast.Program:
+    """Validate and type-annotate `program` in place; returns it."""
+    _Analyzer(program).run()
+    return program
+
+
+class _Analyzer:
+    def __init__(self, program: ast.Program):
+        self.program = program
+        self.globals = _Scope()
+        self.functions: dict[str, ast.FunctionDef] = {}
+        self.calls: dict[str, set[str]] = {}
+        self.current: ast.FunctionDef | None = None
+        self.loop_depth = 0
+
+    def run(self) -> None:
+        for decl in self.program.globals:
+            self._check_global(decl)
+        for fn in self.program.functions:
+            if fn.name in self.functions:
+                raise SemanticError(f"redefinition of function {fn.name!r}",
+                                    line=fn.line)
+            if fn.name in BUILTINS:
+                raise SemanticError(
+                    f"{fn.name!r} is a builtin intrinsic", line=fn.line)
+            if self.globals.lookup(fn.name):
+                raise SemanticError(
+                    f"{fn.name!r} already declared as a variable", line=fn.line)
+            self.functions[fn.name] = fn
+            self.calls[fn.name] = set()
+        for fn in self.program.functions:
+            self._check_function(fn)
+        self._check_no_recursion()
+
+    # ------------------------------------------------------------------
+    def _check_global(self, decl: ast.GlobalDecl) -> None:
+        if decl.const and decl.type.is_array:
+            raise SemanticError("const arrays are not supported; drop const",
+                                line=decl.line)
+        if decl.type.is_array and decl.init is not None:
+            if len(decl.init) > decl.type.size_words:
+                raise SemanticError(
+                    f"{decl.name!r}: {len(decl.init)} initializers for "
+                    f"{decl.type.size_words} elements", line=decl.line)
+        self.globals.declare(
+            Symbol(decl.name, decl.type, "global", decl.const), decl.line)
+
+    def _check_function(self, fn: ast.FunctionDef) -> None:
+        self.current = fn
+        scope = _Scope(self.globals)
+        for param in fn.params:
+            scope.declare(Symbol(param.name, param.type, "param"), param.line)
+        self._stmt(fn.body, scope)
+        if fn.ret_type.base != "void" and not self._always_returns(fn.body):
+            raise SemanticError(
+                f"function {fn.name!r} may fall off the end without "
+                "returning a value", line=fn.line)
+        self.current = None
+
+    def _check_no_recursion(self) -> None:
+        # Iterative DFS cycle detection over the call graph.
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {name: WHITE for name in self.functions}
+        for root in self.functions:
+            if color[root] != WHITE:
+                continue
+            stack: list[tuple[str, list[str]]] = [(root, sorted(self.calls[root]))]
+            color[root] = GRAY
+            while stack:
+                node, todo = stack[-1]
+                while todo:
+                    nxt = todo.pop()
+                    if color[nxt] == GRAY:
+                        raise RecursionForbiddenError(
+                            f"recursion detected: {nxt!r} is (indirectly) "
+                            "recursive, which the IPET model forbids")
+                    if color[nxt] == WHITE:
+                        color[nxt] = GRAY
+                        stack.append((nxt, sorted(self.calls[nxt])))
+                        break
+                else:
+                    color[node] = BLACK
+                    stack.pop()
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+    def _stmt(self, stmt: ast.Stmt, scope: _Scope) -> None:
+        if isinstance(stmt, ast.Block):
+            inner = _Scope(scope)
+            for child in stmt.stmts:
+                self._stmt(child, inner)
+        elif isinstance(stmt, ast.Decl):
+            self._decl(stmt, scope)
+        elif isinstance(stmt, ast.DeclGroup):
+            for decl in stmt.decls:
+                self._decl(decl, scope)
+        elif isinstance(stmt, ast.ExprStmt):
+            if stmt.expr is not None:
+                self._expr(stmt.expr, scope)
+        elif isinstance(stmt, ast.If):
+            self._condition(stmt.cond, scope)
+            self._stmt(stmt.then, scope)
+            if stmt.orelse is not None:
+                self._stmt(stmt.orelse, scope)
+        elif isinstance(stmt, (ast.While, ast.DoWhile)):
+            self._condition(stmt.cond, scope)
+            self.loop_depth += 1
+            self._stmt(stmt.body, scope)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.For):
+            inner = _Scope(scope)
+            if stmt.init is not None:
+                self._stmt(stmt.init, inner)
+            if stmt.cond is not None:
+                self._condition(stmt.cond, inner)
+            if stmt.update is not None:
+                self._expr(stmt.update, inner)
+            self.loop_depth += 1
+            self._stmt(stmt.body, inner)
+            self.loop_depth -= 1
+        elif isinstance(stmt, ast.Return):
+            assert self.current is not None
+            want = self.current.ret_type.base
+            if want == "void":
+                if stmt.value is not None:
+                    raise SemanticError("void function returns a value",
+                                        line=stmt.line)
+            else:
+                if stmt.value is None:
+                    raise SemanticError(
+                        f"non-void function {self.current.name!r} "
+                        "returns nothing", line=stmt.line)
+                self._expr(stmt.value, scope)
+        elif isinstance(stmt, (ast.Break, ast.Continue)):
+            if self.loop_depth == 0:
+                word = "break" if isinstance(stmt, ast.Break) else "continue"
+                raise SemanticError(f"{word} outside a loop", line=stmt.line)
+        else:  # pragma: no cover - parser produces no other nodes
+            raise SemanticError(f"unknown statement {stmt!r}", line=stmt.line)
+
+    def _decl(self, decl: ast.Decl, scope: _Scope) -> None:
+        if decl.type.is_array:
+            if isinstance(decl.init, ast.Expr):
+                raise SemanticError("array initializer must be a brace list",
+                                    line=decl.line)
+            if decl.init is not None and len(decl.init) > decl.type.size_words:
+                raise SemanticError(
+                    f"{decl.name!r}: too many initializers", line=decl.line)
+        elif isinstance(decl.init, list):
+            raise SemanticError("scalar cannot take a brace initializer",
+                                line=decl.line)
+        elif decl.init is not None:
+            self._expr(decl.init, scope)
+        scope.declare(Symbol(decl.name, decl.type, "local"), decl.line)
+
+    def _always_returns(self, stmt: ast.Stmt) -> bool:
+        """Conservative all-paths-return check.
+
+        A ``while (1)``-style loop with no ``break`` at its own level
+        cannot fall through, so control can only leave it via
+        ``return`` — the classic C idiom used by e.g. Bresenham
+        drivers and clippers.
+        """
+        if isinstance(stmt, ast.Return):
+            return True
+        if isinstance(stmt, ast.Block):
+            return any(self._always_returns(s) for s in stmt.stmts)
+        if isinstance(stmt, ast.If):
+            return (stmt.orelse is not None
+                    and self._always_returns(stmt.then)
+                    and self._always_returns(stmt.orelse))
+        if isinstance(stmt, ast.While):
+            return (isinstance(stmt.cond, ast.IntLit)
+                    and stmt.cond.value != 0
+                    and not _breaks_at_level(stmt.body))
+        return False
+
+    # ------------------------------------------------------------------
+    # Expressions
+    # ------------------------------------------------------------------
+    def _condition(self, expr: ast.Expr, scope: _Scope) -> None:
+        self._expr(expr, scope)
+
+    def _lvalue(self, expr: ast.Expr, scope: _Scope) -> Symbol:
+        symbol_name = expr.name  # Name and Index both carry .name
+        symbol = scope.lookup(symbol_name)
+        if symbol is None:
+            raise SemanticError(f"undeclared variable {symbol_name!r}",
+                                line=expr.line)
+        if symbol.const:
+            raise SemanticError(f"cannot assign to const {symbol_name!r}",
+                                line=expr.line)
+        self._expr(expr, scope)
+        return symbol
+
+    def _expr(self, expr: ast.Expr, scope: _Scope) -> str:
+        kind = self._expr_inner(expr, scope)
+        expr.type = kind
+        return kind
+
+    def _expr_inner(self, expr: ast.Expr, scope: _Scope) -> str:
+        if isinstance(expr, ast.IntLit):
+            return "int"
+        if isinstance(expr, ast.FloatLit):
+            return "float"
+        if isinstance(expr, ast.Name):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise SemanticError(f"undeclared variable {expr.name!r}",
+                                    line=expr.line)
+            if symbol.type.is_array:
+                raise SemanticError(
+                    f"{expr.name!r} is an array; MiniC has no pointer "
+                    "decay — index it", line=expr.line)
+            return symbol.type.base
+        if isinstance(expr, ast.Index):
+            symbol = scope.lookup(expr.name)
+            if symbol is None:
+                raise SemanticError(f"undeclared array {expr.name!r}",
+                                    line=expr.line)
+            if not symbol.type.is_array:
+                raise SemanticError(f"{expr.name!r} is not an array",
+                                    line=expr.line)
+            if len(expr.indices) != len(symbol.type.dims):
+                raise SemanticError(
+                    f"{expr.name!r} needs {len(symbol.type.dims)} "
+                    f"indices, got {len(expr.indices)}", line=expr.line)
+            for index in expr.indices:
+                if self._expr(index, scope) != "int":
+                    raise SemanticError("array index must be int",
+                                        line=index.line)
+            return symbol.type.base
+        if isinstance(expr, ast.Unary):
+            inner = self._expr(expr.operand, scope)
+            if expr.op in ("~",) and inner != "int":
+                raise SemanticError("~ requires an int operand", line=expr.line)
+            if expr.op == "!":
+                return "int"
+            return inner
+        if isinstance(expr, ast.Binary):
+            left = self._expr(expr.left, scope)
+            right = self._expr(expr.right, scope)
+            if expr.op in ("&&", "||", "==", "!=", "<", "<=", ">", ">="):
+                return "int"
+            if expr.op in ("%", "&", "|", "^", "<<", ">>"):
+                if left != "int" or right != "int":
+                    raise SemanticError(
+                        f"{expr.op} requires int operands", line=expr.line)
+                return "int"
+            return "float" if "float" in (left, right) else "int"
+        if isinstance(expr, ast.Assign):
+            symbol = self._lvalue(expr.target, scope)
+            value_type = self._expr(expr.value, scope)
+            if expr.op not in ("=",):
+                binop = expr.op[:-1]
+                if binop in ("%", "&", "|", "^", "<<", ">>"):
+                    if symbol.type.base != "int" or value_type != "int":
+                        raise SemanticError(
+                            f"{expr.op} requires int operands", line=expr.line)
+            return symbol.type.base
+        if isinstance(expr, ast.IncDec):
+            symbol = self._lvalue(expr.target, scope)
+            if symbol.type.base != "int":
+                raise SemanticError(f"{expr.op} requires an int variable",
+                                    line=expr.line)
+            return "int"
+        if isinstance(expr, ast.Call):
+            return self._call(expr, scope)
+        if isinstance(expr, ast.Ternary):
+            self._condition(expr.cond, scope)
+            then = self._expr(expr.then, scope)
+            other = self._expr(expr.other, scope)
+            return "float" if "float" in (then, other) else "int"
+        raise SemanticError(f"unknown expression {expr!r}",
+                            line=expr.line)  # pragma: no cover
+
+    def _call(self, expr: ast.Call, scope: _Scope) -> str:
+        if expr.name in BUILTINS:
+            param_types, ret = BUILTINS[expr.name]
+            if len(expr.args) != len(param_types):
+                raise SemanticError(
+                    f"{expr.name}() takes {len(param_types)} argument(s)",
+                    line=expr.line)
+            for arg, want in zip(expr.args, param_types):
+                got = self._expr(arg, scope)
+                if want == "int" and got != "int":
+                    raise SemanticError(
+                        f"{expr.name}() needs an int argument", line=expr.line)
+            return ret
+        fn = self.functions.get(expr.name)
+        if fn is None:
+            raise SemanticError(f"call to undefined function {expr.name!r}",
+                                line=expr.line)
+        if self.current is not None:
+            self.calls[self.current.name].add(expr.name)
+        if len(expr.args) != len(fn.params):
+            raise SemanticError(
+                f"{expr.name}() takes {len(fn.params)} argument(s), "
+                f"got {len(expr.args)}", line=expr.line)
+        for arg in expr.args:
+            self._expr(arg, scope)
+        if fn.ret_type.base == "void":
+            return "void"
+        return fn.ret_type.base

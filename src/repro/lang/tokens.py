@@ -1,0 +1,44 @@
+"""Token definitions for the MiniC front end."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KEYWORDS = frozenset({
+    "int", "float", "void", "const",
+    "if", "else", "while", "for", "do",
+    "return", "break", "continue",
+})
+
+#: Multi-character operators, longest first so the lexer can use
+#: greedy matching.
+OPERATORS = (
+    "<<=", ">>=",
+    "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "++", "--", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=",
+    "+", "-", "*", "/", "%", "<", ">", "=", "!", "&", "|", "^", "~",
+    "(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    """A single lexical token.
+
+    ``kind`` is one of: ``"id"``, ``"int"``, ``"float"``, ``"kw"``,
+    ``"op"``, ``"eof"``.  ``value`` holds the identifier text, the
+    numeric value, the keyword, or the operator string.
+    """
+
+    kind: str
+    value: object
+    line: int
+    col: int
+
+    def matches(self, kind: str, value=None) -> bool:
+        if self.kind != kind:
+            return False
+        return value is None or self.value == value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Token({self.kind}, {self.value!r}, line={self.line})"

@@ -1,0 +1,36 @@
+"""The paper's benchmark suite (Table I), re-implemented in MiniC.
+
+Every routine ships with the loop bounds and functionality constraints
+a cinderella user would supply, plus the best/worst-case data sets the
+paper identifies "by a careful study of the program" (§VI-A).
+"""
+
+from __future__ import annotations
+
+from .base import Benchmark
+from .extra import extra_benchmarks
+from . import (check_data, circle, des, dhry, fft, fullsearch,
+               jpeg_fdct, jpeg_idct, line, matgen, piksrt, recon,
+               whetstone)
+
+#: Table I order.
+_MODULES = (check_data, fft, piksrt, des, line, circle, jpeg_fdct,
+            jpeg_idct, recon, fullsearch, whetstone, dhry, matgen)
+
+
+def all_benchmarks() -> dict[str, Benchmark]:
+    """All Table-I benchmarks, in the paper's row order."""
+    return {module.BENCHMARK.name: module.BENCHMARK
+            for module in _MODULES}
+
+
+def get_benchmark(name: str) -> Benchmark:
+    benchmarks = all_benchmarks()
+    if name not in benchmarks:
+        known = ", ".join(benchmarks)
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}")
+    return benchmarks[name]
+
+
+__all__ = ["Benchmark", "all_benchmarks", "get_benchmark",
+           "extra_benchmarks"]

@@ -1,0 +1,57 @@
+"""check_data — the running example from Park's thesis (paper Fig. 5)."""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+const int DATASIZE = 10;
+int data[10];
+
+int check_data() {
+    int i, morecheck, wrongone;
+    morecheck = 1; i = 0; wrongone = -1;
+    while (morecheck) {
+        if (data[i] < 0) {
+            wrongone = i; morecheck = 0;
+        }
+        else
+            if (++i >= DATASIZE)
+                morecheck = 0;
+    }
+    if (wrongone >= 0)
+        return 0;
+    else
+        return 1;
+}
+"""
+
+
+def _add_constraints(analysis) -> None:
+    """The paper's (16) and (17): lines 6 and 10 of Fig. 5 are mutually
+    exclusive and execute at most once; line 6 and line 13 are always
+    executed together."""
+    bench = BENCHMARK
+    x_neg = bench.block_var_at_text(analysis,
+                                    "wrongone = i; morecheck = 0;")
+    x_stop = bench.block_var_at_text(analysis, "morecheck = 0;")
+    x_ret0 = bench.block_var_at_text(analysis, "return 0;")
+    analysis.add_constraint(
+        f"({x_neg} = 0 & {x_stop} = 1) | ({x_neg} = 1 & {x_stop} = 0)")
+    analysis.add_constraint(f"{x_neg} = {x_ret0}")
+
+
+BENCHMARK = Benchmark(
+    name="check_data",
+    description="Example from Park's thesis",
+    source=SOURCE,
+    entry="check_data",
+    loop_bounds={"check_data": [(1, 10)]},      # paper (14)-(15)
+    # Best case: the first element is already negative.
+    best_data=Dataset(globals={"data": [-1] + [0] * 9}),
+    # Worst case: every element passes, loop runs DATASIZE times.
+    worst_data=Dataset(globals={"data": [1] * 10}),
+    add_constraints=_add_constraints,
+    expected_values=(0, 1),
+)

@@ -1,0 +1,57 @@
+"""circle — midpoint circle drawing routine from Gupta's thesis."""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+const int SIZE = 128;
+int image[16384];
+int cx;
+int cy;
+int radius;
+
+void plot8(int x, int y) {
+    image[(cy + y) * SIZE + (cx + x)] = 1;
+    image[(cy + y) * SIZE + (cx - x)] = 1;
+    image[(cy - y) * SIZE + (cx + x)] = 1;
+    image[(cy - y) * SIZE + (cx - x)] = 1;
+    image[(cy + x) * SIZE + (cx + y)] = 1;
+    image[(cy + x) * SIZE + (cx - y)] = 1;
+    image[(cy - x) * SIZE + (cx + y)] = 1;
+    image[(cy - x) * SIZE + (cx - y)] = 1;
+}
+
+void circle() {
+    int x, y, d;
+    x = 0;
+    y = radius;
+    d = 3 - 2 * radius;
+    while (x <= y) {
+        plot8(x, y);
+        if (d < 0) {
+            d = d + 4 * x + 6;
+        } else {
+            d = d + 4 * (x - y) + 10;
+            y--;
+        }
+        x++;
+    }
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="circle",
+    description="Circle drawing routine in Gupta's thesis",
+    source=SOURCE,
+    entry="circle",
+    # One octant is walked: the loop always runs at least once
+    # (x = 0 <= y = radius initially) and for radii up to 32 at most
+    # 23 times (ceil(r / sqrt 2) + 1).
+    loop_bounds={"circle": [(1, 23)]},
+    # Best case: radius 0 degenerates to a single plotted octet.
+    best_data=Dataset(globals={"cx": 64, "cy": 64, "radius": 0}),
+    # Worst case: the largest supported radius.
+    worst_data=Dataset(globals={"cx": 64, "cy": 64, "radius": 32}),
+)

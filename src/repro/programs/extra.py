@@ -1,0 +1,170 @@
+"""Secondary benchmark routines (not in the paper's Table I).
+
+A small companion suite of classic embedded kernels used to exercise
+the toolchain beyond the reproduction targets: sorting, searching,
+linear algebra, checksumming and filtering.  They are registered
+separately (:func:`extra_benchmarks`) so the paper's tables stay
+exactly the paper's 13 rows.
+"""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+BUBBLE = Benchmark(
+    name="bubble",
+    description="Bubble sort with early exit on a sorted pass",
+    source="""\
+const int N = 12;
+int arr[12];
+
+void bubble() {
+    int i, j, t, swapped;
+    for (i = 0; i < N - 1; i++) {
+        swapped = 0;
+        for (j = 0; j < N - 1 - i; j++) {
+            if (arr[j] > arr[j + 1]) {
+                t = arr[j];
+                arr[j] = arr[j + 1];
+                arr[j + 1] = t;
+                swapped = 1;
+            }
+        }
+        if (swapped == 0)
+            return;
+    }
+}
+""",
+    entry="bubble",
+    # Outer: up to 11 passes, but the early exit can end after 1.
+    # Inner: at most 11 iterations per entry.
+    loop_bounds={"bubble": [(0, 11), (1, 11)]},
+    best_data=Dataset(globals={"arr": list(range(12))}),
+    worst_data=Dataset(globals={"arr": list(range(11, -1, -1))}),
+)
+
+BINSEARCH = Benchmark(
+    name="binsearch",
+    description="Binary search over a sorted table",
+    source="""\
+const int N = 64;
+int table[64];
+int key;
+
+int binsearch() {
+    int lo, hi, mid;
+    lo = 0;
+    hi = N - 1;
+    while (lo <= hi) {
+        mid = (lo + hi) / 2;
+        if (table[mid] == key)
+            return mid;
+        if (table[mid] < key)
+            lo = mid + 1;
+        else
+            hi = mid - 1;
+    }
+    return -1;
+}
+""",
+    entry="binsearch",
+    # log2(64) + 1 = 7 probes at most; a hit leaves through the
+    # return without taking the back edge, so the lower bound is 0.
+    loop_bounds={"binsearch": [(0, 7)]},
+    best_data=Dataset(globals={"table": [2 * i for i in range(64)],
+                               "key": 62}),     # found on first probe
+    worst_data=Dataset(globals={"table": [2 * i for i in range(64)],
+                                "key": 63}),    # absent: full descent
+    expected_values=(31, -1),
+)
+
+MATMUL = Benchmark(
+    name="matmul",
+    description="Dense 8x8 integer matrix multiply",
+    source="""\
+const int N = 8;
+int A[64];
+int B[64];
+int C[64];
+
+void matmul() {
+    int i, j, k, s;
+    for (i = 0; i < N; i++) {
+        for (j = 0; j < N; j++) {
+            s = 0;
+            for (k = 0; k < N; k++)
+                s += A[i * N + k] * B[k * N + j];
+            C[i * N + j] = s;
+        }
+    }
+}
+""",
+    entry="matmul",
+    loop_bounds={"matmul": [(8, 8), (8, 8), (8, 8)]},
+    best_data=Dataset(globals={"A": [0] * 64, "B": [0] * 64}),
+    worst_data=Dataset(globals={"A": [3] * 64, "B": [5] * 64}),
+)
+
+CRC = Benchmark(
+    name="crc8",
+    description="Bitwise CRC-8 over a 32-byte message",
+    source="""\
+const int LEN = 32;
+int message[32];
+
+int crc8() {
+    int crc, i, b;
+    crc = 0;
+    for (i = 0; i < LEN; i++) {
+        crc = crc ^ message[i];
+        for (b = 0; b < 8; b++) {
+            if (crc & 128)
+                crc = ((crc << 1) ^ 7) & 255;
+            else
+                crc = (crc << 1) & 255;
+        }
+    }
+    return crc;
+}
+""",
+    entry="crc8",
+    loop_bounds={"crc8": [(32, 32), (8, 8)]},
+    best_data=Dataset(globals={"message": [0] * 32}),
+    worst_data=Dataset(globals={"message": [255] * 32}),
+)
+
+FIR = Benchmark(
+    name="fir",
+    description="16-tap FIR filter over a 64-sample buffer",
+    source="""\
+const int TAPS = 16;
+const int SAMPLES = 64;
+float coeff[16];
+float input[80];
+float output[64];
+
+void fir() {
+    int n, k;
+    float acc;
+    for (n = 0; n < SAMPLES; n++) {
+        acc = 0.0;
+        for (k = 0; k < TAPS; k++)
+            acc = acc + coeff[k] * input[n + k];
+        output[n] = acc;
+    }
+}
+""",
+    entry="fir",
+    loop_bounds={"fir": [(64, 64), (16, 16)]},
+    best_data=Dataset(globals={"coeff": [0.0625] * 16,
+                               "input": [0.0] * 80}),
+    worst_data=Dataset(globals={"coeff": [0.0625] * 16,
+                                "input": [1.0] * 80}),
+)
+
+
+def extra_benchmarks() -> dict[str, Benchmark]:
+    """The companion suite, keyed by name."""
+    return {bench.name: bench
+            for bench in (BUBBLE, BINSEARCH, MATMUL, CRC, FIR)}

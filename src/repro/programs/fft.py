@@ -1,0 +1,93 @@
+"""fft — iterative radix-2 Fast Fourier Transform (N = 32).
+
+Control flow is data independent (the classic property of FFTs), so
+the estimated bound can be made exact with a handful of functionality
+constraints stating the total trip counts of the non-rectangular
+loops — the paper reports [0.01, 0.01] pessimism for its fft.
+"""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+const int N = 32;
+float re[32];
+float im[32];
+
+void fft() {
+    int i, j, k, len, half, base;
+    float ang, wr, wi, tr, ti;
+    j = 0;
+    for (i = 1; i < N; i++) {
+        k = N >> 1;
+        while (k <= j) {
+            j -= k;
+            k = k >> 1;
+        }
+        j += k;
+        if (i < j) {
+            tr = re[i]; re[i] = re[j]; re[j] = tr;
+            ti = im[i]; im[i] = im[j]; im[j] = ti;
+        }
+    }
+    for (len = 2; len <= N; len = len << 1) {
+        half = len >> 1;
+        ang = -6.283185307179586 / len;
+        for (base = 0; base < N; base += len) {
+            for (j = 0; j < half; j++) {
+                wr = cos(ang * j);
+                wi = sin(ang * j);
+                tr = wr * re[base + j + half] - wi * im[base + j + half];
+                ti = wr * im[base + j + half] + wi * re[base + j + half];
+                re[base + j + half] = re[base + j] - tr;
+                im[base + j + half] = im[base + j] - ti;
+                re[base + j] = re[base + j] + tr;
+                im[base + j] = im[base + j] + ti;
+            }
+        }
+    }
+}
+"""
+
+
+def _add_constraints(analysis) -> None:
+    """Exact total trip counts for N = 32 (data independent):
+
+    * bit-reversal carry loop: 26 back edges in total;
+    * swap block: exactly 12 of the 31 candidates swap;
+    * middle butterfly loop: 16+8+4+2+1 = 31 bodies over 5 stages;
+    * inner butterfly loop: 5 * 16 = 80 bodies.
+    """
+    loops = sorted(analysis.loops, key=lambda l: l.header_line)
+    bitrev_outer, carry, stage, middle, inner = loops
+    for loop, total in ((carry, 26), (middle, 31), (inner, 80)):
+        back = " + ".join(e.name for e in loop.back_edges)
+        analysis.add_constraint(f"{back} = {total}")
+    swap = BENCHMARK.block_var_at_text(
+        analysis, "tr = re[i]; re[i] = re[j]; re[j] = tr;")
+    analysis.add_constraint(f"{swap} = 12")
+
+
+_IMPULSE = [0.0] * 32
+_IMPULSE[1] = 1.0
+
+BENCHMARK = Benchmark(
+    name="fft",
+    description="Fast Fourier Transform",
+    source=SOURCE,
+    entry="fft",
+    loop_bounds={"fft": [
+        (31, 31),     # bit-reversal scan: i = 1..31
+        (0, 4),       # carry-propagation while: at most log2(N)-1
+        (5, 5),       # stages: len = 2,4,8,16,32
+        (1, 16),      # groups per stage
+        (1, 16),      # butterflies per group
+    ]},
+    # Control flow is data independent; the two data sets only matter
+    # for the cache behaviour of the measured run.
+    best_data=Dataset(globals={"re": _IMPULSE, "im": [0.0] * 32}),
+    worst_data=Dataset(globals={"re": [1.0] * 32, "im": [0.5] * 32}),
+    add_constraints=_add_constraints,
+)

@@ -1,0 +1,91 @@
+"""fullsearch — MPEG-2 encoder full-search motion estimation.
+
+The distance kernel ``dist1`` carries mpeg2encode's row-level early
+abort: once the accumulated absolute difference reaches the best
+distance found so far, the remaining rows cannot improve it and the
+scan stops.  That makes the loop's trip count deeply data dependent —
+the paper's measured fullsearch interval is nearly a point while the
+estimate stays wide, the classic hardware/path interplay."""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+const int W = 48;
+int ref[2304];
+int cur[256];
+int bestx;
+int besty;
+
+int dist1(int x0, int y0, int lim) {
+    int i, j, s, d;
+    s = 0;
+    for (i = 0; i < 16; i++) {
+        for (j = 0; j < 16; j++) {
+            d = cur[i * 16 + j] - ref[(y0 + i) * W + x0 + j];
+            s += abs(d);
+        }
+        if (s >= lim)
+            return s;
+    }
+    return s;
+}
+
+int fullsearch() {
+    int dx, dy, d, best;
+    best = 1000000;
+    for (dy = -4; dy <= 4; dy++) {
+        for (dx = -4; dx <= 4; dx++) {
+            d = dist1(16 + dx, 16 + dy, best);
+            if (d < best) {
+                best = d;
+                bestx = dx;
+                besty = dy;
+            }
+        }
+    }
+    return best;
+}
+"""
+
+def _add_constraints(analysis) -> None:
+    """The row loop of dist1 always starts at least one row per call
+    (the early abort can only fire after a full row), a fact the
+    back-edge loop bound alone cannot express when 0 back edges are
+    possible.  State it as: the inner column loop is entered at least
+    once per dist1 invocation."""
+    inner = max((l for l in analysis.loops if l.function == "dist1"),
+                key=lambda l: l.header_line)
+    entries = " + ".join(e.name for e in inner.entry_edges)
+    d1 = analysis.cfgs["dist1"].entry_edge.name
+    analysis.add_constraint(f"{entries} >= {d1}", function="dist1")
+    # Pixel data is 8-bit, so one row's distance is at most 16*255 and
+    # a full block's at most 65,280 — the very first candidate can
+    # never hit the 10^6 sentinel early and always scans all 16 rows.
+    # Hence across a call to fullsearch the row loop starts at least
+    # (calls - 1) + 16 times.
+    analysis.add_constraint(f"{entries} >= {d1} + 15", function="dist1")
+
+
+BENCHMARK = Benchmark(
+    name="fullsearch",
+    description="MPEG2 encoder frame search routine",
+    source=SOURCE,
+    entry="fullsearch",
+    add_constraints=_add_constraints,
+    loop_bounds={
+        # Row loop: the early return can leave after any row, so the
+        # back edge runs 0..16 times per call.
+        "dist1": [(0, 16), (16, 16)],
+        "fullsearch": [(9, 9), (9, 9)],
+    },
+    # Best case: a perfect match everywhere; after the first candidate
+    # every dist1 aborts after one row.
+    best_data=Dataset(globals={"ref": [0] * 2304, "cur": [0] * 256}),
+    # Worst case: maximal mismatch; no candidate ever beats the first,
+    # and no call aborts before the final row.
+    worst_data=Dataset(globals={"ref": [0] * 2304, "cur": [255] * 256}),
+    expected_values=(0, 65280),
+)

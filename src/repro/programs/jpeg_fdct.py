@@ -1,0 +1,135 @@
+"""jpeg_fdct_islow — libjpeg's slow-but-accurate forward DCT.
+
+A faithful port of the integer 8x8 forward DCT (Loeffler-Ligtenberg-
+Moshovitz factorization, CONST_BITS = 13, PASS1_BITS = 2): a row pass
+producing scaled intermediates followed by a column pass.  Control
+flow is two fixed 8-iteration loops of straight-line arithmetic, which
+is why the paper reports zero path-analysis pessimism for it.
+"""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+int block[64];
+
+void jpeg_fdct_islow() {
+    int ctr, base;
+    int tmp0, tmp1, tmp2, tmp3, tmp4, tmp5, tmp6, tmp7;
+    int tmp10, tmp11, tmp12, tmp13;
+    int z1, z2, z3, z4, z5;
+
+    /* Pass 1: process rows; results are scaled up by 2^PASS1_BITS. */
+    for (ctr = 0; ctr < 8; ctr++) {
+        base = ctr * 8;
+        tmp0 = block[base] + block[base + 7];
+        tmp7 = block[base] - block[base + 7];
+        tmp1 = block[base + 1] + block[base + 6];
+        tmp6 = block[base + 1] - block[base + 6];
+        tmp2 = block[base + 2] + block[base + 5];
+        tmp5 = block[base + 2] - block[base + 5];
+        tmp3 = block[base + 3] + block[base + 4];
+        tmp4 = block[base + 3] - block[base + 4];
+
+        tmp10 = tmp0 + tmp3;
+        tmp13 = tmp0 - tmp3;
+        tmp11 = tmp1 + tmp2;
+        tmp12 = tmp1 - tmp2;
+
+        block[base] = (tmp10 + tmp11) << 2;
+        block[base + 4] = (tmp10 - tmp11) << 2;
+
+        z1 = (tmp12 + tmp13) * 4433;
+        block[base + 2] = (z1 + tmp13 * 6270 + 1024) >> 11;
+        block[base + 6] = (z1 - tmp12 * 15137 + 1024) >> 11;
+
+        z1 = tmp4 + tmp7;
+        z2 = tmp5 + tmp6;
+        z3 = tmp4 + tmp6;
+        z4 = tmp5 + tmp7;
+        z5 = (z3 + z4) * 9633;
+
+        tmp4 = tmp4 * 2446;
+        tmp5 = tmp5 * 16819;
+        tmp6 = tmp6 * 25172;
+        tmp7 = tmp7 * 12299;
+        z1 = -z1 * 7373;
+        z2 = -z2 * 20995;
+        z3 = -z3 * 16069;
+        z4 = -z4 * 3196;
+
+        z3 = z3 + z5;
+        z4 = z4 + z5;
+
+        block[base + 7] = (tmp4 + z1 + z3 + 1024) >> 11;
+        block[base + 5] = (tmp5 + z2 + z4 + 1024) >> 11;
+        block[base + 3] = (tmp6 + z2 + z3 + 1024) >> 11;
+        block[base + 1] = (tmp7 + z1 + z4 + 1024) >> 11;
+    }
+
+    /* Pass 2: process columns; removes the PASS1_BITS scaling. */
+    for (ctr = 0; ctr < 8; ctr++) {
+        tmp0 = block[ctr] + block[ctr + 56];
+        tmp7 = block[ctr] - block[ctr + 56];
+        tmp1 = block[ctr + 8] + block[ctr + 48];
+        tmp6 = block[ctr + 8] - block[ctr + 48];
+        tmp2 = block[ctr + 16] + block[ctr + 40];
+        tmp5 = block[ctr + 16] - block[ctr + 40];
+        tmp3 = block[ctr + 24] + block[ctr + 32];
+        tmp4 = block[ctr + 24] - block[ctr + 32];
+
+        tmp10 = tmp0 + tmp3;
+        tmp13 = tmp0 - tmp3;
+        tmp11 = tmp1 + tmp2;
+        tmp12 = tmp1 - tmp2;
+
+        block[ctr] = (tmp10 + tmp11 + 2) >> 2;
+        block[ctr + 32] = (tmp10 - tmp11 + 2) >> 2;
+
+        z1 = (tmp12 + tmp13) * 4433;
+        block[ctr + 16] = (z1 + tmp13 * 6270 + 16384) >> 15;
+        block[ctr + 48] = (z1 - tmp12 * 15137 + 16384) >> 15;
+
+        z1 = tmp4 + tmp7;
+        z2 = tmp5 + tmp6;
+        z3 = tmp4 + tmp6;
+        z4 = tmp5 + tmp7;
+        z5 = (z3 + z4) * 9633;
+
+        tmp4 = tmp4 * 2446;
+        tmp5 = tmp5 * 16819;
+        tmp6 = tmp6 * 25172;
+        tmp7 = tmp7 * 12299;
+        z1 = -z1 * 7373;
+        z2 = -z2 * 20995;
+        z3 = -z3 * 16069;
+        z4 = -z4 * 3196;
+
+        z3 = z3 + z5;
+        z4 = z4 + z5;
+
+        block[ctr + 56] = (tmp4 + z1 + z3 + 16384) >> 15;
+        block[ctr + 40] = (tmp5 + z2 + z4 + 16384) >> 15;
+        block[ctr + 24] = (tmp6 + z2 + z3 + 16384) >> 15;
+        block[ctr + 8] = (tmp7 + z1 + z4 + 16384) >> 15;
+    }
+}
+"""
+
+#: An arbitrary "natural image" 8x8 tile (values centered around 0,
+#: as libjpeg feeds the FDCT after level shift).
+SAMPLE_BLOCK = [((3 * i * i - 7 * i) % 47) - 23 for i in range(64)]
+
+BENCHMARK = Benchmark(
+    name="jpeg_fdct_islow",
+    description="JPEG forward discrete cosine transform",
+    source=SOURCE,
+    entry="jpeg_fdct_islow",
+    loop_bounds={"jpeg_fdct_islow": [(8, 8), (8, 8)]},
+    # The FDCT is branch-free inside the loops: any data gives the
+    # same path.
+    best_data=Dataset(globals={"block": [0] * 64}),
+    worst_data=Dataset(globals={"block": SAMPLE_BLOCK}),
+)

@@ -1,0 +1,174 @@
+"""jpeg_idct_islow — libjpeg's slow-but-accurate inverse DCT.
+
+Same integer factorization as the forward transform, plus libjpeg's
+famous data-dependent shortcut: a column whose AC coefficients are all
+zero is reconstructed with a single shift instead of the full
+butterfly.  That makes the best/worst paths genuinely data dependent —
+all-DC input (best) versus fully populated blocks (worst).
+"""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+int coef[64];
+int pixel[64];
+int ws[64];
+
+void jpeg_idct_islow() {
+    int ctr, base, dc;
+    int tmp0, tmp1, tmp2, tmp3;
+    int tmp10, tmp11, tmp12, tmp13;
+    int z1, z2, z3, z4, z5;
+
+    /* Pass 1: columns, with the all-zero-AC shortcut. */
+    for (ctr = 0; ctr < 8; ctr++) {
+        if (coef[ctr + 8] == 0 && coef[ctr + 16] == 0 &&
+            coef[ctr + 24] == 0 && coef[ctr + 32] == 0 &&
+            coef[ctr + 40] == 0 && coef[ctr + 48] == 0 &&
+            coef[ctr + 56] == 0) {
+            dc = coef[ctr] << 2;
+            ws[ctr] = dc;
+            ws[ctr + 8] = dc;
+            ws[ctr + 16] = dc;
+            ws[ctr + 24] = dc;
+            ws[ctr + 32] = dc;
+            ws[ctr + 40] = dc;
+            ws[ctr + 48] = dc;
+            ws[ctr + 56] = dc;
+            continue;
+        }
+
+        z2 = coef[ctr + 16];
+        z3 = coef[ctr + 48];
+        z1 = (z2 + z3) * 4433;
+        tmp2 = z1 - z3 * 15137;
+        tmp3 = z1 + z2 * 6270;
+
+        z2 = coef[ctr];
+        z3 = coef[ctr + 32];
+        tmp0 = (z2 + z3) << 13;
+        tmp1 = (z2 - z3) << 13;
+
+        tmp10 = tmp0 + tmp3;
+        tmp13 = tmp0 - tmp3;
+        tmp11 = tmp1 + tmp2;
+        tmp12 = tmp1 - tmp2;
+
+        tmp0 = coef[ctr + 56];
+        tmp1 = coef[ctr + 40];
+        tmp2 = coef[ctr + 24];
+        tmp3 = coef[ctr + 8];
+
+        z1 = tmp0 + tmp3;
+        z2 = tmp1 + tmp2;
+        z3 = tmp0 + tmp2;
+        z4 = tmp1 + tmp3;
+        z5 = (z3 + z4) * 9633;
+
+        tmp0 = tmp0 * 2446;
+        tmp1 = tmp1 * 16819;
+        tmp2 = tmp2 * 25172;
+        tmp3 = tmp3 * 12299;
+        z1 = -z1 * 7373;
+        z2 = -z2 * 20995;
+        z3 = -z3 * 16069;
+        z4 = -z4 * 3196;
+
+        z3 = z3 + z5;
+        z4 = z4 + z5;
+
+        tmp0 = tmp0 + z1 + z3;
+        tmp1 = tmp1 + z2 + z4;
+        tmp2 = tmp2 + z2 + z3;
+        tmp3 = tmp3 + z1 + z4;
+
+        ws[ctr] = (tmp10 + tmp3 + 1024) >> 11;
+        ws[ctr + 56] = (tmp10 - tmp3 + 1024) >> 11;
+        ws[ctr + 8] = (tmp11 + tmp2 + 1024) >> 11;
+        ws[ctr + 48] = (tmp11 - tmp2 + 1024) >> 11;
+        ws[ctr + 16] = (tmp12 + tmp1 + 1024) >> 11;
+        ws[ctr + 40] = (tmp12 - tmp1 + 1024) >> 11;
+        ws[ctr + 24] = (tmp13 + tmp0 + 1024) >> 11;
+        ws[ctr + 32] = (tmp13 - tmp0 + 1024) >> 11;
+    }
+
+    /* Pass 2: rows (no shortcut, as in libjpeg). */
+    for (ctr = 0; ctr < 8; ctr++) {
+        base = ctr * 8;
+        z2 = ws[base + 2];
+        z3 = ws[base + 6];
+        z1 = (z2 + z3) * 4433;
+        tmp2 = z1 - z3 * 15137;
+        tmp3 = z1 + z2 * 6270;
+
+        z2 = ws[base];
+        z3 = ws[base + 4];
+        tmp0 = (z2 + z3) << 13;
+        tmp1 = (z2 - z3) << 13;
+
+        tmp10 = tmp0 + tmp3;
+        tmp13 = tmp0 - tmp3;
+        tmp11 = tmp1 + tmp2;
+        tmp12 = tmp1 - tmp2;
+
+        tmp0 = ws[base + 7];
+        tmp1 = ws[base + 5];
+        tmp2 = ws[base + 3];
+        tmp3 = ws[base + 1];
+
+        z1 = tmp0 + tmp3;
+        z2 = tmp1 + tmp2;
+        z3 = tmp0 + tmp2;
+        z4 = tmp1 + tmp3;
+        z5 = (z3 + z4) * 9633;
+
+        tmp0 = tmp0 * 2446;
+        tmp1 = tmp1 * 16819;
+        tmp2 = tmp2 * 25172;
+        tmp3 = tmp3 * 12299;
+        z1 = -z1 * 7373;
+        z2 = -z2 * 20995;
+        z3 = -z3 * 16069;
+        z4 = -z4 * 3196;
+
+        z3 = z3 + z5;
+        z4 = z4 + z5;
+
+        tmp0 = tmp0 + z1 + z3;
+        tmp1 = tmp1 + z2 + z4;
+        tmp2 = tmp2 + z2 + z3;
+        tmp3 = tmp3 + z1 + z4;
+
+        pixel[base] = (tmp10 + tmp3 + 131072) >> 18;
+        pixel[base + 7] = (tmp10 - tmp3 + 131072) >> 18;
+        pixel[base + 1] = (tmp11 + tmp2 + 131072) >> 18;
+        pixel[base + 6] = (tmp11 - tmp2 + 131072) >> 18;
+        pixel[base + 2] = (tmp12 + tmp1 + 131072) >> 18;
+        pixel[base + 5] = (tmp12 - tmp1 + 131072) >> 18;
+        pixel[base + 3] = (tmp13 + tmp0 + 131072) >> 18;
+        pixel[base + 4] = (tmp13 - tmp0 + 131072) >> 18;
+    }
+}
+"""
+
+#: Worst case: the shortcut test fails at its *last* conjunct — rows
+#: 1..6 zero but row 7 nonzero — so every column pays the whole
+#: 7-term comparison chain *and* the full butterfly.
+DENSE_COEF = ([((5 * i) % 13) - 6 or 1 for i in range(8)]
+              + [0] * 48
+              + [((3 * i) % 11) + 1 for i in range(8)])
+#: Best case: DC-only block -> all 8 columns take the shortcut.
+DC_ONLY = [640] + [0] * 63
+
+BENCHMARK = Benchmark(
+    name="jpeg_idct_islow",
+    description="JPEG inverse discrete cosine transform",
+    source=SOURCE,
+    entry="jpeg_idct_islow",
+    loop_bounds={"jpeg_idct_islow": [(8, 8), (8, 8)]},
+    best_data=Dataset(globals={"coef": DC_ONLY}),
+    worst_data=Dataset(globals={"coef": DENSE_COEF}),
+)

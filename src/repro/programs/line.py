@@ -1,0 +1,157 @@
+"""line — clipped line drawing routine after Gupta's thesis.
+
+Cohen-Sutherland clipping against the 64x64 raster followed by
+Bresenham's integer line walk.  Rich data-dependent control flow: the
+clip loop runs 0-4 times depending on where the endpoints lie, trivial
+rejection skips drawing entirely, and the pixel loop's trip count is
+the clipped line's major extent.
+"""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+const int GRID = 64;
+const int MAXC = 63;
+int image[4096];
+int gx0;
+int gy0;
+int gx1;
+int gy1;
+int cx0;
+int cy0;
+int cx1;
+int cy1;
+int accepted;
+
+int outcode(int x, int y) {
+    int code;
+    code = 0;
+    if (x < 0)
+        code = code | 1;
+    if (x > MAXC)
+        code = code | 2;
+    if (y < 0)
+        code = code | 4;
+    if (y > MAXC)
+        code = code | 8;
+    return code;
+}
+
+int clip() {
+    int x0, y0, x1, y1, c0, c1, c, x, y;
+    x0 = gx0; y0 = gy0; x1 = gx1; y1 = gy1;
+    c0 = outcode(x0, y0);
+    c1 = outcode(x1, y1);
+    while (1) {
+        if ((c0 | c1) == 0) {
+            cx0 = x0; cy0 = y0; cx1 = x1; cy1 = y1;
+            return 1;
+        }
+        if ((c0 & c1) != 0)
+            return 0;
+        c = c0;
+        if (c == 0)
+            c = c1;
+        if (c & 8) {
+            x = x0 + (x1 - x0) * (MAXC - y0) / (y1 - y0);
+            y = MAXC;
+        } else if (c & 4) {
+            x = x0 + (x1 - x0) * (0 - y0) / (y1 - y0);
+            y = 0;
+        } else if (c & 2) {
+            y = y0 + (y1 - y0) * (MAXC - x0) / (x1 - x0);
+            x = MAXC;
+        } else {
+            y = y0 + (y1 - y0) * (0 - x0) / (x1 - x0);
+            x = 0;
+        }
+        if (c == c0) {
+            x0 = x; y0 = y;
+            c0 = outcode(x0, y0);
+        } else {
+            x1 = x; y1 = y;
+            c1 = outcode(x1, y1);
+        }
+    }
+}
+
+void plot(int x, int y) {
+    image[y * GRID + x] = 1;
+}
+
+void line() {
+    int x0, y0, x1, y1;
+    int dx, dy, sx, sy, err, e2;
+    accepted = clip();
+    if (accepted == 0)
+        return;
+    x0 = cx0; y0 = cy0; x1 = cx1; y1 = cy1;
+    dx = abs(x1 - x0);
+    sx = x0 < x1 ? 1 : -1;
+    dy = -abs(y1 - y0);
+    sy = y0 < y1 ? 1 : -1;
+    err = dx + dy;
+    while (1) {
+        plot(x0, y0);
+        if (x0 == x1 && y0 == y1)
+            break;
+        e2 = 2 * err;
+        if (e2 >= dy) {
+            err += dy;
+            x0 += sx;
+        }
+        if (e2 <= dx) {
+            err += dx;
+            y0 += sy;
+        }
+    }
+}
+"""
+
+def _add_constraints(analysis) -> None:
+    """In outcode(), the x<0 / x>MAXC branches are mutually exclusive
+    per call, as are y<0 / y>MAXC — each pair's bodies together run at
+    most once per invocation.  The ILP cannot see that from flow alone
+    and would otherwise charge all four bit-set blocks every call."""
+    bench = BENCHMARK
+    x_lo = bench.block_var_at_text(analysis, "code = code | 1;",
+                                   function="outcode")
+    x_hi = bench.block_var_at_text(analysis, "code = code | 2;",
+                                   function="outcode")
+    y_lo = bench.block_var_at_text(analysis, "code = code | 4;",
+                                   function="outcode")
+    y_hi = bench.block_var_at_text(analysis, "code = code | 8;",
+                                   function="outcode")
+    d1 = analysis.cfgs["outcode"].entry_edge.name
+    analysis.add_constraint(f"{x_lo} + {x_hi} <= {d1}",
+                            function="outcode")
+    analysis.add_constraint(f"{y_lo} + {y_hi} <= {d1}",
+                            function="outcode")
+
+
+BENCHMARK = Benchmark(
+    name="line",
+    description="Line drawing routine in Gupta's thesis",
+    source=SOURCE,
+    entry="line",
+    add_constraints=_add_constraints,
+    loop_bounds={
+        # Cohen-Sutherland: each pass clips one endpoint strictly
+        # inward; at most 4 clips before accept/reject.
+        "clip": [(0, 4)],
+        # Bresenham plots max extent + 1 <= 64 pixels; the final
+        # iteration leaves through the break.
+        "line": [(0, 63)],
+    },
+    # Best case: trivially rejected (both endpoints left of window).
+    best_data=Dataset(globals={"gx0": -10, "gy0": 5,
+                               "gx1": -3, "gy1": 40}),
+    # Worst case (found by numeric search over the input grid): both
+    # endpoints doubly outside, three clip passes, then a near-full
+    # diagonal walk.
+    worst_data=Dataset(globals={"gx0": 82, "gy0": 76,
+                                "gx1": -63, "gy1": -54}),
+)

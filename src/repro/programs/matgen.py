@@ -1,0 +1,63 @@
+"""matgen — matrix generation routine from the Linpack benchmark."""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+const int N = 10;
+float a[10][10];
+float b[10];
+
+float matgen() {
+    int i, j, init;
+    float norma;
+    init = 1325;
+    norma = 0.0;
+    for (j = 0; j < N; j++) {
+        for (i = 0; i < N; i++) {
+            init = 3125 * init % 65536;
+            a[i][j] = (init - 32768.0) / 16384.0;
+            if (a[i][j] > norma)
+                norma = a[i][j];
+        }
+    }
+    for (i = 0; i < N; i++)
+        b[i] = 0.0;
+    for (j = 0; j < N; j++)
+        for (i = 0; i < N; i++)
+            b[i] = b[i] + a[i][j];
+    return norma;
+}
+"""
+
+def _add_constraints(analysis) -> None:
+    """matgen is a closed computation (no inputs): the number of times
+    the running maximum is updated is a fixed property of the LCG seed.
+    A user states it as an exact execution count — we derive the
+    constant from one instrumented run, which is sound here because
+    every run is identical."""
+    bench = BENCHMARK
+    var = bench.block_var_at_text(analysis, "norma = a[i][j];")
+    cfg = analysis.cfgs[bench.entry]
+    block = next(b for b in cfg.blocks.values() if b.var == var)
+    observed = bench.run(Dataset()).counts[block.start]
+    analysis.add_constraint(f"{var} = {observed}")
+
+
+BENCHMARK = Benchmark(
+    name="matgen",
+    description="Matrix routine in Linpack benchmark",
+    source=SOURCE,
+    entry="matgen",
+    add_constraints=_add_constraints,
+    # All four loops run fixed counts; inner loops do N iterations per
+    # entry and are entered N times.
+    loop_bounds={"matgen": [(10, 10), (10, 10), (10, 10), (10, 10),
+                            (10, 10)]},
+    # matgen takes no input: its LCG makes the path data-independent
+    # (the max-tracking branch depends only on the fixed seed).
+    best_data=Dataset(),
+    worst_data=Dataset(),
+)

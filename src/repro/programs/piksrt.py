@@ -1,0 +1,59 @@
+"""piksrt — insertion sort (Numerical Recipes), Table I row 3."""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+const int N = 10;
+int arr[10];
+
+void piksrt() {
+    int i, j, a;
+    for (j = 1; j < N; j++) {
+        a = arr[j];
+        i = j - 1;
+        while (i >= 0 && arr[i] > a) {
+            arr[i + 1] = arr[i];
+            i--;
+        }
+        arr[i + 1] = a;
+    }
+}
+"""
+
+
+def _add_constraints(analysis) -> None:
+    """The inner while runs at most j times at outer iteration j, so
+    its total back-edge count is bounded by the triangular number
+    1+2+...+(N-1) = 45 — true for every input, and exactly achieved by
+    reverse-sorted data.  This is the kind of inter-loop path fact the
+    paper's linear constraints express and simple (loop, bound) pairs
+    cannot."""
+    inner = max(analysis.loops, key=lambda l: l.header_line)
+    total = " + ".join(e.name for e in inner.back_edges)
+    analysis.add_constraint(f"{total} <= 45")
+    # On entry i = j - 1 >= 0, so the first conjunct of the while
+    # condition is true and the second test block runs at least once
+    # per outer iteration (9 times in total).
+    cfg = analysis.cfgs["piksrt"]
+    in_loop = [s for s in cfg.successors(inner.header)
+               if s in inner.blocks]
+    second_test = cfg.blocks[min(in_loop)]
+    analysis.add_constraint(f"{second_test.var} >= 9")
+
+
+BENCHMARK = Benchmark(
+    name="piksrt",
+    description="Insertion Sort",
+    source=SOURCE,
+    entry="piksrt",
+    # Outer for: exactly N-1 iterations; inner while: 0..9 per entry.
+    loop_bounds={"piksrt": [(9, 9), (0, 9)]},
+    # Best case: already sorted (inner loop never runs).
+    best_data=Dataset(globals={"arr": list(range(10))}),
+    # Worst case: reverse sorted (inner loop runs j times, every j).
+    worst_data=Dataset(globals={"arr": list(range(9, -1, -1))}),
+    add_constraints=_add_constraints,
+)

@@ -1,0 +1,95 @@
+"""recon — MPEG-2 decoder reconstruction (motion-compensated
+prediction of one 16x16 macroblock, after mpeg2decode's
+form_component_prediction).
+
+The four half-pel interpolation variants (full-pel copy, horizontal,
+vertical, and 4-tap diagonal averaging) are alternative double loops
+selected by the motion vector's half-pel flags — a textbook case for
+the paper's disjunctive functionality constraints.
+"""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+const int W = 32;
+int ref[1024];
+int cur[1024];
+int px;
+int py;
+int hx;
+int hy;
+
+void recon() {
+    int i, j, p;
+    p = py * W + px;
+    if (hx == 0 && hy == 0) {
+        for (i = 0; i < 16; i++)
+            for (j = 0; j < 16; j++)
+                cur[i * W + j] = ref[p + i * W + j];
+    } else if (hx != 0 && hy == 0) {
+        for (i = 0; i < 16; i++)
+            for (j = 0; j < 16; j++)
+                cur[i * W + j] =
+                    (ref[p + i * W + j] + ref[p + i * W + j + 1] + 1) >> 1;
+    } else if (hx == 0 && hy != 0) {
+        for (i = 0; i < 16; i++)
+            for (j = 0; j < 16; j++)
+                cur[i * W + j] =
+                    (ref[p + i * W + j] + ref[p + i * W + j + W] + 1) >> 1;
+    } else {
+        for (i = 0; i < 16; i++)
+            for (j = 0; j < 16; j++)
+                cur[i * W + j] =
+                    (ref[p + i * W + j] + ref[p + i * W + j + 1]
+                     + ref[p + i * W + j + W]
+                     + ref[p + i * W + j + W + 1] + 2) >> 2;
+    }
+}
+"""
+
+def _add_constraints(analysis) -> None:
+    """Exactly one interpolation variant runs per call: its inner body
+    executes 256 times and the other three not at all.  The structural
+    constraints already imply this for a single invocation; stating it
+    as the paper's disjunction also documents it and exercises the
+    constraint-set machinery (4 sets)."""
+    loops = [l for l in analysis.loops if l.function == "recon"]
+    inner = sorted(
+        (l for l in loops
+         if not any(o.blocks < l.blocks for o in loops if o is not l)),
+        key=lambda l: l.header_line)
+    assert len(inner) == 4, "recon has four innermost loops"
+    cfg = analysis.cfgs["recon"]
+    xs = []
+    for loop in inner:
+        body = min(b for b in loop.blocks if b != loop.header)
+        xs.append(cfg.blocks[body].var)
+    cases = []
+    for active in range(4):
+        parts = [f"{x} = 256" if i == active else f"{x} = 0"
+                 for i, x in enumerate(xs)]
+        cases.append("(" + " & ".join(parts) + ")")
+    analysis.add_constraint(" | ".join(cases))
+
+
+_REF = [(7 * i) % 256 for i in range(1024)]
+
+BENCHMARK = Benchmark(
+    name="recon",
+    description="MPEG2 decoder reconstruction routine",
+    source=SOURCE,
+    entry="recon",
+    # 8 loops: 4 variants x (outer, inner), each 16 iterations per
+    # entry (entered 0 or 1 / 0 or 16 times).
+    loop_bounds={"recon": [(16, 16)] * 8},
+    # Best case: full-pel copy.
+    best_data=Dataset(globals={"ref": _REF, "px": 3, "py": 2,
+                               "hx": 0, "hy": 0}),
+    # Worst case: diagonal half-pel (4-tap average).
+    worst_data=Dataset(globals={"ref": _REF, "px": 3, "py": 2,
+                                "hx": 1, "hy": 1}),
+    add_constraints=_add_constraints,
+)

@@ -1,0 +1,141 @@
+"""whetstone — the classic synthetic floating-point benchmark.
+
+A one-tenth-scale Whetstone (ITER = 10) with the canonical module mix:
+array arithmetic, procedure-parameter arrays, conditional jumps,
+integer arithmetic, transcendental trigonometry, procedure calls,
+array index shuffling, and standard functions.  All loop counts are
+the classic per-iteration weights, so control flow is fully
+deterministic — like the paper's whetstone row, path pessimism is
+essentially zero and the hardware model dominates."""
+
+from __future__ import annotations
+
+from ..sim import Dataset
+from .base import Benchmark
+
+SOURCE = """\
+const int N2 = 120;
+const int N3 = 140;
+const int N4 = 3450;
+const int N6 = 2100;
+const int N7 = 320;
+const int N8 = 8990;
+const int N9 = 6160;
+const int N11 = 930;
+
+float t;
+float t1;
+float t2;
+float e1[4];
+float x;
+float y;
+float z;
+int j2;
+int k2;
+int l2;
+
+void pa() {
+    int jj;
+    jj = 0;
+    while (jj < 6) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+        e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) / t2;
+        jj++;
+    }
+}
+
+void p3(float xx, float yy) {
+    float xt, yt;
+    xt = t * (xx + yy);
+    yt = t * (xt + yy);
+    z = (xt + yt) / t2;
+}
+
+void p0() {
+    e1[j2] = e1[k2];
+    e1[k2] = e1[l2];
+    e1[l2] = e1[j2];
+}
+
+float whetstone() {
+    int i;
+    t = 0.499975;
+    t1 = 0.50025;
+    t2 = 2.0;
+
+    /* Module 2: array elements. */
+    e1[0] = 1.0; e1[1] = -1.0; e1[2] = -1.0; e1[3] = -1.0;
+    for (i = 0; i < N2; i++) {
+        e1[0] = (e1[0] + e1[1] + e1[2] - e1[3]) * t;
+        e1[1] = (e1[0] + e1[1] - e1[2] + e1[3]) * t;
+        e1[2] = (e1[0] - e1[1] + e1[2] + e1[3]) * t;
+        e1[3] = (-e1[0] + e1[1] + e1[2] + e1[3]) * t;
+    }
+
+    /* Module 3: array as parameter. */
+    for (i = 0; i < N3; i++)
+        pa();
+
+    /* Module 4: conditional jumps. */
+    j2 = 1;
+    for (i = 0; i < N4; i++) {
+        if (j2 == 1) j2 = 2; else j2 = 3;
+        if (j2 > 2) j2 = 0; else j2 = 1;
+        if (j2 < 1) j2 = 1; else j2 = 0;
+    }
+
+    /* Module 6: integer arithmetic. */
+    j2 = 1; k2 = 2; l2 = 3;
+    for (i = 0; i < N6; i++) {
+        j2 = j2 * (k2 - j2) * (l2 - k2);
+        k2 = l2 * k2 - (l2 - j2) * k2;
+        l2 = (l2 - k2) * (k2 + j2);
+        e1[l2 - 2] = j2 + k2 + l2;
+        e1[k2 - 2] = j2 * k2 * l2;
+    }
+
+    /* Module 7: trigonometric functions. */
+    x = 0.5; y = 0.5;
+    for (i = 0; i < N7; i++) {
+        x = t * atan(t2 * sin(x) * cos(x)
+                     / (cos(x + y) + cos(x - y) - 1.0));
+        y = t * atan(t2 * sin(y) * cos(y)
+                     / (cos(x + y) + cos(x - y) - 1.0));
+    }
+
+    /* Module 8: procedure calls. */
+    x = 1.0; y = 1.0; z = 1.0;
+    for (i = 0; i < N8; i++)
+        p3(x, y);
+
+    /* Module 9: array references. */
+    j2 = 1; k2 = 2; l2 = 3;
+    e1[0] = 1.0; e1[1] = 2.0; e1[2] = 3.0;
+    for (i = 0; i < N9; i++)
+        p0();
+
+    /* Module 11: standard functions. */
+    x = 0.75;
+    for (i = 0; i < N11; i++)
+        x = sqrt(exp(log(x) / t1));
+
+    return x;
+}
+"""
+
+BENCHMARK = Benchmark(
+    name="whetstone",
+    description="Whetstone benchmark",
+    source=SOURCE,
+    entry="whetstone",
+    loop_bounds={
+        "whetstone": [(120, 120), (140, 140), (3450, 3450), (2100, 2100),
+                      (320, 320), (8990, 8990), (6160, 6160), (930, 930)],
+        "pa": [(6, 6)],
+    },
+    # Whetstone takes no input at all.
+    best_data=Dataset(),
+    worst_data=Dataset(),
+)

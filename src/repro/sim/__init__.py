@@ -1,0 +1,13 @@
+"""IR960 simulation: functional interpreter, cycle model, measurement."""
+
+from .cycles import CycleModel
+from .interp import ExecResult, Interpreter, run_program
+from .measure import Dataset, MeasuredBound, measure_bounds, run_with_cycles
+from .memory import Memory
+from .trace import BlockTrace, record_block_trace
+
+__all__ = [
+    "CycleModel", "ExecResult", "Interpreter", "Memory", "run_program",
+    "Dataset", "MeasuredBound", "measure_bounds", "run_with_cycles",
+    "BlockTrace", "record_block_trace",
+]

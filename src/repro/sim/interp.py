@@ -1,0 +1,244 @@
+"""Functional interpreter for IR960 programs.
+
+This is the reproduction's stand-in for running on the QT960 board.
+It executes the compiled instructions with C-like semantics, counts
+every instruction execution (which gives per-basic-block counters,
+exactly the instrumentation Experiment 1 of the paper inserts), and can
+feed every executed instruction to a pluggable cycle model (see
+:mod:`repro.sim.cycles`) for the measured-bound experiment.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..codegen import Program
+from ..codegen.isa import BRANCH_TESTS, Instruction, Op
+from ..errors import SimulationError
+from .memory import Memory
+
+
+def _c_div(a: int, b: int) -> int:
+    """C integer division: truncates toward zero."""
+    if b == 0:
+        raise SimulationError("integer division by zero")
+    quotient = abs(a) // abs(b)
+    return quotient if (a >= 0) == (b >= 0) else -quotient
+
+
+def _c_rem(a: int, b: int) -> int:
+    """C remainder: sign follows the dividend."""
+    return a - _c_div(a, b) * b
+
+
+@dataclass
+class ExecResult:
+    """Outcome of one simulated call."""
+
+    value: object
+    counts: list[int]            # executions per global instruction index
+    steps: int
+    cycles: int = 0              # 0 unless a cycle model was attached
+
+    def block_counts(self, cfg) -> dict:
+        """Map a CFG's blocks to observed execution counts."""
+        return {block.id: self.counts[block.start]
+                for block in cfg.blocks.values()}
+
+
+class _Frame:
+    __slots__ = ("regs", "base", "return_ip", "dest")
+
+    def __init__(self, reg_count: int, base: int,
+                 return_ip: int | None, dest: int | None):
+        self.regs: list = [0] * reg_count
+        self.base = base
+        self.return_ip = return_ip
+        self.dest = dest
+
+
+_UNARY_FNS = {
+    Op.NEG: lambda a: -a,
+    Op.NOT: lambda a: ~a,
+    Op.IABS: abs,
+    Op.FNEG: lambda a: -a,
+    Op.FABS: abs,
+    Op.ITOF: float,
+    Op.FTOI: lambda a: math.trunc(a),
+    Op.SQRT: math.sqrt,
+    Op.SIN: math.sin,
+    Op.COS: math.cos,
+    Op.ATAN: math.atan,
+    Op.EXP: math.exp,
+    Op.LOG: math.log,
+}
+
+_INT_BINARY_FNS = {
+    Op.ADD: lambda a, b: a + b,
+    Op.SUB: lambda a, b: a - b,
+    Op.MUL: lambda a, b: a * b,
+    Op.DIV: _c_div,
+    Op.REM: _c_rem,
+    Op.AND: lambda a, b: a & b,
+    Op.OR: lambda a, b: a | b,
+    Op.XOR: lambda a, b: a ^ b,
+    Op.SHL: lambda a, b: a << b,
+    Op.SHR: lambda a, b: a >> b,
+    Op.FADD: lambda a, b: a + b,
+    Op.FSUB: lambda a, b: a - b,
+    Op.FMUL: lambda a, b: a * b,
+}
+
+
+class Interpreter:
+    """Executes a compiled program function by function.
+
+    Parameters
+    ----------
+    program:
+        A laid-out :class:`~repro.codegen.Program`.
+    cycle_model:
+        Optional object with ``execute(instr)`` returning the cycle
+        cost of that dynamic instruction (see :mod:`repro.sim.cycles`).
+    step_limit:
+        Safety bound on executed instructions.
+    """
+
+    def __init__(self, program: Program, cycle_model=None,
+                 step_limit: int = 50_000_000):
+        self.program = program
+        self.memory = Memory(program)
+        self.cycle_model = cycle_model
+        self.step_limit = step_limit
+
+    def set_global(self, name: str, value) -> None:
+        self.memory.set_global(name, value)
+
+    def get_global(self, name: str):
+        return self.memory.get_global(name)
+
+    # ------------------------------------------------------------------
+    def run(self, entry: str, *args) -> ExecResult:
+        """Call `entry` with scalar `args` and run to completion."""
+        fn = self.program.functions.get(entry)
+        if fn is None:
+            raise SimulationError(f"no function named {entry!r}")
+        if len(args) != len(fn.params):
+            raise SimulationError(
+                f"{entry}() takes {len(fn.params)} arguments, "
+                f"got {len(args)}")
+
+        code = self.program.code
+        counts = [0] * len(code)
+        memory = self.memory
+        stack_top = memory.stack_base
+        frame = _Frame(max(fn.reg_count, len(fn.params)), stack_top, None, None)
+        stack_top += fn.frame_words
+        memory.reserve(fn.frame_words)
+        for i, ((_, kind), value) in enumerate(zip(fn.params, args)):
+            frame.regs[i] = float(value) if kind == "float" else int(value)
+        frames = [frame]
+
+        ip = fn.entry_index
+        steps = 0
+        cycles = 0
+        cycle_model = self.cycle_model
+        data_hook = getattr(cycle_model, "data_access", None)
+        return_value = None
+
+        while True:
+            if steps >= self.step_limit:
+                raise SimulationError(
+                    f"step limit {self.step_limit} exceeded at ip={ip}")
+            instr = code[ip]
+            counts[ip] += 1
+            steps += 1
+            if cycle_model is not None:
+                cycles += cycle_model.execute(instr)
+            op = instr.op
+            regs = frame.regs
+
+            if op is Op.LDI:
+                regs[instr.dest] = instr.imm
+            elif op is Op.MOV:
+                regs[instr.dest] = regs[instr.src1]
+            elif op in _INT_BINARY_FNS:
+                a = regs[instr.src1]
+                b = instr.imm if instr.src2 is None else regs[instr.src2]
+                regs[instr.dest] = _INT_BINARY_FNS[op](a, b)
+            elif op is Op.FDIV:
+                a = regs[instr.src1]
+                b = instr.imm if instr.src2 is None else regs[instr.src2]
+                if b == 0:
+                    raise SimulationError("float division by zero")
+                regs[instr.dest] = a / b
+            elif op in _UNARY_FNS:
+                regs[instr.dest] = _UNARY_FNS[op](regs[instr.src1])
+            elif op is Op.LD:
+                ea = self._ea(instr, frame)
+                regs[instr.dest] = memory.load(ea)
+                if data_hook is not None:
+                    cycles += data_hook(ea)
+            elif op is Op.ST:
+                memory.store(self._ea(instr, frame), regs[instr.src1])
+            elif op is Op.B:
+                ip = instr.target
+                continue
+            elif op in BRANCH_TESTS:
+                a = regs[instr.src1]
+                b = instr.imm if instr.src2 is None else regs[instr.src2]
+                if BRANCH_TESTS[op](a, b):
+                    ip = instr.target
+                    continue
+            elif op is Op.CALL:
+                callee = self.program.functions[instr.callee]
+                values = [regs[r] for r in instr.args]
+                new_frame = _Frame(max(callee.reg_count, len(values)),
+                                   stack_top, ip + 1, instr.dest)
+                stack_top += callee.frame_words
+                memory.reserve(callee.frame_words)
+                for i, ((_, kind), value) in enumerate(
+                        zip(callee.params, values)):
+                    new_frame.regs[i] = (float(value) if kind == "float"
+                                         else int(value))
+                frames.append(new_frame)
+                frame = new_frame
+                ip = callee.entry_index
+                continue
+            elif op is Op.RET:
+                value = regs[instr.src1] if instr.src1 is not None else None
+                finished = frames.pop()
+                stack_top = finished.base
+                if not frames:
+                    return_value = value
+                    break
+                frame = frames[-1]
+                if finished.dest is not None:
+                    frame.regs[finished.dest] = value
+                ip = finished.return_ip
+                continue
+            elif op is Op.NOP:
+                pass
+            else:  # pragma: no cover - all opcodes handled above
+                raise SimulationError(f"cannot execute {instr}")
+            ip += 1
+
+        return ExecResult(return_value, counts, steps, cycles)
+
+    def _ea(self, instr: Instruction, frame: _Frame) -> int:
+        mem = instr.mem
+        base = frame.base + mem.offset if mem.base == "frame" else mem.offset
+        if mem.index is not None:
+            base += frame.regs[mem.index]
+        return base
+
+
+def run_program(program: Program, entry: str, *args,
+                globals_init: dict | None = None,
+                cycle_model=None) -> ExecResult:
+    """Convenience wrapper: build an interpreter, set globals, run."""
+    interp = Interpreter(program, cycle_model=cycle_model)
+    for name, value in (globals_init or {}).items():
+        interp.set_global(name, value)
+    return interp.run(entry, *args)

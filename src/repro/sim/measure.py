@@ -1,0 +1,76 @@
+"""The paper's measurement protocol (§VI-B), on the simulator.
+
+Experiment 2 measures each routine on the QT960 board:
+
+* **worst case** — initialize with the worst-case data set, flush the
+  cache before each call, time the call;
+* **best case** — same with the best-case data set and *no* cache
+  flush (so the routine runs warm).
+
+We reproduce exactly that against the cycle-accurate simulator.  A
+warm-up run primes the I-cache for the best-case measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..codegen import Program
+from ..hw import Machine, i960kb
+from .cycles import CycleModel
+from .interp import ExecResult, Interpreter
+
+
+@dataclass
+class Dataset:
+    """One input configuration for a benchmark routine.
+
+    ``globals`` maps global names to values (scalars or flat lists);
+    ``args`` are the entry function's scalar arguments.
+    """
+
+    globals: dict = field(default_factory=dict)
+    args: tuple = ()
+
+
+@dataclass
+class MeasuredBound:
+    """Cycle-count interval observed on the simulator."""
+
+    best: int
+    worst: int
+    best_result: ExecResult
+    worst_result: ExecResult
+
+    @property
+    def interval(self) -> tuple[int, int]:
+        return (self.best, self.worst)
+
+
+def run_with_cycles(program: Program, entry: str, dataset: Dataset,
+                    machine: Machine | None = None,
+                    flush: bool = True) -> ExecResult:
+    """One timed call following the measurement protocol."""
+    machine = machine or i960kb()
+    model = CycleModel(machine)
+    interp = Interpreter(program, cycle_model=model)
+    for name, value in dataset.globals.items():
+        interp.set_global(name, value)
+    if not flush:
+        # Warm-up call primes the I-cache; only the second call is timed.
+        interp.run(entry, *dataset.args)
+        for name, value in dataset.globals.items():
+            interp.set_global(name, value)
+    else:
+        model.flush()
+    return interp.run(entry, *dataset.args)
+
+
+def measure_bounds(program: Program, entry: str, best_data: Dataset,
+                   worst_data: Dataset,
+                   machine: Machine | None = None) -> MeasuredBound:
+    """Measured [best, worst] cycle interval for `entry` (Table III)."""
+    machine = machine or i960kb()
+    worst = run_with_cycles(program, entry, worst_data, machine, flush=True)
+    best = run_with_cycles(program, entry, best_data, machine, flush=False)
+    return MeasuredBound(best.cycles, worst.cycles, best, worst)

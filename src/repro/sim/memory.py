@@ -1,0 +1,82 @@
+"""Word-addressed data memory for the IR960 simulator.
+
+The data space holds the globals segment at low addresses and frame
+(local-array) storage above it, growing upward as calls nest.  Each
+word stores one Python number (int or float) — IR960 is word oriented,
+so there is no byte packing to emulate.
+"""
+
+from __future__ import annotations
+
+from ..codegen import Program
+from ..errors import SimulationError
+
+
+class Memory:
+    """Data memory with globals initialization and bounds checking."""
+
+    def __init__(self, program: Program, capacity: int = 1 << 20):
+        self.capacity = capacity
+        self.words: list = [0] * max(program.data_words, 1)
+        self.globals = program.globals
+        self.stack_base = program.data_words
+        for slot in program.globals.values():
+            self._init_slot(slot)
+
+    def _init_slot(self, slot) -> None:
+        caster = float if slot.type.base == "float" else int
+        if slot.type.is_array:
+            values = list(slot.init or [])
+            for i in range(slot.type.size_words):
+                value = values[i] if i < len(values) else 0
+                self.words[slot.addr + i] = caster(value)
+        else:
+            self.words[slot.addr] = caster(slot.init or 0)
+
+    # ------------------------------------------------------------------
+    def load(self, addr: int):
+        if not 0 <= addr < len(self.words):
+            raise SimulationError(f"load from invalid address {addr}")
+        return self.words[addr]
+
+    def store(self, addr: int, value) -> None:
+        if addr < 0 or addr >= self.capacity:
+            raise SimulationError(f"store to invalid address {addr}")
+        if addr >= len(self.words):
+            self.words.extend([0] * (addr + 1 - len(self.words)))
+        self.words[addr] = value
+
+    def reserve(self, words: int) -> None:
+        """Pre-grow for a frame allocation (keeps stores in bounds)."""
+        need = len(self.words) + words
+        if need > self.capacity:
+            raise SimulationError("simulated stack overflow")
+
+    # ------------------------------------------------------------------
+    # Named access for test harnesses and datasets.
+    # ------------------------------------------------------------------
+    def set_global(self, name: str, value) -> None:
+        """Overwrite a global scalar (number) or array (list) by name."""
+        slot = self.globals.get(name)
+        if slot is None:
+            raise SimulationError(f"no global named {name!r}")
+        caster = float if slot.type.base == "float" else int
+        if slot.type.is_array:
+            values = list(value)
+            if len(values) > slot.type.size_words:
+                raise SimulationError(
+                    f"{name!r}: {len(values)} values for "
+                    f"{slot.type.size_words} elements")
+            for i, item in enumerate(values):
+                self.words[slot.addr + i] = caster(item)
+        else:
+            self.words[slot.addr] = caster(value)
+
+    def get_global(self, name: str):
+        """Read a global scalar (number) or array (list) by name."""
+        slot = self.globals.get(name)
+        if slot is None:
+            raise SimulationError(f"no global named {name!r}")
+        if slot.type.is_array:
+            return self.words[slot.addr:slot.addr + slot.type.size_words]
+        return self.words[slot.addr]

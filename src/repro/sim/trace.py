@@ -1,0 +1,88 @@
+"""Block-level execution tracing.
+
+Records the sequence of basic blocks (and call-edge transitions) a run
+actually takes.  Used by tests to validate edge-count reconstruction
+and by users to compare a real execution against the ILP's extreme
+path (:mod:`repro.analysis.path_extract`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cfg import CFG
+from ..codegen import Program
+from .interp import ExecResult, Interpreter
+
+
+@dataclass
+class BlockTrace:
+    """The block-level history of one simulated call."""
+
+    #: (function name, block id) in execution order.
+    sequence: list[tuple[str, int]]
+    result: ExecResult
+
+    def for_function(self, name: str) -> list[int]:
+        return [block for fn, block in self.sequence if fn == name]
+
+    def edge_counts(self, cfg: CFG) -> dict[str, int]:
+        """Observed counts of `cfg`'s edges (entry/exit included).
+
+        The projected block sequence of a function steps along that
+        function's own edges (an f-edge bridges the callee excursion).
+        When the function is invoked several times and its last block
+        also has a real edge back to the entry block, the projection
+        is ambiguous; use this on singly-invoked functions (such as
+        the analysis entry).
+        """
+        counts = {edge.name: 0 for edge in cfg.edges}
+        blocks = self.for_function(cfg.name)
+        if not blocks:
+            return counts
+        counts[cfg.entry_edge.name] += 1
+        by_pair: dict[tuple[int, int], str] = {}
+        for edge in cfg.edges:
+            if edge.src is not None and edge.dst is not None:
+                by_pair.setdefault((edge.src, edge.dst), edge.name)
+        for a, b in zip(blocks, blocks[1:]):
+            name = by_pair.get((a, b))
+            if name is not None:
+                counts[name] += 1
+            elif b == cfg.entry_block:
+                counts[cfg.entry_edge.name] += 1   # fresh invocation
+        # Every execution of a returning block leaves via its exit edge.
+        for edge in cfg.exit_edges():
+            counts[edge.name] = blocks.count(edge.src)
+        return counts
+
+
+class _BlockRecorder:
+    """Cycle-model shim that records block leaders as they execute."""
+
+    def __init__(self, program: Program, cfgs: dict[str, CFG]):
+        self.sequence: list[tuple[str, int]] = []
+        self._leaders: dict[int, tuple[str, int]] = {}
+        for name, cfg in cfgs.items():
+            for block in cfg.blocks.values():
+                self._leaders[block.start] = (name, block.id)
+
+    def execute(self, instr) -> int:
+        hit = self._leaders.get(instr.addr // 4)
+        if hit is not None:
+            self.sequence.append(hit)
+        return 0
+
+
+def record_block_trace(program: Program, entry: str, *args,
+                       globals_init: dict | None = None) -> BlockTrace:
+    """Run `entry` and return its block-level trace."""
+    from ..cfg import build_cfgs
+
+    cfgs = build_cfgs(program)
+    recorder = _BlockRecorder(program, cfgs)
+    interp = Interpreter(program, cycle_model=recorder)
+    for name, value in (globals_init or {}).items():
+        interp.set_global(name, value)
+    result = interp.run(entry, *args)
+    return BlockTrace(recorder.sequence, result)

@@ -1,0 +1,294 @@
+"""Tests for automatic loop-bound derivation (paper §VII extension)."""
+
+import pytest
+
+from repro import Analysis
+from repro.analysis import derive_loop_bounds
+from repro.lang import frontend
+
+
+def derive(source):
+    return {b.key: b for b in derive_loop_bounds(frontend(source))}
+
+
+class TestPatterns:
+    def test_classic_counted_loop(self):
+        bounds = derive("void f() {\n for (int i = 0; i < 10; i++) { }\n }")
+        bound = bounds[("f", 2)]
+        assert (bound.lo, bound.hi, bound.exact) == (10, 10, True)
+
+    def test_le_bound(self):
+        bounds = derive("void f() {\n for (int i = 1; i <= 8; i++) { }\n }")
+        assert bounds[("f", 2)].hi == 8
+
+    def test_step_two(self):
+        bounds = derive("void f() {\n for (int i = 0; i < 9; i += 2) { }\n }")
+        assert bounds[("f", 2)].hi == 5      # 0,2,4,6,8
+
+    def test_downward_loop(self):
+        bounds = derive("void f() {\n for (int i = 9; i > 0; i--) { }\n }")
+        assert bounds[("f", 2)].hi == 9
+
+    def test_downward_ge(self):
+        bounds = derive("void f() {\n for (int i = 9; i >= 0; i -= 3) { }\n }")
+        assert bounds[("f", 2)].hi == 4      # 9,6,3,0
+
+    def test_const_global_limit(self):
+        bounds = derive(
+            "const int N = 12;\n"
+            "void f() {\n for (int i = 0; i < N; i++) { }\n }")
+        assert bounds[("f", 3)].hi == 12
+
+    def test_flipped_comparison(self):
+        bounds = derive("void f() {\n for (int i = 0; 10 > i; i++) { }\n }")
+        assert bounds[("f", 2)].hi == 10
+
+    def test_i_equals_i_plus_c_update(self):
+        bounds = derive(
+            "void f() {\n for (int i = 0; i < 10; i = i + 5) { }\n }")
+        assert bounds[("f", 2)].hi == 2
+
+    def test_assignment_init(self):
+        bounds = derive(
+            "void f() {\n int i;\n for (i = 2; i < 6; i++) { }\n }")
+        assert bounds[("f", 3)].hi == 4
+
+    def test_zero_trip_loop(self):
+        bounds = derive("void f() {\n for (int i = 5; i < 5; i++) { }\n }")
+        assert bounds[("f", 2)].hi == 0
+
+    def test_while_with_monotone_counter(self):
+        bounds = derive(
+            "void f() {\n int i = 0;\n while (i < 4) i++;\n }")
+        bound = bounds[("f", 3)]
+        assert (bound.lo, bound.hi, bound.exact) == (4, 4, True)
+
+    def test_while_step_in_block_body(self):
+        bounds = derive("""
+        int g;
+        void f() {
+            int i = 2;
+            while (i <= 10) {
+                g = g + i;
+                i += 2;
+            }
+        }""")
+        bound = next(iter(bounds.values()))
+        assert bound.hi == 5     # i = 2,4,6,8,10
+
+    def test_while_with_break_upper_only(self):
+        bounds = derive("""
+        void f(int n) {
+            int i = 0;
+            while (i < 6) {
+                if (i == n) break;
+                i++;
+            }
+        }""")
+        bound = next(iter(bounds.values()))
+        assert (bound.lo, bound.hi, bound.exact) == (0, 6, False)
+
+    def test_global_counter_with_call_refused(self):
+        # A callee could write the global index; refuse derivation.
+        assert derive("""
+        int i;
+        void bump() { i = 0; }
+        void f() {
+            for (i = 0; i < 4; i++)
+                bump();
+        }""") == {}
+
+    def test_nested_loops_both_derived(self):
+        source = """
+        void f() {
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 4; j++) { }
+            }
+        }
+        """
+        bounds = derive(source)
+        assert len(bounds) == 2
+        assert {b.hi for b in bounds.values()} == {3, 4}
+
+
+class TestRefusals:
+    def test_variable_limit_refused(self):
+        assert derive(
+            "void f(int n) {\n for (int i = 0; i < n; i++) { }\n }") == {}
+
+    def test_index_modified_in_body(self):
+        assert derive(
+            "void f() {\n for (int i = 0; i < 10; i++) { i = 0; }\n }") == {}
+
+    def test_index_incremented_in_body(self):
+        assert derive(
+            "void f() {\n for (int i = 0; i < 10; i++) { i++; }\n }") == {}
+
+    def test_wrong_direction_refused(self):
+        assert derive(
+            "void f() {\n for (int i = 0; i > 10; i++) { }\n }") == {}
+
+    def test_while_without_init_context_refused(self):
+        # The counter's initialization is not the statement right
+        # before the loop.
+        assert derive(
+            "void f(int n) {\n int i = 0;\n int pad = n;\n"
+            " while (i < 4) i++;\n }") == {}
+
+    def test_while_with_continue_refused(self):
+        # continue could skip the counter step.
+        assert derive("""
+        void f(int n) {
+            int i = 0;
+            while (i < 8) {
+                if (n > 2) continue;
+                i++;
+            }
+        }""") == {}
+
+    def test_while_with_two_steps_refused(self):
+        assert derive("""
+        void f() {
+            int i = 0;
+            while (i < 8) {
+                i++;
+                i++;
+            }
+        }""") == {}
+
+    def test_while_variable_limit_refused(self):
+        assert derive(
+            "void f(int n) {\n int i = 0;\n while (i < n) i++;\n }") == {}
+
+    def test_shadowed_index_refused(self):
+        source = """
+        void f() {
+            for (int i = 0; i < 10; i++) {
+                int i = 3;
+                i = i + 1;
+            }
+        }
+        """
+        assert derive(source) == {}
+
+
+class TestEarlyExit:
+    def test_break_weakens_lower_bound(self):
+        source = """
+        int f(int n) {
+            int i;
+            for (i = 0; i < 10; i++)
+                if (i == n) break;
+            return i;
+        }
+        """
+        bounds = derive(source)
+        bound = next(iter(bounds.values()))
+        assert (bound.lo, bound.hi, bound.exact) == (0, 10, False)
+
+    def test_return_weakens_lower_bound(self):
+        source = """
+        int f(int n) {
+            for (int i = 0; i < 10; i++)
+                if (i == n) return i;
+            return -1;
+        }
+        """
+        bound = next(iter(derive(source).values()))
+        assert not bound.exact and bound.lo == 0
+
+    def test_inner_break_does_not_weaken_outer(self):
+        source = """
+        void f(int n) {
+            for (int i = 0; i < 3; i++) {
+                for (int j = 0; j < 5; j++) {
+                    if (j == n) break;
+                }
+            }
+        }
+        """
+        bounds = derive(source)
+        outer = bounds[("f", 3)]
+        inner = bounds[("f", 4)]
+        assert outer.exact
+        assert not inner.exact
+
+    def test_continue_keeps_exact(self):
+        source = """
+        void f(int n) {
+            for (int i = 0; i < 6; i++) {
+                if (i == n) continue;
+            }
+        }
+        """
+        assert next(iter(derive(source).values())).exact
+
+
+class TestAnalysisIntegration:
+    def test_auto_bound_then_estimate(self):
+        source = """
+        int data[16];
+        int f() {
+            int s = 0;
+            for (int i = 0; i < 16; i++) s += data[i];
+            return s;
+        }
+        """
+        analysis = Analysis(source, entry="f")
+        applied = analysis.auto_bound_loops()
+        assert len(applied) == 1
+        assert analysis.loops_needing_bounds() == []
+        report = analysis.estimate()
+        assert report.best == report.worst or report.best < report.worst
+
+    def test_user_bounds_win(self):
+        source = """
+        int f() {
+            int s = 0;
+            for (int i = 0; i < 16; i++) s += i;
+            return s;
+        }
+        """
+        analysis = Analysis(source, entry="f")
+        analysis.bound_loop(lo=16, hi=16)
+        assert analysis.auto_bound_loops() == []
+
+    def test_underivable_loops_still_reported(self):
+        source = """
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < 4; i++) s += i;
+            while (s < n) s++;
+            return s;
+        }
+        """
+        analysis = Analysis(source, entry="f")
+        applied = analysis.auto_bound_loops()
+        assert len(applied) == 1
+        assert len(analysis.loops_needing_bounds()) == 1
+
+    def test_matches_manual_bounds_on_benchmark(self):
+        # matgen's five loops are all counted: auto bounds must give
+        # the same estimate as the hand-written ones.
+        from repro.programs import get_benchmark
+
+        bench = get_benchmark("matgen")
+        manual = bench.make_analysis(with_constraints=False).estimate()
+
+        auto = Analysis(bench.program, entry="matgen")
+        applied = auto.auto_bound_loops()
+        assert len(applied) == 5
+        assert auto.loops_needing_bounds() == []
+        assert auto.estimate().interval == manual.interval
+
+    def test_auto_bounds_stay_sound(self):
+        from repro import measure_bounds
+        from repro.programs import get_benchmark
+
+        bench = get_benchmark("jpeg_fdct_islow")
+        analysis = Analysis(bench.program, entry=bench.entry)
+        analysis.auto_bound_loops()
+        report = analysis.estimate()
+        measured = measure_bounds(bench.program, bench.entry,
+                                  bench.best_data, bench.worst_data)
+        assert report.encloses(measured.interval)

@@ -1,0 +1,132 @@
+"""Tests for the command-line front end."""
+
+import pytest
+
+from repro.cli import main
+
+PROGRAM = """
+const int N = 8;
+int data[8];
+
+int total() {
+    int s = 0;
+    for (int i = 0; i < N; i++)
+        s += data[i];
+    return s;
+}
+"""
+
+
+@pytest.fixture
+def source_file(tmp_path):
+    path = tmp_path / "prog.c"
+    path.write_text(PROGRAM)
+    return str(path)
+
+
+class TestAnalyze:
+    def test_with_explicit_bound(self, source_file, capsys):
+        code = main(["analyze", source_file, "--entry", "total",
+                     "--bound", "8:8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cycles for total" in out
+        assert "first relaxation integral: True" in out
+
+    def test_auto_bounds(self, source_file, capsys):
+        code = main(["analyze", source_file, "--entry", "total",
+                     "--auto-bounds"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "auto bound: total() line" in out
+        assert "[8, 8] (exact)" in out
+
+    def test_missing_bound_reports_loops(self, source_file, capsys):
+        code = main(["analyze", source_file, "--entry", "total"])
+        err = capsys.readouterr().err
+        assert code == 2
+        assert "loops still needing --bound" in err
+
+    def test_bound_with_function_and_line(self, source_file, capsys):
+        code = main(["analyze", source_file, "--entry", "total",
+                     "--bound", "total:7:8:8"])
+        assert code == 0
+
+    def test_constraint_flag(self, source_file, capsys):
+        code = main(["analyze", source_file, "--entry", "total",
+                     "--bound", "0:8", "--constraint", "x1 = 1"])
+        assert code == 0
+        assert "sets: 1 solved" in capsys.readouterr().out
+
+    def test_show_counts(self, source_file, capsys):
+        code = main(["analyze", source_file, "--entry", "total",
+                     "--bound", "8:8", "--show-counts"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "total::x1 = 1" in out
+
+    def test_machine_selection(self, source_file, capsys):
+        main(["analyze", source_file, "--entry", "total",
+              "--bound", "8:8", "--machine", "dsp3210"])
+        assert "DSP3210" in capsys.readouterr().out
+
+    def test_bad_entry_is_reported(self, source_file, capsys):
+        code = main(["analyze", source_file, "--entry", "nope",
+                     "--bound", "8:8"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_bad_bound_spec(self, source_file, capsys):
+        code = main(["analyze", source_file, "--entry", "total",
+                     "--bound", "1:2:3:4:5"])
+        assert code == 1
+
+    def test_cache_split_flag(self, source_file, capsys):
+        code = main(["analyze", source_file, "--entry", "total",
+                     "--bound", "8:8", "--cache-split"])
+        assert code == 0
+
+
+class TestRun:
+    def test_run_with_globals(self, source_file, capsys):
+        code = main(["run", source_file, "--entry", "total",
+                     "--set", "data=1,2,3,4,5,6,7,8"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "return value: 36" in out
+
+    def test_run_with_cycles(self, source_file, capsys):
+        code = main(["run", source_file, "--entry", "total", "--cycles"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "cycles (i960KB):" in out
+
+    def test_run_with_args(self, tmp_path, capsys):
+        path = tmp_path / "p.c"
+        path.write_text("int dbl(int x) { return 2 * x; }")
+        code = main(["run", str(path), "--entry", "dbl", "--arg", "21"])
+        assert code == 0
+        assert "return value: 42" in capsys.readouterr().out
+
+    def test_bad_set_spec(self, source_file, capsys):
+        code = main(["run", source_file, "--entry", "total",
+                     "--set", "data"])
+        assert code == 1
+
+
+class TestOtherCommands:
+    def test_annotate(self, source_file, capsys):
+        code = main(["annotate", source_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "x1" in out and "total()" in out
+
+    def test_annotate_subset(self, source_file, capsys):
+        code = main(["annotate", source_file, "--functions", "total"])
+        assert code == 0
+
+    def test_disasm(self, source_file, capsys):
+        code = main(["disasm", source_file])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "total:" in out and "ret" in out

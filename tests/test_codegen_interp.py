@@ -1,0 +1,380 @@
+"""End-to-end tests: MiniC source -> IR960 -> interpreter result.
+
+These validate the compiler and interpreter together by checking
+functional results of compiled programs against the obvious Python
+semantics.
+"""
+
+import pytest
+
+from repro.codegen import Op, compile_source
+from repro.sim import run_program
+
+
+def run(source, entry, *args, globals_init=None):
+    program = compile_source(source)
+    return run_program(program, entry, *args,
+                       globals_init=globals_init).value
+
+
+class TestArithmetic:
+    def test_constants_and_return(self):
+        assert run("int f() { return 41 + 1; }", "f") == 42
+
+    def test_parameters(self):
+        assert run("int add(int a, int b) { return a + b; }", "add", 3, 4) == 7
+
+    def test_precedence(self):
+        assert run("int f() { return 2 + 3 * 4 - 1; }", "f") == 13
+
+    def test_division_truncates_toward_zero(self):
+        src = "int f(int a, int b) { return a / b; }"
+        assert run(src, "f", 7, 2) == 3
+        assert run(src, "f", -7, 2) == -3
+        assert run(src, "f", 7, -2) == -3
+
+    def test_remainder_sign(self):
+        src = "int f(int a, int b) { return a % b; }"
+        assert run(src, "f", 7, 3) == 1
+        assert run(src, "f", -7, 3) == -1
+
+    def test_bitwise(self):
+        assert run("int f() { return (12 & 10) | (1 ^ 3); }", "f") == 10
+        assert run("int f() { return ~0; }", "f") == -1
+
+    def test_shifts(self):
+        assert run("int f() { return 3 << 4; }", "f") == 48
+        assert run("int f() { return -16 >> 2; }", "f") == -4
+
+    def test_unary_minus(self):
+        assert run("int f(int a) { return -a; }", "f", 5) == -5
+
+    def test_float_arithmetic(self):
+        assert run("float f() { return 1.5 * 4.0; }", "f") == pytest.approx(6.0)
+
+    def test_mixed_promotion(self):
+        assert run("float f(int a) { return a / 2.0; }", "f", 7) == \
+            pytest.approx(3.5)
+
+    def test_float_to_int_truncation(self):
+        assert run("int f(float x) { int i; i = x; return i; }", "f", 3.9) == 3
+        assert run("int f(float x) { int i; i = x; return i; }", "f", -3.9) == -3
+
+    def test_intrinsics(self):
+        assert run("float f(float x) { return sqrt(x); }", "f", 9.0) == \
+            pytest.approx(3.0)
+        assert run("float f(float x) { return sin(x); }", "f", 0.0) == \
+            pytest.approx(0.0)
+        assert run("int f(int x) { return abs(x); }", "f", -4) == 4
+
+    def test_comparison_as_value(self):
+        assert run("int f(int a) { return a < 10; }", "f", 5) == 1
+        assert run("int f(int a) { return a < 10; }", "f", 15) == 0
+
+    def test_logical_values(self):
+        src = "int f(int a, int b) { return a && b; }"
+        assert run(src, "f", 1, 2) == 1
+        assert run(src, "f", 1, 0) == 0
+        src = "int f(int a, int b) { return a || b; }"
+        assert run(src, "f", 0, 0) == 0
+        assert run(src, "f", 0, 2) == 1
+
+    def test_not(self):
+        assert run("int f(int a) { return !a; }", "f", 0) == 1
+        assert run("int f(int a) { return !a; }", "f", 7) == 0
+
+    def test_ternary(self):
+        src = "int f(int a) { return a > 0 ? a : -a; }"
+        assert run(src, "f", -5) == 5
+        assert run(src, "f", 5) == 5
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "int f(int p) { int q; if (p) q = 1; else q = 2; return q; }"
+        assert run(src, "f", 1) == 1
+        assert run(src, "f", 0) == 2
+
+    def test_while_loop(self):
+        src = """
+            int f(int p) {
+                int q; q = p;
+                while (q < 10) q++;
+                return q;
+            }
+        """
+        assert run(src, "f", 0) == 10
+        assert run(src, "f", 42) == 42
+
+    def test_for_loop_sum(self):
+        src = """
+            int f(int n) {
+                int s = 0;
+                for (int i = 1; i <= n; i++) s += i;
+                return s;
+            }
+        """
+        assert run(src, "f", 10) == 55
+
+    def test_do_while(self):
+        src = """
+            int f() {
+                int i = 0;
+                do i++; while (i < 5);
+                return i;
+            }
+        """
+        assert run(src, "f") == 5
+
+    def test_do_while_runs_once(self):
+        src = """
+            int f() {
+                int i = 100;
+                do i++; while (i < 5);
+                return i;
+            }
+        """
+        assert run(src, "f") == 101
+
+    def test_break(self):
+        src = """
+            int f() {
+                int i;
+                for (i = 0; i < 100; i++) if (i == 7) break;
+                return i;
+            }
+        """
+        assert run(src, "f") == 7
+
+    def test_continue(self):
+        src = """
+            int f() {
+                int s = 0;
+                for (int i = 0; i < 10; i++) {
+                    if (i % 2) continue;
+                    s += i;
+                }
+                return s;
+            }
+        """
+        assert run(src, "f") == 20
+
+    def test_nested_loops(self):
+        src = """
+            int f(int n) {
+                int c = 0;
+                for (int i = 0; i < n; i++)
+                    for (int j = 0; j <= i; j++)
+                        c++;
+                return c;
+            }
+        """
+        assert run(src, "f", 4) == 10
+
+    def test_short_circuit_avoids_side_effects(self):
+        src = """
+            int hits = 0;
+            int bump() { hits = hits + 1; return 1; }
+            int f(int a) {
+                if (a && bump()) return hits;
+                return hits;
+            }
+        """
+        program = compile_source(src)
+        assert run_program(program, "f", 0).value == 0
+        assert run_program(program, "f", 1).value == 1
+
+    def test_prefix_vs_postfix(self):
+        assert run("int f() { int i = 5; return ++i; }", "f") == 6
+        assert run("int f() { int i = 5; return i++; }", "f") == 5
+        assert run("int f() { int i = 5; i++; return i; }", "f") == 6
+
+    def test_incdec_on_array_element(self):
+        src = """
+            int a[3];
+            int f() { a[1] = 5; a[1]++; --a[1]; a[1]++; return a[1]; }
+        """
+        assert run(src, "f") == 6
+
+
+class TestMemory:
+    def test_global_scalar_init(self):
+        assert run("int g = 11; int f() { return g; }", "f") == 11
+
+    def test_global_array_init(self):
+        src = "int t[4] = {3, 1, 4, 1}; int f(int i) { return t[i]; }"
+        assert run(src, "f", 2) == 4
+
+    def test_global_array_zero_fill(self):
+        src = "int t[4] = {9}; int f() { return t[3]; }"
+        assert run(src, "f") == 0
+
+    def test_global_write(self):
+        src = """
+            int g;
+            void set(int v) { g = v; }
+            int f() { set(33); return g; }
+        """
+        assert run(src, "f") == 33
+
+    def test_2d_array_row_major(self):
+        src = """
+            int m[3][4];
+            int f() {
+                int i, j;
+                for (i = 0; i < 3; i++)
+                    for (j = 0; j < 4; j++)
+                        m[i][j] = 10 * i + j;
+                return m[2][3];
+            }
+        """
+        assert run(src, "f") == 23
+
+    def test_local_array(self):
+        src = """
+            int f() {
+                int buf[5];
+                int i;
+                for (i = 0; i < 5; i++) buf[i] = i * i;
+                return buf[4];
+            }
+        """
+        assert run(src, "f") == 16
+
+    def test_local_array_initializer(self):
+        src = "int f() { int t[3] = {7, 8, 9}; return t[1]; }"
+        assert run(src, "f") == 8
+
+    def test_local_arrays_fresh_per_call(self):
+        src = """
+            int leaf(int set) {
+                int buf[2];
+                if (set) buf[0] = 99;
+                else buf[0] = 1;
+                return buf[0];
+            }
+            int f() {
+                int a; int b;
+                a = leaf(1);
+                b = leaf(0);
+                return b;
+            }
+        """
+        assert run(src, "f") == 1
+
+    def test_globals_init_override(self):
+        src = "int data[3]; int f() { return data[0] + data[1] + data[2]; }"
+        assert run(src, "f", globals_init={"data": [5, 6, 7]}) == 18
+
+    def test_float_global_array(self):
+        src = "float w[2] = {0.5, 1.5}; float f() { return w[0] + w[1]; }"
+        assert run(src, "f") == pytest.approx(2.0)
+
+    def test_compound_assign_array_element_single_index_eval(self):
+        # a[i++] += 1 would be pathological; we check the sane case:
+        # the index of a compound assignment is evaluated once.
+        src = """
+            int a[4];
+            int f() {
+                int i = 2;
+                a[i] = 10;
+                a[i] += 5;
+                return a[2];
+            }
+        """
+        assert run(src, "f") == 15
+
+
+class TestCalls:
+    def test_call_chain(self):
+        src = """
+            int sq(int x) { return x * x; }
+            int twice(int x) { return sq(x) + sq(x); }
+            int f(int x) { return twice(x + 1); }
+        """
+        assert run(src, "f", 2) == 18
+
+    def test_void_function(self):
+        src = """
+            int g;
+            void bump() { g = g + 1; }
+            int f() { bump(); bump(); return g; }
+        """
+        assert run(src, "f") == 2
+
+    def test_float_params_coerced(self):
+        src = """
+            float half(float x) { return x / 2.0; }
+            float f() { return half(7); }
+        """
+        assert run(src, "f") == pytest.approx(3.5)
+
+    def test_call_in_condition(self):
+        src = """
+            int check(int v) { return v > 10; }
+            int f(int v) { if (check(v)) return 1; return 0; }
+        """
+        assert run(src, "f", 11) == 1
+        assert run(src, "f", 9) == 0
+
+    def test_forward_reference(self):
+        src = """
+            int f(int x) { return helper(x) + 1; }
+            int helper(int x) { return x * 2; }
+        """
+        assert run(src, "f", 5) == 11
+
+
+class TestExecutionAccounting:
+    def test_counts_sum_to_steps(self):
+        program = compile_source(
+            "int f(int n) { int s = 0; for (int i = 0; i < n; i++) s += i;"
+            " return s; }")
+        result = run_program(program, "f", 6)
+        assert sum(result.counts) == result.steps
+
+    def test_entry_executed_once(self):
+        program = compile_source("int f() { return 1; }")
+        result = run_program(program, "f")
+        assert result.counts[program.functions["f"].entry_index] == 1
+
+    def test_every_instruction_has_address(self):
+        program = compile_source("""
+            int g(int a) { return a + 1; }
+            int f(int a) { return g(a) * 2; }
+        """)
+        addrs = [instr.addr for instr in program.code]
+        assert addrs == sorted(addrs)
+        assert addrs[0] == 0
+        assert all(b - a == 4 for a, b in zip(addrs, addrs[1:]))
+
+    def test_branch_targets_resolved(self):
+        program = compile_source(
+            "int f(int n) { while (n < 5) n++; return n; }")
+        for instr in program.code:
+            if instr.is_branch:
+                assert isinstance(instr.target, int)
+                assert 0 <= instr.target < len(program.code)
+
+    def test_division_by_zero_raises(self):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            run("int f(int a) { return 1 / a; }", "f", 0)
+
+    def test_step_limit(self):
+        from repro.errors import SimulationError
+        from repro.sim import Interpreter
+
+        program = compile_source("void f() { while (1) { } }")
+        interp = Interpreter(program, step_limit=1000)
+        with pytest.raises(SimulationError):
+            interp.run("f")
+
+    def test_disassembly_smoke(self):
+        from repro.codegen import disassemble
+
+        program = compile_source("int f(int a) { return a + 1; }")
+        text = disassemble(program)
+        assert "f:" in text
+        assert Op.RET.value in text

@@ -1,0 +1,172 @@
+"""Tests for the functionality-constraint language and DNF expansion."""
+
+import pytest
+
+from repro.errors import ConstraintSyntaxError
+from repro.constraints import (VarRef, combine, parse_constraint,
+                               trivially_null)
+
+
+def x(n, function=None, path=()):
+    return VarRef(f"x{n}", function, tuple(path))
+
+
+class TestParsing:
+    def test_simple_equality(self):
+        formula = parse_constraint("x3 = x8")
+        assert len(formula.sets) == 1
+        relation = formula.sets[0][0]
+        assert relation.sense == "=="
+        assert relation.expr.terms == {x(3): 1.0, x(8): -1.0}
+
+    def test_paper_loop_bounds_14_15(self):
+        low = parse_constraint("x2 >= 1 x1").sets[0][0]
+        assert low.sense == ">="
+        assert low.expr.terms == {x(2): 1.0, x(1): -1.0}
+        high = parse_constraint("x2 <= 10 x1").sets[0][0]
+        assert high.expr.terms == {x(2): 1.0, x(1): -10.0}
+
+    def test_juxtaposed_coefficient(self):
+        relation = parse_constraint("10x1 >= x2").sets[0][0]
+        assert relation.expr.terms == {x(1): 10.0, x(2): -1.0}
+
+    def test_explicit_star(self):
+        relation = parse_constraint("2 * x1 + 3*x2 <= 12").sets[0][0]
+        assert relation.expr.terms == {x(1): 2.0, x(2): 3.0}
+        assert relation.expr.const == -12.0
+
+    def test_strict_inequalities_normalized(self):
+        lt = parse_constraint("x1 < 5").sets[0][0]
+        assert lt.sense == "<="
+        assert lt.expr.const == -4.0          # x1 - 5 + 1 <= 0
+        gt = parse_constraint("x1 > 2").sets[0][0]
+        assert gt.sense == ">="
+        assert gt.expr.const == -3.0
+
+    def test_negative_terms(self):
+        relation = parse_constraint("-x1 + 4 >= x2 - x3").sets[0][0]
+        assert relation.expr.terms == {x(1): -1.0, x(2): -1.0, x(3): 1.0}
+
+    def test_paper_disjunction_16(self):
+        formula = parse_constraint("(x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0)")
+        assert formula.is_disjunctive
+        assert len(formula.sets) == 2
+        assert all(len(s) == 2 for s in formula.sets)
+
+    def test_conjunction_of_disjunctions_distributes(self):
+        formula = parse_constraint("(x1 = 0 | x1 = 1) & (x2 = 0 | x2 = 1)")
+        assert len(formula.sets) == 4
+
+    def test_scoped_reference_paper_18(self):
+        # x12 = x8.f1
+        formula = parse_constraint("x12 = x8.f1")
+        relation = formula.sets[0][0]
+        refs = set(relation.expr.terms)
+        assert x(12) in refs
+        assert VarRef("x8", None, ("f1",)) in refs
+
+    def test_multi_level_context_path(self):
+        relation = parse_constraint("x3.f1.f2 <= 4").sets[0][0]
+        assert VarRef("x3", None, ("f1", "f2")) in relation.expr.terms
+
+    def test_function_qualified_reference(self):
+        relation = parse_constraint("check_data.x8 = task.x12").sets[0][0]
+        refs = set(relation.expr.terms)
+        assert VarRef("x8", "check_data") in refs
+        assert VarRef("x12", "task") in refs
+
+    def test_d_and_f_variables(self):
+        relation = parse_constraint("d2 = f1 + f2").sets[0][0]
+        refs = {str(r) for r in relation.expr.terms}
+        assert refs == {"d2", "f1", "f2"}
+
+    def test_bad_character(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("x1 $ 3")
+
+    def test_missing_operator(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("x1 x2")
+
+    def test_unbalanced_paren(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("(x1 = 0 | x2 = 1")
+
+    def test_bad_context_component(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("x1.banana = 2")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConstraintSyntaxError):
+            parse_constraint("")
+
+
+class TestDNFCombination:
+    def paper_check_data_formulas(self):
+        return [
+            parse_constraint("x2 >= 1 x1"),
+            parse_constraint("x2 <= 10 x1"),
+            parse_constraint("(x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0)"),
+            parse_constraint("x3 = x8"),
+        ]
+
+    def test_paper_example_yields_two_sets(self):
+        # §III-D: intersecting (14)-(17) gives exactly two sets.
+        expansion = combine(self.paper_check_data_formulas())
+        assert expansion.count == 2
+        assert expansion.total_before_pruning == 2
+        assert expansion.pruned == 0
+
+    def test_conflicting_disjunctions_pruned(self):
+        formulas = [
+            parse_constraint("x3 = 0 | x3 = 1"),
+            parse_constraint("x3 = 1 | x3 = 2"),
+        ]
+        expansion = combine(formulas)
+        # 4 raw combinations; x3=0&x3=1, x3=0&x3=2, x3=1&x3=2 are null.
+        assert expansion.total_before_pruning == 4
+        assert expansion.count == 1
+        assert expansion.pruned == 3
+
+    def test_no_formulas_gives_one_empty_set(self):
+        expansion = combine([])
+        assert expansion.count == 1
+        assert expansion.sets == [[]]
+
+    def test_size_doubles_per_disjunction(self):
+        formulas = [parse_constraint(f"x{i} = 0 | x{i} = 1")
+                    for i in range(1, 4)]
+        expansion = combine(formulas, prune=False)
+        assert expansion.count == 8
+
+    def test_negative_count_pruned(self):
+        # Counts are nonnegative; x1 <= -1 is null on its own.
+        expansion = combine([parse_constraint("x1 <= -1")])
+        assert expansion.count == 0
+
+    def test_interval_conflict_detected(self):
+        relations = (parse_constraint("x1 >= 5").sets[0]
+                     + parse_constraint("x1 <= 4").sets[0])
+        assert trivially_null(relations)
+
+    def test_interval_agreement_kept(self):
+        relations = (parse_constraint("x1 >= 2").sets[0]
+                     + parse_constraint("x1 <= 4").sets[0])
+        assert not trivially_null(relations)
+
+    def test_multivar_relations_not_pruned(self):
+        # Interval propagation must not misjudge relations with 2 vars.
+        relations = parse_constraint("x1 + x2 <= -3").sets[0]
+        # (Actually infeasible over nonnegative counts, but only the ILP
+        # may conclude that; the cheap pruner must keep it.)
+        assert not trivially_null(relations)
+
+    def test_scaled_single_var(self):
+        relations = (parse_constraint("2 x1 <= 5").sets[0]
+                     + parse_constraint("3 x1 >= 9").sets[0])
+        # x1 <= 2.5 and x1 >= 3 -> empty integers.
+        assert trivially_null(relations)
+
+    def test_constant_only_false_relation(self):
+        relations = parse_constraint("1 <= 0").sets[0]
+        assert trivially_null(relations)

@@ -1,0 +1,127 @@
+"""Tests for the data-cache extension (§VII future work)."""
+
+import pytest
+
+from repro import Analysis, calculated_bound, measure_bounds
+from repro.cfg import build_cfgs
+from repro.codegen import compile_source
+from repro.hw import DCache, cost_table, i960kb, i960kb_dcache
+from repro.programs import get_benchmark
+from repro.sim import CycleModel, Interpreter
+
+ARRAY_WALK = """
+int data[64];
+int f() {
+    int i, s;
+    s = 0;
+    for (i = 0; i < 64; i++)
+        s += data[i];
+    return s;
+}
+"""
+
+
+class TestDCacheModel:
+    def test_read_allocate(self):
+        cache = DCache(i960kb_dcache())
+        assert not cache.read(0)       # miss fills the 4-word line
+        assert cache.read(1)
+        assert cache.read(3)
+        assert not cache.read(4)       # next line
+
+    def test_conflict(self):
+        machine = i960kb_dcache()
+        cache = DCache(machine)
+        cache.read(0)
+        stride = machine.dcache_words  # same set, different tag
+        assert not cache.read(stride)
+        assert not cache.read(0)
+
+    def test_disabled_on_plain_i960(self):
+        cache = DCache(i960kb())
+        assert not cache.enabled
+        assert cache.read(123)
+
+    def test_flush(self):
+        cache = DCache(i960kb_dcache())
+        cache.read(0)
+        cache.flush()
+        assert not cache.read(0)
+
+    def test_bad_geometry(self):
+        from repro.hw import Machine
+
+        with pytest.raises(ValueError):
+            Machine(dcache_words=10, dcache_line_words=4)
+
+
+class TestCostsAndSimulation:
+    def test_worst_cost_charges_loads(self):
+        program = compile_source(ARRAY_WALK)
+        cfgs = build_cfgs(program)
+        plain = cost_table(cfgs["f"], i960kb())
+        dmach = i960kb_dcache()
+        with_d = cost_table(cfgs["f"], dmach)
+        from repro.codegen.isa import Op
+
+        for block_id, block in cfgs["f"].blocks.items():
+            loads = sum(1 for i in block.instrs if i.op is Op.LD)
+            gap = (with_d[block_id].worst - with_d[block_id].best) - \
+                  (plain[block_id].worst - plain[block_id].best)
+            assert gap == loads * dmach.dcache_miss_penalty
+
+    def test_bracketing_invariant_with_dcache(self):
+        program = compile_source(ARRAY_WALK)
+        machine = i960kb_dcache()
+        model = CycleModel(machine)
+        model.record_per_instruction()
+        model.flush()
+        interp = Interpreter(program, cycle_model=model)
+        result = interp.run("f")
+        cfg = build_cfgs(program)["f"]
+        costs = cost_table(cfg, machine)
+        for block_id, block in cfg.blocks.items():
+            count = result.counts[block.start]
+            observed = sum(model.per_index.get(i, 0)
+                           for i in range(block.start, block.end))
+            assert count * costs[block_id].best <= observed
+            assert observed <= count * costs[block_id].worst
+
+    def test_sequential_walk_mostly_hits(self):
+        # A 4-word-line D-cache turns 64 sequential loads into 16
+        # misses + 48 hits.
+        program = compile_source(ARRAY_WALK)
+        model = CycleModel(i960kb_dcache())
+        model.flush()
+        Interpreter(program, cycle_model=model).run("f")
+        assert model.dcache.misses == 16
+        assert model.dcache.hits == 48
+
+    def test_estimate_sound_on_dcache_machine(self):
+        bench = get_benchmark("piksrt")
+        machine = i960kb_dcache()
+        report = bench.make_analysis(machine=machine).estimate()
+        calc = calculated_bound(bench.program, bench.entry,
+                                bench.best_data, bench.worst_data,
+                                machine=machine)
+        measured = measure_bounds(bench.program, bench.entry,
+                                  bench.best_data, bench.worst_data,
+                                  machine=machine)
+        assert report.best <= calc.best <= calc.worst <= report.worst
+        assert report.encloses(measured.interval)
+
+    def test_dcache_widens_the_bound(self):
+        # Hit/miss uncertainty on data adds pessimism: the very thing
+        # the paper's §VII flags as the next modeling battle.
+        analysis_plain = Analysis(ARRAY_WALK, entry="f",
+                                  machine=i960kb())
+        analysis_plain.bound_loop(lo=64, hi=64)
+        plain = analysis_plain.estimate()
+
+        analysis_d = Analysis(ARRAY_WALK, entry="f",
+                              machine=i960kb_dcache())
+        analysis_d.bound_loop(lo=64, hi=64)
+        withd = analysis_d.estimate()
+        gap_plain = plain.worst - plain.best
+        gap_d = withd.worst - withd.best
+        assert gap_d > gap_plain

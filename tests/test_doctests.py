@@ -1,0 +1,40 @@
+"""Run the doctest examples embedded in module/class docstrings."""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.analysis.ipet
+import repro.ilp.expr
+import repro.ilp.model
+
+MODULES = [repro, repro.analysis.ipet, repro.ilp.expr, repro.ilp.model]
+
+
+@pytest.mark.parametrize("module", MODULES,
+                         ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0
+    assert results.attempted > 0, f"{module.__name__} has no examples"
+
+
+def test_cfg_dot_export():
+    from repro.cfg import build_cfg
+    from repro.codegen import compile_source
+
+    program = compile_source("""
+        int g;
+        void leaf() { g = g + 1; }
+        int f(int p) {
+            if (p) leaf();
+            return g;
+        }
+    """)
+    dot = build_cfg(program, program.functions["f"]).to_dot()
+    assert dot.startswith('digraph "f"')
+    assert "entry ->" in dot
+    assert "-> exit" in dot
+    assert "style=dashed" in dot          # the call edge
+    assert "(leaf)" in dot

@@ -1,0 +1,127 @@
+"""Tests for the companion (non-Table-I) benchmark suite.
+
+Each routine gets the same treatment as the paper's suite — functional
+checks plus the full soundness chain — and doubles as broader exercise
+for auto-bounding and path extraction.
+"""
+
+import pytest
+
+from repro import calculated_bound, measure_bounds
+from repro.analysis import Analysis, worst_case_path
+from repro.programs import all_benchmarks, extra_benchmarks
+from repro.sim import Interpreter
+
+EXTRAS = extra_benchmarks()
+NAMES = sorted(EXTRAS)
+
+
+class TestRegistry:
+    def test_five_extras(self):
+        assert len(EXTRAS) == 5
+
+    def test_disjoint_from_table1(self):
+        assert not set(EXTRAS) & set(all_benchmarks())
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestSoundness:
+    def test_estimate_encloses_calculated_and_measured(self, name):
+        bench = EXTRAS[name]
+        report = bench.make_analysis().estimate()
+        calc = calculated_bound(bench.program, bench.entry,
+                                bench.best_data, bench.worst_data)
+        measured = measure_bounds(bench.program, bench.entry,
+                                  bench.best_data, bench.worst_data)
+        assert report.best <= calc.best <= calc.worst <= report.worst
+        assert report.encloses(measured.interval)
+
+    def test_first_lp_integral(self, name):
+        report = EXTRAS[name].make_analysis().estimate()
+        assert report.all_first_relaxations_integral
+
+    def test_worst_path_extractable(self, name):
+        analysis = EXTRAS[name].make_analysis()
+        trace = worst_case_path(analysis)
+        assert trace.blocks[0] == 1
+
+
+class TestFunctional:
+    def test_bubble_sorts(self):
+        bench = EXTRAS["bubble"]
+        interp = Interpreter(bench.program)
+        interp.set_global("arr", [5, 2, 9, 1, 7, 3, 8, 0, 6, 4, 11, 10])
+        interp.run("bubble")
+        assert interp.get_global("arr") == list(range(12))
+
+    def test_binsearch_expected_values(self):
+        bench = EXTRAS["binsearch"]
+        assert bench.run(bench.best_data).value == 31
+        assert bench.run(bench.worst_data).value == -1
+
+    def test_binsearch_finds_every_key(self):
+        bench = EXTRAS["binsearch"]
+        table = [2 * i for i in range(64)]
+        for idx in (0, 1, 31, 62, 63):
+            from repro.sim import Dataset
+
+            result = bench.run(Dataset(globals={"table": table,
+                                                "key": 2 * idx}))
+            assert result.value == idx
+
+    def test_matmul_against_numpy(self):
+        import numpy as np
+
+        bench = EXTRAS["matmul"]
+        rng = np.random.default_rng(3)
+        a = rng.integers(-9, 10, (8, 8))
+        b = rng.integers(-9, 10, (8, 8))
+        interp = Interpreter(bench.program)
+        interp.set_global("A", a.flatten().tolist())
+        interp.set_global("B", b.flatten().tolist())
+        interp.run("matmul")
+        got = np.array(interp.get_global("C")).reshape(8, 8)
+        assert (got == a @ b).all()
+
+    def test_crc_known_properties(self):
+        bench = EXTRAS["crc8"]
+        zero = bench.run(bench.best_data).value
+        assert zero == 0                      # CRC of all-zero is 0
+        ones = bench.run(bench.worst_data).value
+        assert 0 <= ones <= 255 and ones != 0
+
+    def test_fir_dc_response(self):
+        bench = EXTRAS["fir"]
+        result = bench.run(bench.worst_data)
+        out = Interpreter(bench.program)
+        out.set_global("coeff", [0.0625] * 16)
+        out.set_global("input", [1.0] * 80)
+        out.run("fir")
+        values = out.get_global("output")
+        # Sum of 16 taps of 1/16 over a constant input is exactly 1.
+        assert all(v == pytest.approx(1.0) for v in values)
+
+
+class TestAutoBounds:
+    @pytest.mark.parametrize("name", ["matmul", "crc8", "fir"])
+    def test_counted_kernels_fully_auto_bounded(self, name):
+        bench = EXTRAS[name]
+        analysis = Analysis(bench.program, entry=bench.entry)
+        analysis.auto_bound_loops()
+        assert analysis.loops_needing_bounds() == []
+        manual = bench.make_analysis().estimate()
+        assert analysis.estimate().interval == manual.interval
+
+    def test_data_dependent_loops_not_auto_bounded(self):
+        # binsearch's while loop needs the user's log2 insight.
+        bench = EXTRAS["binsearch"]
+        analysis = Analysis(bench.program, entry="binsearch")
+        analysis.auto_bound_loops()
+        assert len(analysis.loops_needing_bounds()) == 1
+
+    def test_bubble_early_exit_derives_upper_only(self):
+        bench = EXTRAS["bubble"]
+        analysis = Analysis(bench.program, entry="bubble")
+        derived = analysis.auto_bound_loops()
+        outer = next(d for d in derived if not d.exact)
+        assert outer.lo == 0 and outer.hi == 11

@@ -1,0 +1,209 @@
+"""Tests for the expression layer, Problem container and branch & bound."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import Constraint, LinExpr, Problem, Status, Var
+
+
+class TestExpr:
+    def test_var_arithmetic(self):
+        x, y = Var("x"), Var("y")
+        expr = 2 * x + 3 * y - 4
+        assert expr.coefficient("x") == 2
+        assert expr.coefficient("y") == 3
+        assert expr.const == -4
+
+    def test_expr_combination(self):
+        x, y = Var("x"), Var("y")
+        expr = (x + y) - (x - y)
+        assert expr.coefficient("x") == 0
+        assert expr.coefficient("y") == 2
+
+    def test_rsub_and_neg(self):
+        x = Var("x")
+        expr = 5 - x
+        assert expr.const == 5
+        assert expr.coefficient("x") == -1
+        assert (-x).coefficient("x") == -1
+
+    def test_zero_coefficients_dropped(self):
+        x = Var("x")
+        expr = 0 * x + 1
+        assert "x" not in expr.coefs
+
+    def test_constraint_senses(self):
+        x = Var("x")
+        assert (x <= 3).sense == "<="
+        assert (x >= 3).sense == ">="
+        assert (x + 0 == 3).sense == "=="
+        assert (x <= 3).rhs == 3
+
+    def test_constraint_satisfied_by(self):
+        x, y = Var("x"), Var("y")
+        c = x + y <= 4
+        assert c.satisfied_by({"x": 2, "y": 2})
+        assert not c.satisfied_by({"x": 3, "y": 2})
+        eq = x + 0 == 2
+        assert eq.satisfied_by({"x": 2})
+        assert not eq.satisfied_by({"x": 1})
+
+    def test_trivially_false(self):
+        c = Constraint(LinExpr({}, 1.0), "==")  # 1 == 0
+        assert c.trivially_false()
+        c2 = Constraint(LinExpr({"x": 1.0}, 1.0), "==")
+        assert not c2.trivially_false()
+
+    def test_evaluate(self):
+        x, y = Var("x"), Var("y")
+        assert (2 * x + y + 1).evaluate({"x": 3, "y": 4}) == 11
+
+    def test_bad_multiplication(self):
+        x, y = Var("x"), Var("y")
+        with pytest.raises(TypeError):
+            (x + 0) * (y + 0)
+
+    def test_var_bounds_validation(self):
+        with pytest.raises(ValueError):
+            Var("x", lower=3, upper=1)
+
+    def test_repr_roundtrip_smoke(self):
+        x, y = Var("x"), Var("y")
+        assert "x" in repr(2 * x - y + 1)
+        assert "<=" in repr(x <= 5)
+
+
+class TestProblem:
+    def test_lp_relaxation(self):
+        p = Problem()
+        x = p.add_var("x", integer=False)
+        y = p.add_var("y", integer=False)
+        p.add(x + y <= 4)
+        p.add(x - y <= 2)
+        p.maximize(3 * x + y)
+        result = p.solve_relaxation()
+        assert result.objective == pytest.approx(10.0)
+
+    def test_integer_rounding_needed(self):
+        # max x + y st 2x + 2y <= 5: LP gives 2.5, ILP gives 2.
+        p = Problem()
+        x, y = p.add_var("x"), p.add_var("y")
+        p.add(2 * x + 2 * y <= 5)
+        p.maximize(x + y)
+        relaxed = p.solve_relaxation()
+        assert relaxed.objective == pytest.approx(2.5)
+        result = p.solve()
+        assert result.status is Status.OPTIMAL
+        assert result.objective == pytest.approx(2.0)
+        assert not result.stats.first_relaxation_integral
+
+    def test_knapsack(self):
+        # Classic 0/1 knapsack: values 10,13,7; weights 3,4,2; cap 6.
+        p = Problem()
+        items = [p.add_var(f"take{i}", upper=1) for i in range(3)]
+        p.add(3 * items[0] + 4 * items[1] + 2 * items[2] <= 6)
+        p.maximize(10 * items[0] + 13 * items[1] + 7 * items[2])
+        result = p.solve()
+        assert result.objective == pytest.approx(20.0)
+        assert result.values["take1"] == 1.0
+        assert result.values["take2"] == 1.0
+
+    def test_infeasible_ilp(self):
+        p = Problem()
+        x = p.add_var("x")
+        p.add(x + 0 >= 3)
+        p.add(x + 0 <= 1)
+        p.maximize(x)
+        assert p.solve().status is Status.INFEASIBLE
+
+    def test_unbounded_ilp(self):
+        p = Problem()
+        x = p.add_var("x")
+        p.maximize(x)
+        assert p.solve().status is Status.UNBOUNDED
+
+    def test_minimize(self):
+        p = Problem()
+        x, y = p.add_var("x"), p.add_var("y")
+        p.add(x + y >= 3)
+        p.minimize(2 * x + y)
+        result = p.solve()
+        assert result.objective == pytest.approx(3.0)
+        assert result.values["y"] == 3.0
+
+    def test_lower_bound_shift(self):
+        p = Problem()
+        x = p.add_var("x", lower=2, upper=5)
+        p.minimize(x)
+        result = p.solve()
+        assert result.objective == pytest.approx(2.0)
+
+    def test_implicit_variables(self):
+        p = Problem()
+        x = Var("x")
+        p.add(x <= 3)
+        p.maximize(x)
+        assert p.solve().objective == pytest.approx(3.0)
+
+    def test_objective_constant(self):
+        p = Problem()
+        x = p.add_var("x", upper=4)
+        p.maximize(x + 100)
+        assert p.solve().objective == pytest.approx(104.0)
+
+    def test_check_assignment(self):
+        p = Problem()
+        x = p.add_var("x", upper=4)
+        p.add(x <= 3)
+        assert p.check({"x": 3})
+        assert not p.check({"x": 3.5})  # non-integral
+        assert not p.check({"x": 5})
+
+    def test_flow_conservation_problem(self):
+        # The if-then-else diamond of paper Fig. 2 with unit costs.
+        p = Problem()
+        x = {i: p.add_var(f"x{i}") for i in range(1, 5)}
+        d = {i: p.add_var(f"d{i}") for i in range(1, 7)}
+        p.add(d[1] + 0 == 1)
+        p.add(x[1] + 0 == d[1])
+        p.add(x[1] + 0 == d[2] + d[3])
+        p.add(x[2] + 0 == d[2])
+        p.add(x[2] + 0 == d[4])
+        p.add(x[3] + 0 == d[3])
+        p.add(x[3] + 0 == d[5])
+        p.add(x[4] + 0 == d[4] + d[5])
+        p.add(x[4] + 0 == d[6])
+        p.maximize(5 * x[1] + 10 * x[2] + 4 * x[3] + 2 * x[4])
+        result = p.solve()
+        assert result.status is Status.OPTIMAL
+        # Take the then-branch: 5 + 10 + 2.
+        assert result.objective == pytest.approx(17.0)
+        assert result.stats.first_relaxation_integral
+        assert result.stats.lp_calls == 1
+
+
+class TestAgainstScipyMilp:
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_ilp_matches_scipy(self, seed):
+        rng = np.random.default_rng(100 + seed)
+        n = int(rng.integers(2, 6))
+        m = int(rng.integers(1, 6))
+        p = Problem()
+        xs = [p.add_var(f"x{j}", upper=int(rng.integers(2, 9)))
+              for j in range(n)]
+        for _ in range(m):
+            coefs = rng.integers(-3, 4, size=n)
+            expr = LinExpr({xs[j].name: float(coefs[j]) for j in range(n)})
+            sense = rng.choice(["<=", ">="])
+            bound = float(rng.integers(-5, 15))
+            p.add(expr <= bound if sense == "<=" else expr >= bound)
+        obj = LinExpr({xs[j].name: float(rng.integers(-4, 5))
+                       for j in range(n)})
+        p.maximize(obj)
+
+        ours = p.solve(backend="simplex")
+        ref = p.solve(backend="scipy")
+        assert ours.status is ref.status
+        if ours.status is Status.OPTIMAL:
+            assert ours.objective == pytest.approx(ref.objective, abs=1e-6)
+            assert p.check(ours.values)

@@ -1,0 +1,114 @@
+"""Unit tests for the from-scratch two-phase simplex."""
+
+import numpy as np
+import pytest
+
+from repro.ilp import simplex
+from repro.ilp.solution import Status
+
+
+def lp(costs, matrix, senses, rhs, maximize=False):
+    return simplex.solve_lp(costs, matrix, senses, rhs, maximize=maximize)
+
+
+class TestBasics:
+    def test_simple_maximize(self):
+        # max 3x + y st x + y <= 4, x - y <= 2
+        result = lp([3, 1], [[1, 1], [1, -1]], ["<=", "<="], [4, 2],
+                    maximize=True)
+        assert result.status is Status.OPTIMAL
+        assert result.objective == pytest.approx(10.0)
+        assert result.values["0"] == pytest.approx(3.0)
+        assert result.values["1"] == pytest.approx(1.0)
+
+    def test_simple_minimize(self):
+        # min x + y st x + 2y >= 4, 3x + y >= 6
+        result = lp([1, 1], [[1, 2], [3, 1]], [">=", ">="], [4, 6])
+        assert result.status is Status.OPTIMAL
+        assert result.objective == pytest.approx(2.8)
+
+    def test_equality_constraints(self):
+        # max x st x + y = 5, y >= 2 -> x = 3
+        result = lp([1, 0], [[1, 1], [0, 1]], ["==", ">="], [5, 2],
+                    maximize=True)
+        assert result.objective == pytest.approx(3.0)
+
+    def test_infeasible(self):
+        result = lp([1, 0], [[1, 1], [1, 1]], ["<=", ">="], [1, 3])
+        assert result.status is Status.INFEASIBLE
+
+    def test_unbounded(self):
+        result = lp([1, 0], [[1, -1]], ["<="], [1], maximize=True)
+        assert result.status is Status.UNBOUNDED
+
+    def test_negative_rhs_normalization(self):
+        # x - y <= -1 with b < 0 must be handled by row normalization.
+        result = lp([1, 1], [[1, -1]], ["<="], [-1])
+        assert result.status is Status.OPTIMAL
+        # min x + y with y >= x + 1 -> x=0, y=1.
+        assert result.objective == pytest.approx(1.0)
+
+    def test_no_constraints_bounded(self):
+        result = lp([1.0], np.zeros((0, 1)), [], [])
+        assert result.status is Status.OPTIMAL
+        assert result.objective == 0.0
+
+    def test_no_constraints_unbounded(self):
+        result = lp([1.0], np.zeros((0, 1)), [], [], maximize=True)
+        assert result.status is Status.UNBOUNDED
+
+    def test_degenerate_flow_problem(self):
+        # Flow conservation chain with redundant equalities; exercises
+        # phase-1 artificial expulsion of redundant rows.
+        # x0 = x1, x1 = x2, x0 = x2 (redundant), x0 <= 7.
+        matrix = [[1, -1, 0], [0, 1, -1], [1, 0, -1], [1, 0, 0]]
+        result = lp([0, 0, 1], matrix, ["==", "==", "==", "<="], [0, 0, 0, 7],
+                    maximize=True)
+        assert result.objective == pytest.approx(7.0)
+
+    def test_dimension_mismatch(self):
+        with pytest.raises(ValueError):
+            lp([1, 2, 3], [[1, 1]], ["<="], [1])
+
+
+class TestAgainstScipy:
+    """Randomized cross-checks against scipy.optimize.linprog (HiGHS)."""
+
+    @pytest.mark.parametrize("seed", range(25))
+    def test_random_bounded(self, seed):
+        from scipy.optimize import linprog
+
+        rng = np.random.default_rng(seed)
+        n = rng.integers(2, 8)
+        m = rng.integers(1, 10)
+        matrix = rng.integers(-3, 4, size=(m, n)).astype(float)
+        rhs = rng.integers(0, 10, size=m).astype(float)
+        costs = rng.integers(-5, 6, size=n).astype(float)
+        senses = [rng.choice(["<=", ">=", "=="]) for _ in range(m)]
+        # Keep x bounded so both solvers agree on status.
+        matrix = np.vstack([matrix, np.ones(n)])
+        rhs = np.append(rhs, 50.0)
+        senses.append("<=")
+
+        ours = lp(costs, matrix, senses, rhs)
+
+        a_ub, b_ub, a_eq, b_eq = [], [], [], []
+        for row, sense, b in zip(matrix, senses, rhs):
+            if sense == "<=":
+                a_ub.append(row)
+                b_ub.append(b)
+            elif sense == ">=":
+                a_ub.append(-row)
+                b_ub.append(-b)
+            else:
+                a_eq.append(row)
+                b_eq.append(b)
+        ref = linprog(costs, A_ub=a_ub or None, b_ub=b_ub or None,
+                      A_eq=a_eq or None, b_eq=b_eq or None,
+                      bounds=(0, None), method="highs")
+        if ref.status == 2:
+            assert ours.status is Status.INFEASIBLE
+        else:
+            assert ref.status == 0
+            assert ours.status is Status.OPTIMAL
+            assert ours.objective == pytest.approx(ref.fun, abs=1e-6)

@@ -1,0 +1,97 @@
+"""Consistency tests for the IR960 ISA definition and layout."""
+
+import pytest
+
+from repro.codegen import compile_source, disassemble
+from repro.codegen.isa import (BRANCH_TESTS, BRANCHES, CONDITIONAL_BRANCHES,
+                               INSTRUCTION_BYTES, INTRINSIC_OPS,
+                               INVERSE_BRANCH, ISSUE_CYCLES, Instruction,
+                               MemRef, Op)
+
+
+class TestISATables:
+    def test_every_opcode_has_issue_cycles(self):
+        missing = [op for op in Op if op not in ISSUE_CYCLES]
+        assert missing == []
+
+    def test_issue_cycles_positive(self):
+        assert all(c >= 1 for c in ISSUE_CYCLES.values())
+
+    def test_branch_sets_consistent(self):
+        assert CONDITIONAL_BRANCHES == set(BRANCH_TESTS)
+        assert BRANCHES == CONDITIONAL_BRANCHES | {Op.B}
+
+    def test_inverse_branch_is_involution(self):
+        for op, inverse in INVERSE_BRANCH.items():
+            assert INVERSE_BRANCH[inverse] is op
+
+    def test_inverse_branch_semantics(self):
+        cases = [(1, 2), (2, 1), (3, 3), (-1, 0)]
+        for op, inverse in INVERSE_BRANCH.items():
+            for a, b in cases:
+                assert BRANCH_TESTS[op](a, b) != BRANCH_TESTS[inverse](a, b)
+
+    def test_intrinsics_map_to_ops(self):
+        from repro.lang.semantic import BUILTINS
+
+        assert set(INTRINSIC_OPS) == set(BUILTINS)
+        assert all(op in ISSUE_CYCLES for op in INTRINSIC_OPS.values())
+
+    def test_transcendentals_cost_more_than_alu(self):
+        for op in (Op.SIN, Op.COS, Op.ATAN, Op.EXP, Op.LOG, Op.SQRT):
+            assert ISSUE_CYCLES[op] > 10 * ISSUE_CYCLES[Op.ADD]
+
+
+class TestInstruction:
+    def test_reads_covers_operands(self):
+        instr = Instruction(Op.ADD, dest=3, src1=1, src2=2)
+        assert set(instr.reads()) == {1, 2}
+
+    def test_reads_includes_memref_index(self):
+        instr = Instruction(Op.LD, dest=1, mem=MemRef("abs", 0, index=7))
+        assert 7 in instr.reads()
+
+    def test_reads_includes_call_args(self):
+        instr = Instruction(Op.CALL, dest=1, callee="g", args=(4, 5))
+        assert set(instr.reads()) == {4, 5}
+
+    def test_predicates(self):
+        assert Instruction(Op.BEQ, src1=0, src2=1, target=0).is_conditional
+        assert Instruction(Op.B, target=0).is_branch
+        assert not Instruction(Op.B, target=0).is_conditional
+        assert Instruction(Op.RET).ends_block
+        assert not Instruction(Op.ADD, dest=0, src1=0, src2=0).ends_block
+
+    def test_str_forms(self):
+        assert "call g(r1, r2)" in str(
+            Instruction(Op.CALL, dest=0, callee="g", args=(1, 2)))
+        assert "[fp+3+r2]" in str(
+            Instruction(Op.LD, dest=0, mem=MemRef("frame", 3, index=2)))
+
+    def test_memref_str_absolute(self):
+        assert str(MemRef("abs", 12)) == "[12]"
+
+
+class TestLayout:
+    def test_instruction_bytes_fixed(self):
+        assert INSTRUCTION_BYTES == 4
+
+    def test_disassembly_lists_every_instruction(self):
+        program = compile_source("""
+            int g(int a) { return a * 2; }
+            int f(int a) { return g(a) + 1; }
+        """)
+        text = disassemble(program)
+        # One line per instruction plus one label line per function.
+        assert len(text.splitlines()) == len(program.code) + 2
+
+    def test_function_at_lookup(self):
+        program = compile_source("""
+            int g(int a) { return a; }
+            int f(int a) { return g(a); }
+        """)
+        g = program.functions["g"]
+        f = program.functions["f"]
+        assert program.function_at(g.entry_index).name == "g"
+        assert program.function_at(f.entry_index).name == "f"
+        assert program.function_at(len(program.code) - 1).name == "f"

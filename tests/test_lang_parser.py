@@ -1,0 +1,298 @@
+"""Unit tests for the MiniC parser and semantic analysis."""
+
+import pytest
+
+from repro.errors import ParseError, RecursionForbiddenError, SemanticError
+from repro.lang import ast, frontend, parse_program
+
+
+class TestParser:
+    def test_minimal_function(self):
+        prog = parse_program("int main() { return 0; }")
+        assert len(prog.functions) == 1
+        fn = prog.functions[0]
+        assert fn.name == "main"
+        assert fn.ret_type.base == "int"
+        assert isinstance(fn.body.stmts[0], ast.Return)
+
+    def test_globals_with_initializers(self):
+        prog = parse_program("""
+            const int N = 10;
+            int data[10];
+            int table[2][2] = {1, 2, 3, 4};
+            float scale = 2.5;
+        """)
+        names = [g.name for g in prog.globals]
+        assert names == ["N", "data", "table", "scale"]
+        assert prog.globals[2].type.dims == (2, 2)
+        assert prog.globals[2].init == [1, 2, 3, 4]
+
+    def test_const_used_as_dimension(self):
+        prog = parse_program("const int N = 4; int a[N]; int b[N*2];")
+        assert prog.globals[1].type.dims == (4,)
+        assert prog.globals[2].type.dims == (8,)
+
+    def test_nested_brace_initializer_flattens(self):
+        prog = parse_program("int t[2][2] = {{1, 2}, {3, 4}};")
+        assert prog.globals[0].init == [1, 2, 3, 4]
+
+    def test_negative_initializer(self):
+        prog = parse_program("int t[2] = {-1, -2};")
+        assert prog.globals[0].init == [-1, -2]
+
+    def test_if_else_chain(self):
+        prog = parse_program("""
+            void f(int p) {
+                if (p) p = 1; else if (p > 2) p = 2; else p = 3;
+            }
+        """)
+        outer = prog.functions[0].body.stmts[0]
+        assert isinstance(outer, ast.If)
+        assert isinstance(outer.orelse, ast.If)
+
+    def test_for_loop_with_decl(self):
+        prog = parse_program("void f() { for (int i = 0; i < 4; i++) { } }")
+        loop = prog.functions[0].body.stmts[0]
+        assert isinstance(loop, ast.For)
+        assert isinstance(loop.init, ast.Decl)
+        assert isinstance(loop.update, ast.IncDec)
+
+    def test_for_loop_empty_clauses(self):
+        prog = parse_program("void f() { for (;;) break; }")
+        loop = prog.functions[0].body.stmts[0]
+        assert loop.init is None and loop.cond is None and loop.update is None
+
+    def test_do_while(self):
+        prog = parse_program("void f() { int i = 0; do i++; while (i < 3); }")
+        assert isinstance(prog.functions[0].body.stmts[1], ast.DoWhile)
+
+    def test_precedence(self):
+        prog = parse_program("int f() { return 1 + 2 * 3; }")
+        expr = prog.functions[0].body.stmts[0].value
+        assert expr.op == "+"
+        assert expr.right.op == "*"
+
+    def test_logical_vs_bitwise_precedence(self):
+        prog = parse_program("int f(int a, int b) { return a & 1 && b; }")
+        expr = prog.functions[0].body.stmts[0].value
+        assert expr.op == "&&"
+        assert expr.left.op == "&"
+
+    def test_chained_assignment(self):
+        prog = parse_program("void f() { int a; int b; a = b = 3; }")
+        stmt = prog.functions[0].body.stmts[2]
+        assert isinstance(stmt.expr, ast.Assign)
+        assert isinstance(stmt.expr.value, ast.Assign)
+
+    def test_compound_assignment(self):
+        prog = parse_program("void f() { int a = 0; a += 2; a <<= 1; }")
+        assert prog.functions[0].body.stmts[1].expr.op == "+="
+        assert prog.functions[0].body.stmts[2].expr.op == "<<="
+
+    def test_prefix_increment_in_condition(self):
+        # Paper Fig. 5, line 9: if (++i >= DATASIZE) ...
+        prog = parse_program("""
+            const int DATASIZE = 10;
+            void f() { int i = 0; if (++i >= DATASIZE) i = 0; }
+        """)
+        cond = prog.functions[0].body.stmts[1].cond
+        assert cond.op == ">="
+        assert isinstance(cond.left, ast.IncDec) and cond.left.prefix
+
+    def test_ternary(self):
+        prog = parse_program("int f(int a) { return a > 0 ? 1 : -1; }")
+        assert isinstance(prog.functions[0].body.stmts[0].value, ast.Ternary)
+
+    def test_2d_index(self):
+        prog = parse_program("int m[3][3]; int f() { return m[1][2]; }")
+        expr = prog.functions[0].body.stmts[0].value
+        assert isinstance(expr, ast.Index)
+        assert len(expr.indices) == 2
+
+    def test_multi_declarator(self):
+        prog = parse_program("void f() { int a = 1, b = 2; }")
+        group = prog.functions[0].body.stmts[0]
+        assert isinstance(group, ast.DeclGroup)
+        assert [d.name for d in group.decls] == ["a", "b"]
+
+    def test_multi_declarator_shares_scope(self):
+        frontend("void f() { int a = 1, b = 2; a = b; }")
+
+    def test_void_params(self):
+        prog = parse_program("int f(void) { return 1; }")
+        assert prog.functions[0].params == []
+
+    def test_assignment_to_rvalue_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { 3 = 4; }")
+
+    def test_array_parameter_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("void f(int a[10]) { }")
+
+    def test_const_without_initializer_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("const int N;")
+
+    def test_nonconstant_dimension_rejected(self):
+        with pytest.raises(ParseError):
+            parse_program("int n = 3; int a[n];")
+
+    def test_missing_semicolon(self):
+        with pytest.raises(ParseError):
+            parse_program("void f() { int a = 1 }")
+
+
+class TestSemantic:
+    def test_type_annotation(self):
+        prog = frontend("float f(int a, float b) { return a + b; }")
+        ret = prog.functions[0].body.stmts[0].value
+        assert ret.type == "float"
+        assert ret.left.type == "int"
+
+    def test_comparison_is_int(self):
+        prog = frontend("int f(float a) { return a < 2.0; }")
+        assert prog.functions[0].body.stmts[0].value.type == "int"
+
+    def test_undeclared_variable(self):
+        with pytest.raises(SemanticError):
+            frontend("void f() { x = 1; }")
+
+    def test_use_before_declare(self):
+        with pytest.raises(SemanticError):
+            frontend("void f() { x = 1; int x; }")
+
+    def test_redeclaration_same_scope(self):
+        with pytest.raises(SemanticError):
+            frontend("void f() { int x; int x; }")
+
+    def test_shadowing_in_nested_scope_allowed(self):
+        frontend("void f() { int x = 1; { int x = 2; x = 3; } }")
+
+    def test_recursion_rejected(self):
+        with pytest.raises(RecursionForbiddenError):
+            frontend("int f(int n) { return f(n - 1); }")
+
+    def test_mutual_recursion_rejected(self):
+        with pytest.raises(RecursionForbiddenError):
+            frontend("""
+                int f(int n) { return g(n); }
+                int g(int n) { return f(n); }
+            """)
+
+    def test_break_outside_loop(self):
+        with pytest.raises(SemanticError):
+            frontend("void f() { break; }")
+
+    def test_continue_inside_loop_ok(self):
+        frontend("void f() { while (1) { continue; } }")
+
+    def test_missing_return(self):
+        with pytest.raises(SemanticError):
+            frontend("int f(int a) { if (a) return 1; }")
+
+    def test_return_on_both_branches_ok(self):
+        frontend("int f(int a) { if (a) return 1; else return 2; }")
+
+    def test_infinite_loop_with_returns_ok(self):
+        # while(1) without break never falls through (clipper idiom).
+        frontend("""
+            int f(int a) {
+                while (1) {
+                    if (a > 0) return a;
+                    a = a + 1;
+                }
+            }
+        """)
+
+    def test_infinite_loop_with_break_still_needs_return(self):
+        with pytest.raises(SemanticError):
+            frontend("""
+                int f(int a) {
+                    while (1) {
+                        if (a > 0) return a;
+                        break;
+                    }
+                }
+            """)
+
+    def test_break_in_nested_loop_does_not_escape(self):
+        frontend("""
+            int f(int a) {
+                while (1) {
+                    for (int i = 0; i < 3; i++)
+                        if (i == a) break;
+                    if (a > 0) return a;
+                }
+            }
+        """)
+
+    def test_void_returning_value(self):
+        with pytest.raises(SemanticError):
+            frontend("void f() { return 3; }")
+
+    def test_const_assignment_rejected(self):
+        with pytest.raises(SemanticError):
+            frontend("const int N = 3; void f() { N = 4; }")
+
+    def test_modulo_on_float_rejected(self):
+        with pytest.raises(SemanticError):
+            frontend("float f(float a) { return a % 2.0; }")
+
+    def test_array_without_index_rejected(self):
+        with pytest.raises(SemanticError):
+            frontend("int a[4]; int f() { return a; }")
+
+    def test_index_arity_mismatch(self):
+        with pytest.raises(SemanticError):
+            frontend("int m[2][2]; int f() { return m[1]; }")
+
+    def test_float_index_rejected(self):
+        with pytest.raises(SemanticError):
+            frontend("int a[4]; int f(float x) { return a[x]; }")
+
+    def test_call_arity_checked(self):
+        with pytest.raises(SemanticError):
+            frontend("int g(int a) { return a; } int f() { return g(); }")
+
+    def test_unknown_function(self):
+        with pytest.raises(SemanticError):
+            frontend("void f() { mystery(); }")
+
+    def test_builtin_intrinsics(self):
+        prog = frontend("float f(float x) { return sin(x) + sqrt(x); }")
+        assert prog.functions[0].body.stmts[0].value.type == "float"
+
+    def test_builtin_arity(self):
+        with pytest.raises(SemanticError):
+            frontend("float f(float x) { return sin(x, x); }")
+
+    def test_incdec_on_float_rejected(self):
+        with pytest.raises(SemanticError):
+            frontend("void f(float x) { x++; }")
+
+    def test_paper_check_data_parses(self):
+        # The running example of the paper (Fig. 5), verbatim in MiniC.
+        source = """
+            const int DATASIZE = 10;
+            int data[10];
+
+            int check_data() {
+                int i, morecheck, wrongone;
+                morecheck = 1; i = 0; wrongone = -1;
+                while (morecheck) {
+                    if (data[i] < 0) {
+                        wrongone = i; morecheck = 0;
+                    }
+                    else
+                        if (++i >= DATASIZE)
+                            morecheck = 0;
+                }
+                if (wrongone >= 0)
+                    return 0;
+                else
+                    return 1;
+            }
+        """
+        prog = frontend(source)
+        assert prog.function("check_data").ret_type.base == "int"

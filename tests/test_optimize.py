@@ -1,0 +1,232 @@
+"""Tests for constant folding and the IR960 peephole optimizer,
+including differential testing against unoptimized code."""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.codegen import Op, compile_source
+from repro.lang import ast, frontend
+from repro.lang.fold import fold_program
+from repro.sim import run_program
+
+
+def folded(source):
+    return fold_program(frontend(source))
+
+
+def fn_body(program, name="f"):
+    return program.function(name).body
+
+
+class TestConstantFolding:
+    def test_arithmetic_folds(self):
+        program = folded("int f() { return 2 + 3 * 4; }")
+        ret = fn_body(program).stmts[0]
+        assert isinstance(ret.value, ast.IntLit)
+        assert ret.value.value == 14
+
+    def test_division_truncates_like_c(self):
+        program = folded("int f() { return -7 / 2; }")
+        assert fn_body(program).stmts[0].value.value == -3
+
+    def test_modulo_sign(self):
+        program = folded("int f() { return -7 % 2; }")
+        assert fn_body(program).stmts[0].value.value == -1
+
+    def test_division_by_zero_not_folded(self):
+        program = folded("int f() { return 1 / 0; }")
+        assert isinstance(fn_body(program).stmts[0].value, ast.Binary)
+
+    def test_float_folds(self):
+        program = folded("float f() { return 0.5 * 4.0 + 1.0; }")
+        value = fn_body(program).stmts[0].value
+        assert isinstance(value, ast.FloatLit)
+        assert value.value == 3.0
+
+    def test_comparison_folds(self):
+        program = folded("int f() { return 3 < 5; }")
+        assert fn_body(program).stmts[0].value.value == 1
+
+    def test_unary_folds(self):
+        program = folded("int f() { return -(2 + 3) + ~0 + !7; }")
+        assert fn_body(program).stmts[0].value.value == -6
+
+    def test_shortcircuit_keeps_side_effects(self):
+        # 1 && g() must still call g.
+        source = """
+        int hits;
+        int g() { hits = hits + 1; return 0; }
+        int f() { return 1 && g(); }
+        """
+        program = compile_source(source, optimize=True)
+        result = run_program(program, "f")
+        assert result.value == 0
+        interp_hits = run_program(program, "f").counts
+        # g executed: its entry instruction ran.
+        entry = program.functions["g"].entry_index
+        assert result.counts[entry] == 1
+
+    def test_shortcircuit_drops_unreachable_side_effects(self):
+        source = """
+        int hits;
+        int g() { hits = hits + 1; return 1; }
+        int f() { return 0 && g(); }
+        """
+        program = compile_source(source, optimize=True)
+        result = run_program(program, "f")
+        assert result.value == 0
+        entry = program.functions["g"].entry_index
+        assert result.counts[entry] == 0
+
+    def test_dead_then_branch_removed(self):
+        source = "int f() { if (0) return 1; return 2; }"
+        plain = compile_source(source)
+        opt = compile_source(source, optimize=True)
+        assert len(opt.code) < len(plain.code)
+        assert run_program(opt, "f").value == 2
+
+    def test_constant_true_if_keeps_then(self):
+        source = "int f() { if (1) return 1; return 2; }"
+        opt = compile_source(source, optimize=True)
+        assert run_program(opt, "f").value == 1
+
+    def test_while_false_removed(self):
+        source = "int f() { int s = 0; while (0) s++; return s; }"
+        opt = compile_source(source, optimize=True)
+        assert run_program(opt, "f").value == 0
+        # No loop left in the optimized CFG.
+        from repro.cfg import build_cfg, find_loops
+
+        assert find_loops(build_cfg(opt, opt.functions["f"])) == []
+
+    def test_ternary_folds(self):
+        program = folded("int f() { return 1 ? 10 : 20; }")
+        assert fn_body(program).stmts[0].value.value == 10
+
+
+class TestPeephole:
+    def test_immediate_fusion_shrinks_code(self):
+        source = "int f(int a) { return a + 1; }"
+        plain = compile_source(source)
+        opt = compile_source(source, optimize=True)
+        assert len(opt.code) < len(plain.code)
+        # The ADD now carries the immediate.
+        add = next(i for i in opt.code if i.op is Op.ADD)
+        assert add.imm == 1 and add.src2 is None
+
+    def test_commutative_fusion(self):
+        source = "int f(int a) { return 1 + a; }"
+        opt = compile_source(source, optimize=True)
+        add = next(i for i in opt.code if i.op is Op.ADD)
+        assert add.imm == 1
+        assert run_program(opt, "f", 41).value == 42
+
+    def test_branch_immediate_fusion(self):
+        source = "int f(int a) { if (a < 10) return 1; return 0; }"
+        opt = compile_source(source, optimize=True)
+        branch = next(i for i in opt.code if i.is_conditional)
+        assert branch.imm == 10
+        assert run_program(opt, "f", 5).value == 1
+        assert run_program(opt, "f", 15).value == 0
+
+    def test_strength_reduction(self):
+        source = "int f(int a) { return a * 8; }"
+        opt = compile_source(source, optimize=True)
+        ops = [i.op for i in opt.code]
+        assert Op.MUL not in ops
+        assert Op.SHL in ops
+        assert run_program(opt, "f", 5).value == 40
+
+    def test_non_power_of_two_kept(self):
+        source = "int f(int a) { return a * 6; }"
+        opt = compile_source(source, optimize=True)
+        assert any(i.op is Op.MUL for i in opt.code)
+        assert run_program(opt, "f", 7).value == 42
+
+    def test_branch_targets_survive_deletion(self):
+        source = """
+        int f(int n) {
+            int s = 0;
+            for (int i = 0; i < n; i++) {
+                if (i % 2 == 0) s += 3;
+                else s -= 1;
+            }
+            return s;
+        }
+        """
+        opt = compile_source(source, optimize=True)
+        for instr in opt.code:
+            if instr.is_branch:
+                assert 0 <= instr.target < len(opt.code)
+        assert run_program(opt, "f", 5).value == 7
+
+    def test_optimized_worst_bound_not_larger(self):
+        from repro import Analysis
+
+        source = """
+        int data[8];
+        int f() {
+            int s = 0;
+            for (int i = 0; i < 8; i++) s += data[i] * 4;
+            return s;
+        }
+        """
+        plain = Analysis(compile_source(source), entry="f")
+        plain.bound_loop(lo=8, hi=8)
+        opt = Analysis(compile_source(source, optimize=True), entry="f")
+        opt.bound_loop(lo=8, hi=8)
+        assert opt.estimate().worst < plain.estimate().worst
+
+
+class TestDifferential:
+    """Optimized and unoptimized code must agree functionally."""
+
+    SOURCES = [
+        ("int f(int a, int b) { return (a + 2 * 3) % (b + 1); }",
+         [(5, 3), (-9, 2), (100, 6)]),
+        ("int f(int n) { int s = 0;\n"
+         " for (int i = 0; i < n; i++) s += i * 2;\n return s; }",
+         [(0,), (1,), (9,)]),
+        ("float f(float x) { return 2.0 * x + 1.5 * 2.0; }",
+         [(0.5,), (-2.0,)]),
+        ("int f(int a) { return a > 0 && a < 10; }",
+         [(5,), (-1,), (20,)]),
+        ("int f(int a) { if (a * 0 + 1) return a << 1; return 0; }",
+         [(3,), (-3,)]),
+    ]
+
+    @pytest.mark.parametrize("case", range(len(SOURCES)))
+    def test_same_results(self, case):
+        source, arglists = self.SOURCES[case]
+        plain = compile_source(source)
+        opt = compile_source(source, optimize=True)
+        for args in arglists:
+            a = run_program(plain, "f", *args).value
+            b = run_program(opt, "f", *args).value
+            assert a == pytest.approx(b)
+
+    def test_benchmarks_functionally_identical_when_optimized(self):
+        """Compile three real benchmarks with optimization and compare
+        results on their datasets."""
+        from repro.programs import get_benchmark
+
+        for name in ("check_data", "piksrt", "jpeg_fdct_islow"):
+            bench = get_benchmark(name)
+            opt = compile_source(bench.source, optimize=True)
+            assert len(opt.code) <= len(bench.program.code)
+            for dataset in (bench.best_data, bench.worst_data):
+                want = bench.run(dataset)
+                interp_globals = dataset.globals
+                got = run_program(opt, bench.entry, *dataset.args,
+                                  globals_init=dict(interp_globals))
+                assert got.value == want.value
+
+    def test_random_programs_agree(self):
+        from tests.tests_support_random import random_minic_cases
+
+        for source, inputs in random_minic_cases(seed=42, count=25):
+            plain = compile_source(source)
+            opt = compile_source(source, optimize=True)
+            a = run_program(plain, "f", globals_init=dict(inputs))
+            b = run_program(opt, "f", globals_init=dict(inputs))
+            assert a.value == b.value, source

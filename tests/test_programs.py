@@ -1,0 +1,293 @@
+"""Tests for the 13 Table-I benchmark programs.
+
+Per benchmark: functional correctness, and the Fig.-1 soundness chain
+``E_l <= C_l <= C_u <= E_u`` and ``E_l <= M_l <= M_u <= E_u`` that
+Tables II and III rest on.
+"""
+
+import math
+
+import pytest
+
+from repro import calculated_bound, measure_bounds
+from repro.programs import all_benchmarks, get_benchmark
+
+BENCHMARKS = all_benchmarks()
+NAMES = sorted(BENCHMARKS)
+
+_reports = {}
+
+
+def report_for(name):
+    if name not in _reports:
+        analysis = BENCHMARKS[name].make_analysis()
+        _reports[name] = analysis.estimate()
+    return _reports[name]
+
+
+class TestRegistry:
+    def test_thirteen_benchmarks(self):
+        assert len(BENCHMARKS) == 13
+
+    def test_paper_row_order(self):
+        assert list(BENCHMARKS) == [
+            "check_data", "fft", "piksrt", "des", "line", "circle",
+            "jpeg_fdct_islow", "jpeg_idct_islow", "recon", "fullsearch",
+            "whetstone", "dhry", "matgen"]
+
+    def test_get_benchmark_unknown(self):
+        with pytest.raises(KeyError):
+            get_benchmark("quicksort")
+
+    def test_line_counts_reported(self):
+        for bench in BENCHMARKS.values():
+            assert bench.lines > 5
+
+
+@pytest.mark.parametrize("name", NAMES)
+class TestPerBenchmark:
+    def test_runs_on_both_datasets(self, name):
+        bench = BENCHMARKS[name]
+        best = bench.run(bench.best_data)
+        worst = bench.run(bench.worst_data)
+        if bench.expected_values is not None:
+            assert best.value == bench.expected_values[0]
+            assert worst.value == bench.expected_values[1]
+
+    def test_estimate_is_ordered(self, name):
+        report = report_for(name)
+        assert 0 < report.best <= report.worst
+
+    def test_soundness_vs_calculated(self, name):
+        bench = BENCHMARKS[name]
+        report = report_for(name)
+        calc = calculated_bound(bench.program, bench.entry,
+                                bench.best_data, bench.worst_data)
+        assert report.best <= calc.best, f"{name}: best bound unsound"
+        assert calc.worst <= report.worst, f"{name}: worst bound unsound"
+        assert calc.best <= calc.worst
+
+    def test_soundness_vs_measured(self, name):
+        bench = BENCHMARKS[name]
+        report = report_for(name)
+        measured = measure_bounds(bench.program, bench.entry,
+                                  bench.best_data, bench.worst_data)
+        assert report.encloses(measured.interval), (
+            f"{name}: estimate {report.interval} does not enclose "
+            f"measured {measured.interval}")
+
+    def test_first_lp_relaxation_integral(self, name):
+        # The §VI-A claim, on the real benchmark suite.
+        assert report_for(name).all_first_relaxations_integral
+
+
+class TestSpecificBehaviours:
+    def test_check_data_two_sets(self):
+        assert report_for("check_data").sets_solved == 2
+
+    def test_dhry_paper_set_counts(self):
+        # "Of the eight constraint sets of function dhry, five of them
+        # are detected as null sets and eliminated."
+        report = report_for("dhry")
+        assert report.sets_total == 8
+        assert report.sets_pruned == 5
+        assert report.sets_solved == 3
+
+    def test_recon_four_variant_sets(self):
+        assert report_for("recon").sets_solved == 4
+
+    def test_fft_matches_numpy(self):
+        import numpy as np
+
+        bench = BENCHMARKS["fft"]
+        rng = np.random.default_rng(7)
+        re = rng.uniform(-1, 1, 32)
+        im = rng.uniform(-1, 1, 32)
+        from repro.sim import Dataset
+
+        result = bench.run(Dataset(globals={"re": list(re),
+                                            "im": list(im)}))
+        interp_re = result  # values live in globals; re-read them
+        from repro.sim import Interpreter
+
+        interp = Interpreter(bench.program)
+        interp.set_global("re", list(re))
+        interp.set_global("im", list(im))
+        interp.run("fft")
+        got = (np.array(interp.get_global("re"))
+               + 1j * np.array(interp.get_global("im")))
+        want = np.fft.fft(re + 1j * im)
+        assert np.allclose(got, want, atol=1e-9)
+
+    def test_fft_constraint_constants_match_observation(self):
+        # The exact trip-count constraints baked into the fft benchmark
+        # must match what actually executes.
+        bench = BENCHMARKS["fft"]
+        analysis = bench.make_analysis()
+        report = analysis.estimate()
+        calc = calculated_bound(bench.program, bench.entry,
+                                bench.best_data, bench.worst_data)
+        # Data-independent control flow: calculated interval endpoints
+        # come from identical count vectors.
+        assert calc.best_result.counts == calc.worst_result.counts
+
+    def test_piksrt_sorts(self):
+        from repro.sim import Interpreter
+
+        bench = BENCHMARKS["piksrt"]
+        interp = Interpreter(bench.program)
+        interp.set_global("arr", [5, 3, 9, 1, 7, 0, 8, 2, 6, 4])
+        interp.run("piksrt")
+        assert interp.get_global("arr") == list(range(10))
+
+    def test_des_round_trip(self):
+        from repro.programs.des import KEY_BITS, PLAIN_BITS
+        from repro.sim import Interpreter
+
+        bench = BENCHMARKS["des"]
+        interp = Interpreter(bench.program)
+        interp.set_global("key", KEY_BITS)
+        interp.set_global("message", PLAIN_BITS)
+        interp.set_global("decrypt", 0)
+        interp.run("des")
+        cipher = interp.get_global("output")
+        assert cipher != PLAIN_BITS
+        interp2 = Interpreter(bench.program)
+        interp2.set_global("key", KEY_BITS)
+        interp2.set_global("message", cipher)
+        interp2.set_global("decrypt", 1)
+        interp2.run("des")
+        assert interp2.get_global("output") == PLAIN_BITS
+
+    def test_line_clips_and_draws_diagonal(self):
+        from repro.sim import Interpreter
+
+        bench = BENCHMARKS["line"]
+        interp = Interpreter(bench.program)
+        interp.set_global("gx0", -32)
+        interp.set_global("gy0", -32)
+        interp.set_global("gx1", 95)
+        interp.set_global("gy1", 95)
+        interp.run("line")
+        image = interp.get_global("image")
+        assert interp.get_global("accepted") == 1
+        assert image[0] == 1                  # clipped to (0, 0)
+        assert image[63 * 64 + 63] == 1       # clipped to (63, 63)
+        assert sum(image) == 64               # exactly the diagonal
+
+    def test_line_rejects_invisible_segment(self):
+        from repro.sim import Interpreter
+
+        bench = BENCHMARKS["line"]
+        interp = Interpreter(bench.program)
+        for name, value in bench.best_data.globals.items():
+            interp.set_global(name, value)
+        interp.run("line")
+        assert interp.get_global("accepted") == 0
+        assert sum(interp.get_global("image")) == 0
+
+    def test_line_worst_data_draws_long_walk(self):
+        bench = BENCHMARKS["line"]
+        result = bench.run(bench.worst_data)
+        from repro.sim import Interpreter
+
+        interp = Interpreter(bench.program)
+        for name, value in bench.worst_data.globals.items():
+            interp.set_global(name, value)
+        interp.run("line")
+        image = interp.get_global("image")
+        assert sum(image) >= 60               # near-full major extent
+
+    def test_circle_plots_cardinal_points(self):
+        from repro.sim import Interpreter
+
+        bench = BENCHMARKS["circle"]
+        interp = Interpreter(bench.program)
+        for name, value in bench.worst_data.globals.items():
+            interp.set_global(name, value)
+        interp.run("circle")
+        image = interp.get_global("image")
+        assert image[64 * 128 + 96] == 1      # (cx+32, cy)
+        assert image[96 * 128 + 64] == 1      # (cx, cy+32)
+        assert image[64 * 128 + 32] == 1      # (cx-32, cy)
+
+    def test_fdct_of_flat_block_is_dc_only(self):
+        from repro.sim import Interpreter
+
+        bench = BENCHMARKS["jpeg_fdct_islow"]
+        interp = Interpreter(bench.program)
+        interp.set_global("block", [7] * 64)
+        interp.run("jpeg_fdct_islow")
+        out = interp.get_global("block")
+        assert out[0] == 64 * 7
+        assert all(v == 0 for v in out[1:])
+
+    def test_idct_of_dc_only_is_flat(self):
+        from repro.sim import Interpreter
+
+        bench = BENCHMARKS["jpeg_idct_islow"]
+        interp = Interpreter(bench.program)
+        interp.set_global("coef", [512] + [0] * 63)
+        interp.run("jpeg_idct_islow")
+        out = interp.get_global("pixel")
+        assert len(set(out)) == 1             # perfectly flat
+        assert out[0] == 64                   # 512/8 = 64
+
+    def test_fdct_idct_round_trip(self):
+        # Chain the two JPEG benchmarks: idct(fdct(x)) ~ x.
+        from repro.programs.jpeg_fdct import SAMPLE_BLOCK
+        from repro.sim import Interpreter
+
+        fdct = BENCHMARKS["jpeg_fdct_islow"]
+        idct = BENCHMARKS["jpeg_idct_islow"]
+        interp = Interpreter(fdct.program)
+        interp.set_global("block", SAMPLE_BLOCK)
+        interp.run("jpeg_fdct_islow")
+        coef = interp.get_global("block")
+
+        # The FDCT output is scaled by 8; in libjpeg the divide lives
+        # in quantization, so model a unit quantizer here.
+        dequantized = [int(round(c / 8)) for c in coef]
+        interp2 = Interpreter(idct.program)
+        interp2.set_global("coef", dequantized)
+        interp2.run("jpeg_idct_islow")
+        out = interp2.get_global("pixel")
+        for got, want in zip(out, SAMPLE_BLOCK):
+            assert abs(got - want) <= 2
+
+    def test_recon_full_pel_copies(self):
+        from repro.sim import Interpreter
+
+        bench = BENCHMARKS["recon"]
+        interp = Interpreter(bench.program)
+        for name, value in bench.best_data.globals.items():
+            interp.set_global(name, value)
+        interp.run("recon")
+        cur = interp.get_global("cur")
+        ref = interp.get_global("ref")
+        p = 2 * 32 + 3
+        for i in range(16):
+            for j in range(16):
+                assert cur[i * 32 + j] == ref[p + i * 32 + j]
+
+    def test_fullsearch_finds_zero_at_match(self):
+        bench = BENCHMARKS["fullsearch"]
+        result = bench.run(bench.best_data)
+        assert result.value == 0
+
+    def test_whetstone_converges(self):
+        bench = BENCHMARKS["whetstone"]
+        value = bench.run(bench.best_data).value
+        assert math.isfinite(value)
+        assert 0.7 < value < 0.9              # x drifts slowly toward 1
+
+    def test_dhry_deterministic_checksum(self):
+        bench = BENCHMARKS["dhry"]
+        first = bench.run(bench.best_data).value
+        second = bench.run(bench.worst_data).value
+        assert first == second
+
+    def test_matgen_norma_positive(self):
+        bench = BENCHMARKS["matgen"]
+        value = bench.run(bench.best_data).value
+        assert 0.0 < value <= 2.0

@@ -1,0 +1,133 @@
+"""Tests for the JSON results export and remaining CLI surface."""
+
+import json
+
+import pytest
+
+from repro.experiments import Experiments, collect_results, write_results
+from repro.programs import all_benchmarks
+
+
+@pytest.fixture(scope="module")
+def experiments():
+    subset = {name: bench for name, bench in all_benchmarks().items()
+              if name in ("check_data", "circle")}
+    return Experiments(benchmarks=subset)
+
+
+class TestJSONExport:
+    def test_collect_structure(self, experiments):
+        data = collect_results(experiments)
+        assert data["machine"] == "i960KB"
+        assert {row["function"] for row in data["table1"]} == \
+            {"check_data", "circle"}
+        for key in ("table2", "table3", "solver"):
+            assert len(data[key]) == 2
+
+    def test_rows_are_sound_and_serializable(self, experiments):
+        data = collect_results(experiments)
+        text = json.dumps(data)
+        parsed = json.loads(text)
+        for row in parsed["table2"] + parsed["table3"]:
+            assert row["sound"] is True
+            lo, hi = row["estimated"]
+            rlo, rhi = row["reference"]
+            assert lo <= rlo <= rhi <= hi
+
+    def test_solver_rows(self, experiments):
+        data = collect_results(experiments)
+        by_name = {row["function"]: row for row in data["solver"]}
+        assert by_name["check_data"]["sets_solved"] == 2
+        assert by_name["check_data"]["first_relaxations_integral"]
+
+    def test_write_results_file(self, experiments, tmp_path):
+        path = tmp_path / "results.json"
+        write_results(experiments, str(path))
+        data = json.loads(path.read_text())
+        assert "table1" in data
+
+
+class TestCodegenEdgeCases:
+    def run(self, src, entry, *args):
+        from repro.codegen import compile_source
+        from repro.sim import run_program
+
+        return run_program(compile_source(src), entry, *args).value
+
+    def test_do_while_with_break(self):
+        src = """
+        int f(int n) {
+            int i = 0;
+            do {
+                if (i == n) break;
+                i++;
+            } while (i < 10);
+            return i;
+        }
+        """
+        assert self.run(src, "f", 4) == 4
+        assert self.run(src, "f", 99) == 10
+
+    def test_nested_ternary(self):
+        src = "int f(int a) { return a > 0 ? (a > 10 ? 2 : 1) : 0; }"
+        assert self.run(src, "f", 15) == 2
+        assert self.run(src, "f", 5) == 1
+        assert self.run(src, "f", -1) == 0
+
+    def test_compound_shift_on_array_element(self):
+        src = """
+        int a[2];
+        int f() { a[1] = 3; a[1] <<= 2; return a[1]; }
+        """
+        assert self.run(src, "f") == 12
+
+    def test_chained_comparisons_via_logical(self):
+        src = "int f(int a) { return 0 < a && a < 10; }"
+        assert self.run(src, "f", 5) == 1
+        assert self.run(src, "f", 0) == 0
+        assert self.run(src, "f", 10) == 0
+
+    def test_ternary_in_condition(self):
+        src = "int f(int a, int b) { if ((a > b ? a : b) > 5) return 1;"\
+              " return 0; }"
+        assert self.run(src, "f", 7, 3) == 1
+        assert self.run(src, "f", 2, 3) == 0
+
+    def test_float_condition_truthiness(self):
+        src = "int f(float x) { if (x) return 1; return 0; }"
+        assert self.run(src, "f", 0.5) == 1
+        assert self.run(src, "f", 0.0) == 0
+
+    def test_intrinsic_argument_coercion(self):
+        src = "float f(int n) { return sqrt(n); }"
+        assert self.run(src, "f", 16) == pytest.approx(4.0)
+
+    def test_unary_plus_is_identity(self):
+        src = "int f(int a) { return +a; }"
+        assert self.run(src, "f", -7) == -7
+
+    def test_empty_statement(self):
+        src = "int f() { ;; return 3; }"
+        assert self.run(src, "f") == 3
+
+    def test_multiple_returns_in_loop(self):
+        src = """
+        int data[4];
+        int f(int key) {
+            for (int i = 0; i < 4; i++) {
+                if (data[i] == key)
+                    return i;
+            }
+            return -1;
+        }
+        """
+        from repro.codegen import compile_source
+        from repro.sim import run_program
+
+        program = compile_source(src)
+        found = run_program(program, "f", 0,
+                            globals_init={"data": [5, 0, 7, 0]})
+        assert found.value == 1
+        missing = run_program(program, "f", 9,
+                              globals_init={"data": [5, 0, 7, 0]})
+        assert missing.value == -1

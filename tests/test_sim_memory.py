@@ -1,0 +1,140 @@
+"""Unit tests for the simulator's memory model and interpreter edge
+cases not covered by the end-to-end suites."""
+
+import pytest
+
+from repro.codegen import compile_source
+from repro.errors import SimulationError
+from repro.sim import Interpreter, Memory, run_program
+
+SRC = """
+const int K = 3;
+int scalar = 7;
+float weights[3] = {0.5, 1.5, 2.5};
+int grid[2][2] = {1, 2, 3, 4};
+
+int f() { return scalar; }
+"""
+
+
+def memory():
+    return Memory(compile_source(SRC))
+
+
+class TestMemory:
+    def test_global_initialization(self):
+        mem = memory()
+        assert mem.get_global("scalar") == 7
+        assert mem.get_global("weights") == [0.5, 1.5, 2.5]
+        assert mem.get_global("grid") == [1, 2, 3, 4]
+        # const globals live in memory too (they are loaded like any
+        # other global).
+        assert mem.get_global("K") == 3
+
+    def test_float_arrays_cast(self):
+        mem = memory()
+        mem.set_global("weights", [1, 2, 3])
+        assert mem.get_global("weights") == [1.0, 2.0, 3.0]
+        assert all(isinstance(v, float)
+                   for v in mem.get_global("weights"))
+
+    def test_int_globals_cast(self):
+        mem = memory()
+        mem.set_global("scalar", 3.9)
+        assert mem.get_global("scalar") == 3
+
+    def test_unknown_global(self):
+        mem = memory()
+        with pytest.raises(SimulationError):
+            mem.set_global("ghost", 1)
+        with pytest.raises(SimulationError):
+            mem.get_global("ghost")
+
+    def test_oversized_array_write(self):
+        mem = memory()
+        with pytest.raises(SimulationError):
+            mem.set_global("weights", [1.0] * 4)
+
+    def test_partial_array_write(self):
+        mem = memory()
+        mem.set_global("weights", [9.0])
+        assert mem.get_global("weights") == [9.0, 1.5, 2.5]
+
+    def test_load_bounds(self):
+        mem = memory()
+        with pytest.raises(SimulationError):
+            mem.load(-1)
+        with pytest.raises(SimulationError):
+            mem.load(10_000_000)
+
+    def test_store_grows_stack_region(self):
+        mem = memory()
+        mem.store(mem.stack_base + 5, 42)
+        assert mem.load(mem.stack_base + 5) == 42
+
+    def test_store_beyond_capacity(self):
+        program = compile_source(SRC)
+        mem = Memory(program, capacity=program.data_words + 4)
+        with pytest.raises(SimulationError):
+            mem.store(program.data_words + 100, 1)
+
+    def test_reserve_overflow(self):
+        program = compile_source(SRC)
+        mem = Memory(program, capacity=program.data_words + 4)
+        with pytest.raises(SimulationError):
+            mem.reserve(1000)
+
+
+class TestInterpreterEdges:
+    def test_unknown_entry(self):
+        interp = Interpreter(compile_source(SRC))
+        with pytest.raises(SimulationError):
+            interp.run("ghost")
+
+    def test_wrong_arity(self):
+        interp = Interpreter(compile_source("int f(int a) { return a; }"))
+        with pytest.raises(SimulationError):
+            interp.run("f")
+        with pytest.raises(SimulationError):
+            interp.run("f", 1, 2)
+
+    def test_float_args_coerced_to_int_params(self):
+        result = run_program(
+            compile_source("int f(int a) { return a + 1; }"), "f", 3.7)
+        assert result.value == 4
+
+    def test_int_args_coerced_to_float_params(self):
+        result = run_program(
+            compile_source("float f(float a) { return a / 2.0; }"),
+            "f", 7)
+        assert result.value == pytest.approx(3.5)
+
+    def test_void_entry_returns_none(self):
+        src = "int g; void f() { g = 1; }"
+        assert run_program(compile_source(src), "f").value is None
+
+    def test_deep_call_chain_frames(self):
+        # 12 nested calls, each with a local array: frames must not
+        # alias.
+        layers = "\n".join(
+            f"int f{i}(int x) {{ int buf[4]; buf[0] = x; "
+            f"return f{i+1}(buf[0] + 1); }}"
+            for i in range(12))
+        src = layers + "\nint f12(int x) { return x; }"
+        result = run_program(compile_source(src), "f0", 0)
+        assert result.value == 12
+
+    def test_negative_array_index_faults(self):
+        src = "int a[4]; int f(int i) { return a[i]; }"
+        program = compile_source(src)
+        # a is at address 0, so a[-1] is address -1.
+        with pytest.raises(SimulationError):
+            run_program(program, "f", -1)
+
+    def test_interpreter_isolated_between_instances(self):
+        program = compile_source("int g; int f() { g = g + 1; return g; }")
+        first = Interpreter(program)
+        second = Interpreter(program)
+        assert first.run("f").value == 1
+        assert first.run("f").value == 2      # same instance accumulates
+        assert second.run("f").value == 1     # fresh memory

@@ -1,0 +1,217 @@
+"""Structural constraints vs. the paper's Figs. 2-4 equations (2)-(13)."""
+
+from repro.cfg import CallGraph, build_cfg, build_cfgs
+from repro.codegen import compile_source
+from repro.constraints import (entry_constraint, flow_constraints,
+                               linking_constraints, structural_system)
+from repro.sim import run_program
+
+IF_ELSE = """
+int f(int p) {
+    int q;
+    if (p)
+        q = 1;
+    else
+        q = 2;
+    return q;
+}
+"""
+
+WHILE_LOOP = """
+int f(int p) {
+    int q;
+    q = p;
+    while (q < 10)
+        q++;
+    return q;
+}
+"""
+
+CALLS = """
+int total;
+void store(int i) { total = total + i; }
+void f() {
+    int i; int n;
+    i = 10;
+    store(i);
+    n = 2 * i;
+    store(n);
+}
+"""
+
+
+def constraint_map(constraints):
+    """{frozenset of (var, coef)} keyed textual forms for comparison."""
+    forms = set()
+    for c in constraints:
+        terms = frozenset(c.expr.coefs.items())
+        forms.add((terms, c.sense, c.rhs))
+    return forms
+
+
+def eq(lhs: dict, rhs_const: float = 0.0):
+    return (frozenset(lhs.items()), "==", rhs_const)
+
+
+class TestPaperFig2:
+    """if-then-else: x1 = d1 = d2+d3, x2 = d2 = d4, x3 = d3 = d5,
+    x4 = d4+d5 = d6 (paper eqs. 2-5)."""
+
+    def test_equations_match(self):
+        program = compile_source(IF_ELSE)
+        cfg = build_cfg(program, program.functions["f"])
+        forms = constraint_map(flow_constraints(cfg))
+        f = "f::"
+        expected = [
+            eq({f + "x1": 1.0, f + "d1": -1.0}),
+            eq({f + "x1": 1.0, f + "d2": -1.0, f + "d3": -1.0}),
+            eq({f + "x2": 1.0, f + "d2": -1.0}),
+            eq({f + "x2": 1.0, f + "d4": -1.0}),
+            eq({f + "x3": 1.0, f + "d3": -1.0}),
+            eq({f + "x3": 1.0, f + "d5": -1.0}),
+            eq({f + "x4": 1.0, f + "d4": -1.0, f + "d5": -1.0}),
+            eq({f + "x4": 1.0, f + "d6": -1.0}),
+        ]
+        for form in expected:
+            assert form in forms, f"missing {form}"
+        assert len(forms) == len(expected)
+
+    def test_entry_constraint_is_d1_equals_1(self):
+        program = compile_source(IF_ELSE)
+        cfg = build_cfg(program, program.functions["f"])
+        c = entry_constraint(cfg)
+        assert constraint_map([c]) == {
+            (frozenset({("f::d1", 1.0)}.items() if False else
+                       {("f::d1", 1.0)}), "==", 1.0)}
+
+
+class TestPaperFig3:
+    """while loop: every block's in-flow = count = out-flow, with the
+    back edge closing the cycle (paper eqs. 6-9, up to edge naming)."""
+
+    def test_counts_and_arity(self):
+        program = compile_source(WHILE_LOOP)
+        cfg = build_cfg(program, program.functions["f"])
+        constraints = flow_constraints(cfg)
+        # 4 blocks, two equalities each.
+        assert len(constraints) == 8
+        forms = constraint_map(constraints)
+        f = "f::"
+        # Header B2 receives two edges and emits two edges (eq. 7).
+        in_form = [form for form in forms
+                   if (f + "x2", 1.0) in form[0] and len(form[0]) == 3]
+        assert len(in_form) == 2
+
+    def test_observed_counts_satisfy_all_structural_constraints(self):
+        program = compile_source(WHILE_LOOP)
+        cfgs = build_cfgs(program)
+        graph = CallGraph(cfgs)
+        system = structural_system(graph, "f")
+        assignment = _edge_and_block_counts(program, cfgs, "f", 4)
+        for constraint in system:
+            assert constraint.satisfied_by(assignment), str(constraint)
+
+
+class TestPaperFig4:
+    """function calls: x1 = d1 = f1, x2 = f1 = f2, and the callee link
+    d(store entry) = f1 + f2 (paper eqs. 10-12)."""
+
+    def test_caller_equations(self):
+        program = compile_source(CALLS)
+        cfg = build_cfg(program, program.functions["f"])
+        forms = constraint_map(flow_constraints(cfg))
+        f = "f::"
+        assert eq({f + "x1": 1.0, f + "d1": -1.0}) in forms
+        assert eq({f + "x1": 1.0, f + "f1": -1.0}) in forms
+        assert eq({f + "x2": 1.0, f + "f1": -1.0}) in forms
+        assert eq({f + "x2": 1.0, f + "f2": -1.0}) in forms
+
+    def test_callee_link_eq12(self):
+        program = compile_source(CALLS)
+        graph = CallGraph(build_cfgs(program))
+        forms = constraint_map(linking_constraints(graph, "f"))
+        assert eq({"store::d1": 1.0, "f::f1": -1.0, "f::f2": -1.0}) in forms
+
+    def test_entry_link_eq13(self):
+        program = compile_source(CALLS)
+        graph = CallGraph(build_cfgs(program))
+        forms = constraint_map(linking_constraints(graph, "f"))
+        assert (frozenset({("f::d1", 1.0)}), "==", 1.0) in forms
+
+    def test_observed_counts_satisfy_system(self):
+        program = compile_source(CALLS)
+        cfgs = build_cfgs(program)
+        graph = CallGraph(cfgs)
+        system = structural_system(graph, "f")
+        assignment = _edge_and_block_counts(program, cfgs, "f")
+        for constraint in system:
+            assert constraint.satisfied_by(assignment), str(constraint)
+
+
+def _edge_and_block_counts(program, cfgs, entry, *args):
+    """Observed block *and* edge counts for one run.
+
+    The interpreter counts instruction executions; edges are recovered
+    from an instruction-index trace: edge (u, v) is taken whenever v's
+    leader executes immediately after an instruction of u.
+    """
+    from repro.sim import Interpreter
+
+    trace = []
+
+    class Recorder:
+        def execute(self, instr):
+            trace.append(instr.addr // 4)
+            return 0
+
+    interp = Interpreter(program, cycle_model=Recorder())
+    interp.run(entry, *args)
+
+    assignment = {}
+    index_to_block = {}
+    for name, cfg in cfgs.items():
+        for block in cfg.blocks.values():
+            assignment[f"{name}::x{block.id}"] = 0
+            for i in range(block.start, block.end):
+                index_to_block[i] = (name, block)
+        for edge in cfg.edges:
+            assignment[f"{name}::{edge.name}"] = 0
+
+    prev = None
+    for index in trace:
+        name, block = index_to_block[index]
+        if index == block.start:
+            assignment[f"{name}::x{block.id}"] += 1
+            # Find which edge got us here.
+            cfg = cfgs[name]
+            if prev is None:
+                assignment[f"{name}::{cfg.entry_edge.name}"] += 1
+            else:
+                pname, pblock = prev
+                matched = False
+                if pname == name:
+                    for edge in cfg.in_edges(block.id):
+                        if edge.src == pblock.id:
+                            assignment[f"{name}::{edge.name}"] += 1
+                            matched = True
+                            break
+                if not matched:
+                    if pname != name:
+                        # Entering a callee or returning from one.
+                        if index == cfg.blocks[cfg.entry_block].start:
+                            assignment[f"{name}::{cfg.entry_edge.name}"] += 1
+                        else:
+                            for edge in cfg.in_edges(block.id):
+                                if edge.is_call:
+                                    assignment[f"{name}::{edge.name}"] += 1
+                                    break
+        prev = (name, block)
+
+    # Exit edges: the block executing RET leaves through its exit edge.
+    for name, cfg in cfgs.items():
+        for edge in cfg.exit_edges():
+            block = cfg.blocks[edge.src]
+            # Every execution of a RET-terminated block exits.
+            assignment[f"{name}::{edge.name}"] = \
+                assignment[f"{name}::x{block.id}"]
+    return assignment

@@ -1,0 +1,71 @@
+"""Seeded random MiniC program generator for differential tests.
+
+Unlike the hypothesis strategy in test_properties.py this is a plain
+deterministic generator, usable from any test that wants N fixed random
+cases without shrinking machinery.
+"""
+
+from __future__ import annotations
+
+import random
+
+VARS = ["g0", "g1", "g2", "g3"]
+
+
+def random_minic_cases(seed: int, count: int):
+    """Yield (source, global_inputs) pairs of valid MiniC programs."""
+    rng = random.Random(seed)
+    for _ in range(count):
+        yield _one_case(rng)
+
+
+def _one_case(rng: random.Random):
+    counter = [0]
+
+    def expr() -> str:
+        kind = rng.choice(["var", "const", "add", "mul", "cmp", "shift"])
+        if kind == "var":
+            return rng.choice(VARS)
+        if kind == "const":
+            return str(rng.randint(-9, 9))
+        left = rng.choice(VARS)
+        right = rng.randint(1, 6)
+        if kind == "add":
+            return f"({left} + {right})"
+        if kind == "mul":
+            return f"({left} * {right})"
+        if kind == "cmp":
+            return f"({left} < {right})"
+        return f"({left} << {rng.randint(0, 3)})"
+
+    def statement(depth: int) -> str:
+        choices = ["assign", "assign", "if"]
+        if depth < 2:
+            choices.append("loop")
+        kind = rng.choice(choices)
+        if kind == "assign":
+            return f"{rng.choice(VARS)} = {expr()};"
+        if kind == "if":
+            body = statement(depth + 1)
+            if rng.random() < 0.5:
+                other = statement(depth + 1)
+                return (f"if ({rng.choice(VARS)} > {rng.randint(-4, 4)})"
+                        f" {{\n{body}\n}} else {{\n{other}\n}}")
+            return (f"if ({rng.choice(VARS)} > {rng.randint(-4, 4)})"
+                    f" {{\n{body}\n}}")
+        counter[0] += 1
+        index = f"i{counter[0]}"
+        trips = rng.randint(1, 6)
+        body = statement(depth + 1)
+        return (f"for (int {index} = 0; {index} < {trips}; {index}++)"
+                f" {{\n{body}\n}}")
+
+    body = "\n".join(statement(0) for _ in range(rng.randint(2, 5)))
+    source = (
+        "int g0; int g1; int g2; int g3;\n"
+        "int f() {\n"
+        f"{body}\n"
+        "return g0 + g1 * 3 + g2 - g3;\n"
+        "}\n")
+    inputs = {name: rng.randint(-15, 15) for name in VARS}
+    return source, inputs
