@@ -39,9 +39,9 @@ from .analysis import (Analysis, BoundReport, CalculatedBound,
                        annotate_program, calculated_bound, enumerate_paths,
                        pessimism)
 from .codegen import Program, compile_source, disassemble
-from .errors import (AnalysisError, ConstraintSyntaxError, InfeasibleError,
-                     MiniCError, MissingLoopBoundError, ReproError,
-                     SimulationError, UnboundedError)
+from .errors import (AnalysisError, ConstraintSyntaxError, ILPTimeoutError,
+                     InfeasibleError, MiniCError, MissingLoopBoundError,
+                     ReproError, SimulationError, UnboundedError)
 from .hw import Machine, i960kb, no_cache, perfect_cache
 from .sim import (Dataset, Interpreter, MeasuredBound, measure_bounds,
                   run_program)
@@ -58,7 +58,7 @@ __all__ = [
     "Dataset", "Interpreter", "MeasuredBound", "measure_bounds",
     "run_program",
     "ReproError", "MiniCError", "AnalysisError", "ConstraintSyntaxError",
-    "InfeasibleError", "MissingLoopBoundError", "SimulationError",
-    "UnboundedError",
+    "ILPTimeoutError", "InfeasibleError", "MissingLoopBoundError",
+    "SimulationError", "UnboundedError",
     "__version__",
 ]

@@ -26,17 +26,20 @@ True
 
 from __future__ import annotations
 
+import time
+
 from ..cfg import (CFG, CallGraph, Loop, build_cfgs, expand_contexts,
                    find_loops, instances_of)
 from ..codegen import Program, compile_source
 from ..constraints import (Formula, LoopBound, Relation, SymExpr, VarRef,
                            combine, parse_constraint, qualified)
-from ..errors import (AnalysisError, InfeasibleError, MissingLoopBoundError,
-                      UnboundedError)
+from ..errors import (AnalysisError, InfeasibleError,
+                      MissingLoopBoundError)
 from ..hw import Machine, cost_table, i960kb, lines_touched
-from ..ilp import Constraint, LinExpr, Problem, Status
+from ..ilp import Constraint, LinExpr
 from ..constraints.structural import flow_constraints, structural_system
 from .report import BoundReport, SetResult
+from .setsolve import SetTask, solve_set
 
 
 class Analysis:
@@ -69,8 +72,11 @@ class Analysis:
                  context_sensitive: bool = False,
                  cache_split: bool = False,
                  backend: str = "simplex"):
+        self.timings: dict[str, float] = {}
         if isinstance(program, str):
+            clock = time.perf_counter()
             program = compile_source(program)
+            self.timings["compile"] = time.perf_counter() - clock
         if entry not in program.functions:
             raise AnalysisError(f"no function named {entry!r}")
         if cache_split and context_sensitive:
@@ -84,11 +90,13 @@ class Analysis:
         self.cache_split = cache_split
         self.backend = backend
 
+        clock = time.perf_counter()
         self.cfgs: dict[str, CFG] = build_cfgs(program)
         self.callgraph = CallGraph(self.cfgs)
         self.reachable: list[str] = self.callgraph.reachable_from(entry)
         self.instances = (expand_contexts(self.callgraph, entry)
                           if context_sensitive else None)
+        self.timings["cfg"] = time.perf_counter() - clock
 
         self._loops: dict[tuple[str, int], Loop] = {}
         for name in self.reachable:
@@ -101,6 +109,7 @@ class Analysis:
         self._bounds: dict[tuple[str, int], LoopBound] = {}
         self._formulas: list[Formula] = []
         self._locals_cache: dict[str, set[str]] = {}
+        self._last_expansion = None
 
     # ------------------------------------------------------------------
     # User information (the paper's interactive prompts, as an API)
@@ -346,23 +355,68 @@ class Analysis:
         """DNF expansion of the functionality constraints (Table I)."""
         return combine(self._formulas)
 
-    def estimate(self) -> BoundReport:
-        """Run the full IPET procedure (§III-D) and return the bound."""
+    def set_tasks(self, set_timeout: float | None = None) -> list[SetTask]:
+        """The expansion lowered to self-contained, picklable solver
+        tasks — one per surviving constraint set, in the expansion's
+        canonical order.  Raises when every set is null."""
         base = self._structural() + self._loop_constraints()
         worst_obj, best_obj = self._objectives()
         expansion = self.expansion()
         if not expansion.sets:
             raise InfeasibleError(
                 "all functionality constraint sets are null")
+        self._last_expansion = expansion
+        return [
+            SetTask(index, base,
+                    [r.resolve(self._resolve) for r in relations],
+                    worst_obj, best_obj, backend=self.backend,
+                    timeout=set_timeout)
+            for index, relations in enumerate(expansion.sets)]
 
-        results: list[SetResult] = []
+    def estimate(self, parallel: int | None = None,
+                 set_timeout: float | None = None,
+                 cache=None) -> BoundReport:
+        """Run the full IPET procedure (§III-D) and return the bound.
+
+        Parameters
+        ----------
+        parallel:
+            Fan the per-set ILPs out over this many worker processes
+            (None/0/1 solves serially in-process).  The expansion order
+            is canonical, so parallel and serial runs return identical
+            ``set_results``.
+        set_timeout:
+            Wall-clock budget in seconds per constraint set; a set that
+            exceeds it reports its LP-relaxation bound (still sound)
+            and the report is marked ``partial``.
+        cache:
+            A :class:`repro.engine.ResultCache` (or anything with its
+            ``get_set``/``put_set`` interface); solved sets are stored
+            under a content hash of their canonical LP text plus the
+            machine fingerprint and backend, and re-runs are served
+            from disk.
+        """
+        clock = time.perf_counter()
+        tasks = self.set_tasks(set_timeout)
+        expansion = self._last_expansion
+        timings = dict(self.timings)
+        timings["constraints"] = time.perf_counter() - clock
+
+        clock = time.perf_counter()
+        results = self._solve_tasks(tasks, parallel, cache)
+        timings["solve"] = time.perf_counter() - clock
+        return self.assemble_report(results, expansion, timings)
+
+    def assemble_report(self, results: list[SetResult], expansion,
+                        timings: dict | None = None) -> BoundReport:
+        """Fold per-set results into the max/min :class:`BoundReport`.
+
+        Shared by :meth:`estimate` and the batch engine (which solves
+        the tasks itself, possibly out of process, and hands the
+        ordered results back)."""
         overall_worst: SetResult | None = None
         overall_best: SetResult | None = None
-        for index, relations in enumerate(expansion.sets):
-            resolved = [r.resolve(self._resolve) for r in relations]
-            result = self._solve_set(index, base, resolved,
-                                     worst_obj, best_obj)
-            results.append(result)
+        for result in results:
             if not result.feasible:
                 continue
             if overall_worst is None or result.worst > overall_worst.worst:
@@ -384,50 +438,43 @@ class Analysis:
             sets_pruned=expansion.pruned,
             worst_counts=overall_worst.worst_counts,
             best_counts=overall_best.best_counts,
+            partial=any(r.timed_out for r in results),
+            timings=timings or {},
         )
 
-    def _solve_set(self, index: int, base: list[Constraint],
-                   resolved: list[Constraint], worst_obj: LinExpr,
-                   best_obj: LinExpr) -> SetResult:
-        result = SetResult(index, Status.OPTIMAL)
+    def _solve_tasks(self, tasks: list[SetTask], parallel: int | None,
+                     cache) -> list[SetResult]:
+        """Solve every task, via the cache and/or a process pool."""
+        results: dict[int, SetResult] = {}
+        pending: list[SetTask] = []
+        keys: dict[int, str] = {}
+        if cache is not None:
+            fingerprint = self.machine.fingerprint()
+            for task in tasks:
+                keys[task.index] = cache.set_key(task.signature(),
+                                                 fingerprint, self.backend)
+                hit = cache.get_set(keys[task.index])
+                if hit is not None:
+                    results[task.index] = hit
+                else:
+                    pending.append(task)
+        else:
+            pending = list(tasks)
 
-        problem = Problem(f"set{index}:worst")
-        problem.add_all(base)
-        problem.add_all(resolved)
-        problem.maximize(worst_obj)
-        worst = problem.solve(backend=self.backend)
-        result.stats.lp_calls += worst.stats.lp_calls
-        result.stats.nodes += worst.stats.nodes
-        result.stats.simplex_iterations += worst.stats.simplex_iterations
-        result.stats.first_relaxation_integral = \
-            worst.stats.first_relaxation_integral
-        if worst.status is Status.UNBOUNDED:
-            raise UnboundedError(
-                "the worst-case objective is unbounded; a loop bound or "
-                "functionality constraint fails to limit some count")
-        if worst.status is Status.INFEASIBLE:
-            result.status = Status.INFEASIBLE
-            return result
-        result.worst = worst.objective
-        result.worst_counts = worst.values
+        if parallel and parallel > 1 and len(pending) > 1:
+            from concurrent.futures import ProcessPoolExecutor
 
-        problem = Problem(f"set{index}:best")
-        problem.add_all(base)
-        problem.add_all(resolved)
-        problem.minimize(best_obj)
-        best = problem.solve(backend=self.backend)
-        result.stats.lp_calls += best.stats.lp_calls
-        result.stats.nodes += best.stats.nodes
-        result.stats.simplex_iterations += best.stats.simplex_iterations
-        result.stats.first_relaxation_integral = (
-            result.stats.first_relaxation_integral
-            and best.stats.first_relaxation_integral)
-        # Minimizing over a nonempty bounded-below polyhedron of the
-        # same feasible set cannot be infeasible or unbounded here.
-        assert best.status is Status.OPTIMAL
-        result.best = best.objective
-        result.best_counts = best.values
-        return result
+            workers = min(parallel, len(pending))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                solved = list(pool.map(solve_set, pending, chunksize=1))
+        else:
+            solved = [solve_set(task) for task in pending]
+
+        for result in solved:
+            results[result.index] = result
+            if cache is not None and not result.timed_out:
+                cache.put_set(keys[result.index], result)
+        return [results[task.index] for task in tasks]
 
 
 def _normalize_scope(formula: Formula, scope: str) -> Formula:

@@ -19,6 +19,12 @@ class SetResult:
     worst_counts: Mapping[str, float] = field(default_factory=dict)
     best_counts: Mapping[str, float] = field(default_factory=dict)
     stats: SolveStats = field(default_factory=SolveStats)
+    #: The ILP timed out and the bounds come from the LP relaxation —
+    #: still sound (relaxation max >= ILP max, relaxation min <= ILP
+    #: min) but possibly looser than the integer optimum.
+    timed_out: bool = False
+    #: Wall-clock seconds spent solving this set (worst + best ILPs).
+    wall_time: float = 0.0
 
     @property
     def feasible(self) -> bool:
@@ -39,6 +45,14 @@ class BoundReport:
     sets_pruned: int                # removed as trivially null
     worst_counts: Mapping[str, float] = field(default_factory=dict)
     best_counts: Mapping[str, float] = field(default_factory=dict)
+    #: True when at least one constraint set timed out and contributed
+    #: a relaxation bound instead of an integer optimum.  The interval
+    #: is still sound, just possibly looser.
+    partial: bool = False
+    #: Per-stage wall times in seconds (``compile``, ``cfg``,
+    #: ``constraints``, ``expand``, ``solve``), filled in by
+    #: :meth:`repro.Analysis.estimate` for the engine's metrics layer.
+    timings: dict = field(default_factory=dict)
 
     @property
     def interval(self) -> tuple[int, int]:

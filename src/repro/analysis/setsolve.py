@@ -1,0 +1,154 @@
+"""Solving one DNF constraint set as a self-contained, picklable task.
+
+The IPET procedure solves two ILPs (worst-case maximize, best-case
+minimize) per functionality constraint set and takes the max/min over
+sets — an embarrassingly parallel workload.  This module packages one
+set's worth of work as a :class:`SetTask` that can cross a process
+boundary, so the serial path in :meth:`repro.Analysis.estimate`, its
+``parallel=`` fan-out, and the batch engine in :mod:`repro.engine` all
+run the exact same function and produce bit-identical
+:class:`~repro.analysis.report.SetResult` objects.
+
+Timeout semantics (engine "graceful degradation"): a task with a
+``timeout`` gets a wall-clock deadline for its two ILPs together.  If
+an ILP trips the deadline, the task falls back to the LP relaxation,
+which is fast and still *sound* — the relaxation maximum is an upper
+bound on the integer maximum and the relaxation minimum a lower bound
+on the integer minimum — and the result is marked ``timed_out`` so
+reports can flag the bound as conservative rather than tight.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..errors import ILPTimeoutError, UnboundedError
+from ..ilp import Constraint, LinExpr, Problem, Status
+from ..ilp.lpformat import write_lp
+from .report import SetResult
+
+_UNBOUNDED_MESSAGE = (
+    "the worst-case objective is unbounded; a loop bound or "
+    "functionality constraint fails to limit some count")
+
+
+@dataclass
+class SetTask:
+    """One constraint set's ILP work, ready to ship to a worker."""
+
+    index: int
+    base: list[Constraint]
+    resolved: list[Constraint]
+    worst_obj: LinExpr
+    best_obj: LinExpr
+    backend: str = "simplex"
+    #: Wall-clock budget in seconds for the whole set (both ILPs), or
+    #: None for no limit.
+    timeout: float | None = None
+
+    def problems(self) -> tuple[Problem, Problem]:
+        worst = Problem(f"set{self.index}:worst")
+        worst.add_all(self.base)
+        worst.add_all(self.resolved)
+        worst.maximize(self.worst_obj)
+        best = Problem(f"set{self.index}:best")
+        best.add_all(self.base)
+        best.add_all(self.resolved)
+        best.minimize(self.best_obj)
+        return worst, best
+
+    def signature(self) -> str:
+        """Canonical LP text of both problems — the content-addressed
+        part of the engine's cache key.  Variables and bounds are
+        emitted in sorted order by :func:`~repro.ilp.lpformat.write_lp`
+        and constraint order is deterministic, so two tasks denoting
+        the same mathematical problem share a signature."""
+        worst, best = self.problems()
+        return write_lp(worst) + "\n" + write_lp(best)
+
+
+def solve_set(task: SetTask) -> SetResult:
+    """Solve one constraint set to a :class:`SetResult`.
+
+    Runs in the calling process or a pool worker; everything it needs
+    travels inside `task`.
+    """
+    started = time.monotonic()
+    deadline = None if task.timeout is None else started + task.timeout
+    result = SetResult(task.index, Status.OPTIMAL)
+    worst_problem, best_problem = task.problems()
+
+    worst = _solve_direction(worst_problem, task, deadline, result)
+    if worst.status is Status.UNBOUNDED:
+        raise UnboundedError(_UNBOUNDED_MESSAGE)
+    if worst.status is Status.INFEASIBLE:
+        result.status = Status.INFEASIBLE
+        result.wall_time = time.monotonic() - started
+        return result
+    result.worst = worst.objective
+    result.worst_counts = worst.values
+    result.stats.first_relaxation_integral = \
+        worst.stats.first_relaxation_integral
+
+    best = _solve_direction(best_problem, task, deadline, result)
+    if best.status is Status.UNBOUNDED:  # pragma: no cover - defensive
+        raise UnboundedError(_UNBOUNDED_MESSAGE)
+    # Minimizing over the same nonempty polyhedron, bounded below by
+    # x >= 0, cannot be infeasible or unbounded when maximizing was
+    # feasible — unless the timed-out relaxation path got here.
+    assert best.status is Status.OPTIMAL
+    result.best = best.objective
+    result.best_counts = best.values
+    result.stats.first_relaxation_integral = (
+        result.stats.first_relaxation_integral
+        and best.stats.first_relaxation_integral)
+    result.wall_time = time.monotonic() - started
+    return result
+
+
+class _DirectionOutcome:
+    """Status + objective + values + stats of one ILP direction."""
+
+    __slots__ = ("status", "objective", "values", "stats")
+
+    def __init__(self, status, objective=None, values=None, stats=None):
+        self.status = status
+        self.objective = objective
+        self.values = values or {}
+        self.stats = stats or _zero_stats()
+
+
+def _zero_stats():
+    from ..ilp import SolveStats
+
+    return SolveStats()
+
+
+def _solve_direction(problem: Problem, task: SetTask,
+                     deadline: float | None,
+                     result: SetResult) -> _DirectionOutcome:
+    """Solve one ILP, falling back to its LP relaxation on timeout."""
+    timeout = None
+    if deadline is not None:
+        # 0 means "already expired" — the solver raises on its first
+        # deadline check rather than burning the other set's budget.
+        timeout = max(deadline - time.monotonic(), 0.0)
+    try:
+        ilp = problem.solve(backend=task.backend, timeout=timeout)
+    except ILPTimeoutError as error:
+        result.timed_out = True
+        result.stats.lp_calls += 1
+        result.stats.simplex_iterations += error.iterations
+        result.stats.nodes += error.nodes
+        engine = "exact" if task.backend == "exact" else "float"
+        relax = problem.solve_relaxation(engine=engine)
+        result.stats.lp_calls += 1
+        result.stats.simplex_iterations += relax.iterations
+        return _DirectionOutcome(relax.status, relax.objective,
+                                 dict(relax.values))
+    result.stats.lp_calls += ilp.stats.lp_calls
+    result.stats.nodes += ilp.stats.nodes
+    result.stats.simplex_iterations += ilp.stats.simplex_iterations
+    return _DirectionOutcome(ilp.status, ilp.objective, dict(ilp.values),
+                             ilp.stats)

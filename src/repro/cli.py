@@ -105,6 +105,43 @@ def build_parser() -> argparse.ArgumentParser:
     report.add_argument("--machine", choices=sorted(MACHINES),
                         default="i960kb")
     report.add_argument("--optimize", action="store_true")
+
+    engine = sub.add_parser(
+        "engine", help="batch analysis engine (pool + result cache)")
+    esub = engine.add_subparsers(dest="engine_command", required=True)
+    erun = esub.add_parser(
+        "run", help="run benchmark jobs through the solver pool")
+    erun.add_argument("benchmarks", nargs="*", metavar="NAME",
+                      help="Table-I benchmark names (default: the "
+                           "whole suite)")
+    erun.add_argument("--workers", type=int, metavar="N",
+                      help="pool size (default: CPU count)")
+    erun.add_argument("--machine", choices=sorted(MACHINES),
+                      default="i960kb")
+    erun.add_argument("--backend", choices=("simplex", "exact"),
+                      default="simplex")
+    erun.add_argument("--grain", choices=("auto", "job", "set"),
+                      default="auto",
+                      help="fan out whole jobs or individual "
+                           "constraint sets")
+    erun.add_argument("--set-timeout", type=float, metavar="SECONDS",
+                      help="per-constraint-set budget; a set that "
+                           "exceeds it reports its (sound) LP "
+                           "relaxation bound and is marked partial")
+    erun.add_argument("--cache-dir", metavar="DIR",
+                      help="result cache location (default: "
+                           "$REPRO_CACHE_DIR or ~/.cache/repro/engine)")
+    erun.add_argument("--no-cache", action="store_true",
+                      help="disable the result cache")
+    erun.add_argument("--metrics", metavar="PATH",
+                      help="write the run's metrics as JSON")
+    estats = esub.add_parser(
+        "stats", help="inspect the result cache / a saved metrics file")
+    estats.add_argument("--cache-dir", metavar="DIR")
+    estats.add_argument("--metrics", metavar="PATH",
+                        help="render a metrics JSON from engine run")
+    estats.add_argument("--clear", action="store_true",
+                        help="empty the cache")
     return parser
 
 
@@ -152,7 +189,55 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
 
+def _cmd_engine(args) -> int:
+    from .engine import (AnalysisEngine, AnalysisJob, EngineMetrics,
+                         ResultCache, default_cache_dir)
+
+    if args.engine_command == "stats":
+        if args.metrics:
+            print(EngineMetrics.load(args.metrics).render())
+            return 0
+        cache = ResultCache(args.cache_dir or default_cache_dir())
+        if args.clear:
+            print(f"removed {cache.clear()} entries")
+            return 0
+        stats = cache.stats()
+        print(f"cache: {stats.root}")
+        print(f"entries: {stats.entries} "
+              f"({stats.set_entries} sets, {stats.job_entries} jobs), "
+              f"{stats.total_bytes:,} bytes")
+        return 0
+
+    assert args.engine_command == "run"
+    from .programs import all_benchmarks
+
+    names = args.benchmarks or list(all_benchmarks())
+    machine = MACHINES[args.machine]()
+    try:
+        jobs = [AnalysisJob.from_benchmark(name, machine=machine,
+                                           backend=args.backend)
+                for name in names]
+    except KeyError as error:
+        raise ReproError(str(error.args[0]))
+    cache_dir = None if args.no_cache \
+        else (args.cache_dir or default_cache_dir())
+    engine = AnalysisEngine(workers=args.workers, cache_dir=cache_dir,
+                            set_timeout=args.set_timeout)
+    results = engine.run(jobs, grain=args.grain)
+    for result in results:
+        print(result)
+    print()
+    print(engine.metrics.render())
+    if args.metrics:
+        engine.metrics.dump(args.metrics)
+        print(f"metrics written to {args.metrics}")
+    return 0 if all(result.ok for result in results) else 1
+
+
 def _dispatch(args) -> int:
+    if args.command == "engine":
+        return _cmd_engine(args)
+
     source = _load(args.file)
 
     if args.command == "disasm":

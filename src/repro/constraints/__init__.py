@@ -1,6 +1,7 @@
 """Structural and functionality constraints for IPET."""
 
-from .dnf import Expansion, combine, trivially_null
+from .dnf import (Expansion, canonical_relation_key, canonical_set_key,
+                  combine, trivially_null)
 from .language import (DNF, ConstraintSet, Formula, Relation, SymExpr,
                        VarRef, parse_constraint)
 from .loopbounds import LoopBound, loop_bound_relations
@@ -10,6 +11,7 @@ from .structural import (entry_constraint, flow_constraints,
 
 __all__ = [
     "Expansion", "combine", "trivially_null",
+    "canonical_relation_key", "canonical_set_key",
     "DNF", "ConstraintSet", "Formula", "Relation", "SymExpr", "VarRef",
     "parse_constraint",
     "LoopBound", "loop_bound_relations",

@@ -37,7 +37,15 @@ class Expansion:
 
 
 def combine(formulas: list[Formula], prune: bool = True) -> Expansion:
-    """Cross product of all formulas' DNF sets, with null pruning."""
+    """Cross product of all formulas' DNF sets, with null pruning.
+
+    The surviving sets are returned in canonical-key order (see
+    :func:`canonical_set_key`), so the order is a function of the sets'
+    *content*, not of the order the user stated the formulas in or of
+    how the cross product happened to be enumerated.  Serial and
+    parallel solvers dispatching over the expansion therefore see —
+    and report — the same ``SetResult`` ordering.
+    """
     if not formulas:
         return Expansion([[]], 1)
     total = math.prod(len(f.sets) for f in formulas)
@@ -51,7 +59,28 @@ def combine(formulas: list[Formula], prune: bool = True) -> Expansion:
             pruned += 1
             continue
         sets.append(merged)
+    sets.sort(key=canonical_set_key)
     return Expansion(sets, total, pruned)
+
+
+def canonical_relation_key(relation: Relation) -> str:
+    """A content-only canonical string for one relation.
+
+    Terms are sorted by variable reference and coefficients/constants
+    printed with :func:`repr` (lossless for floats), so two relations
+    that denote the same linear fact map to the same key regardless of
+    source spelling or term order.
+    """
+    terms = sorted((str(ref), coef)
+                   for ref, coef in relation.expr.terms.items() if coef)
+    body = " ".join(f"{coef!r}*{ref}" for ref, coef in terms)
+    return f"{body} + {relation.expr.const!r} {relation.sense} 0"
+
+
+def canonical_set_key(relations: list[Relation]) -> tuple[str, ...]:
+    """Canonical sort key for a conjunctive constraint set: the sorted
+    tuple of its relations' canonical strings."""
+    return tuple(sorted(canonical_relation_key(r) for r in relations))
 
 
 def trivially_null(relations: list[Relation]) -> bool:

@@ -1,0 +1,279 @@
+"""Content-addressed on-disk result cache for the analysis engine.
+
+Two layers share one store:
+
+* **set layer** — one entry per solved constraint set, keyed by the
+  SHA-256 of the set's canonical LP text (worst + best problems, as
+  written by :func:`repro.ilp.lpformat.write_lp`), the machine
+  fingerprint, the solver backend, and the solver version.  Any change
+  to the program, the constraint system, the machine timing parameters
+  or the solver invalidates the key by construction.
+* **job layer** — one entry per completed analysis job, keyed by the
+  job's own fingerprint (source text, entry, machine, bounds,
+  constraints, flags, backend, version).  A warm job hit skips even
+  compilation.
+
+Entries are JSON files under ``root/<k[:2]>/<k>.json``, written
+atomically (temp file + :func:`os.replace`) so concurrent pool workers
+can share one cache directory without locking: the worst race is two
+workers computing the same value and one overwrite winning, which is
+harmless for a content-addressed store.
+
+Timed-out (``partial``) results are never cached — a re-run with a
+longer budget should get the chance to do better.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+
+from .. import __version__
+from ..analysis.report import BoundReport, SetResult
+from ..ilp import SolveStats, Status
+
+#: Bump when solver semantics change in a way that invalidates cached
+#: objective values (kept separate from the package version so doc-only
+#: releases don't cold-start every cache).
+SOLVER_VERSION = 1
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR``, else ``~/.cache/repro/engine``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env)
+    return Path.home() / ".cache" / "repro" / "engine"
+
+
+@dataclass
+class CacheStats:
+    """What ``repro engine stats`` reports about a cache directory."""
+
+    root: str
+    entries: int
+    set_entries: int
+    job_entries: int
+    total_bytes: int
+
+
+class ResultCache:
+    """A content-addressed store of solved sets and finished reports."""
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root).expanduser()
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.hits = {"set": 0, "job": 0}
+        self.misses = {"set": 0, "job": 0}
+
+    # ------------------------------------------------------------------
+    # Keys
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _digest(material: str) -> str:
+        return hashlib.sha256(material.encode()).hexdigest()
+
+    def set_key(self, signature: str, machine_fingerprint: str,
+                backend: str) -> str:
+        """Key for one constraint set's solve.
+
+        `signature` is the canonical LP text from
+        :meth:`repro.analysis.setsolve.SetTask.signature`.
+        """
+        material = "\n".join([
+            "kind=set",
+            f"solver={backend}/{SOLVER_VERSION}/{__version__}",
+            f"machine={machine_fingerprint}",
+            signature,
+        ])
+        return self._digest(material)
+
+    def job_key(self, fingerprint: str) -> str:
+        """Key for a whole analysis job (see
+        :meth:`repro.engine.jobs.AnalysisJob.fingerprint`)."""
+        material = "\n".join([
+            "kind=job",
+            f"solver_version={SOLVER_VERSION}/{__version__}",
+            fingerprint,
+        ])
+        return self._digest(material)
+
+    # ------------------------------------------------------------------
+    # Storage primitives
+    # ------------------------------------------------------------------
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def _read(self, key: str) -> dict | None:
+        path = self._path(key)
+        try:
+            return json.loads(path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return None
+
+    def _write(self, key: str, payload: dict) -> None:
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        text = json.dumps(payload, sort_keys=True)
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=path.parent, suffix=".tmp", delete=False)
+        try:
+            handle.write(text)
+            handle.close()
+            os.replace(handle.name, path)
+        except BaseException:  # pragma: no cover - cleanup path
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Set layer (the interface Analysis.estimate duck-types against)
+    # ------------------------------------------------------------------
+    def get_set(self, key: str) -> SetResult | None:
+        payload = self._read(key)
+        if payload is None or payload.get("kind") != "set":
+            self.misses["set"] += 1
+            return None
+        self.hits["set"] += 1
+        return set_result_from_dict(payload["result"])
+
+    def put_set(self, key: str, result: SetResult) -> None:
+        if result.timed_out:
+            return
+        self._write(key, {"kind": "set",
+                          "result": set_result_to_dict(result)})
+
+    # ------------------------------------------------------------------
+    # Job layer
+    # ------------------------------------------------------------------
+    def get_report(self, key: str) -> BoundReport | None:
+        payload = self._read(key)
+        if payload is None or payload.get("kind") != "job":
+            self.misses["job"] += 1
+            return None
+        self.hits["job"] += 1
+        return report_from_dict(payload["report"])
+
+    def put_report(self, key: str, report: BoundReport) -> None:
+        if report.partial:
+            return
+        self._write(key, {"kind": "job",
+                          "report": report_to_dict(report)})
+
+    # ------------------------------------------------------------------
+    # Maintenance
+    # ------------------------------------------------------------------
+    def stats(self) -> CacheStats:
+        entries = set_entries = job_entries = 0
+        total_bytes = 0
+        for path in self.root.glob("*/*.json"):
+            entries += 1
+            total_bytes += path.stat().st_size
+            payload = self._read_kind(path)
+            if payload == "set":
+                set_entries += 1
+            elif payload == "job":
+                job_entries += 1
+        return CacheStats(str(self.root), entries, set_entries,
+                          job_entries, total_bytes)
+
+    @staticmethod
+    def _read_kind(path: Path) -> str | None:
+        try:
+            with open(path) as handle:
+                head = handle.read(32)
+        except OSError:  # pragma: no cover - racing eviction
+            return None
+        # Keys are sorted in the JSON, so "kind" leads the object.
+        if '"kind": "set"' in head:
+            return "set"
+        if '"kind": "job"' in head:
+            return "job"
+        return None  # pragma: no cover - foreign file
+
+    def clear(self) -> int:
+        """Delete every entry; returns how many were removed."""
+        removed = 0
+        for path in self.root.glob("*/*.json"):
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:  # pragma: no cover - racing eviction
+                pass
+        return removed
+
+
+# ----------------------------------------------------------------------
+# (De)serialization of result objects
+# ----------------------------------------------------------------------
+def set_result_to_dict(result: SetResult) -> dict:
+    return {
+        "index": result.index,
+        "status": result.status.value,
+        "worst": result.worst,
+        "best": result.best,
+        "worst_counts": dict(result.worst_counts),
+        "best_counts": dict(result.best_counts),
+        "timed_out": result.timed_out,
+        "wall_time": result.wall_time,
+        "stats": {
+            "lp_calls": result.stats.lp_calls,
+            "nodes": result.stats.nodes,
+            "simplex_iterations": result.stats.simplex_iterations,
+            "first_relaxation_integral":
+                result.stats.first_relaxation_integral,
+        },
+    }
+
+
+def set_result_from_dict(data: dict) -> SetResult:
+    return SetResult(
+        index=data["index"],
+        status=Status(data["status"]),
+        worst=data["worst"],
+        best=data["best"],
+        worst_counts=data["worst_counts"],
+        best_counts=data["best_counts"],
+        timed_out=data.get("timed_out", False),
+        wall_time=data.get("wall_time", 0.0),
+        stats=SolveStats(**data["stats"]),
+    )
+
+
+def report_to_dict(report: BoundReport) -> dict:
+    return {
+        "entry": report.entry,
+        "machine": report.machine,
+        "best": report.best,
+        "worst": report.worst,
+        "set_results": [set_result_to_dict(r) for r in report.set_results],
+        "sets_total": report.sets_total,
+        "sets_pruned": report.sets_pruned,
+        "worst_counts": dict(report.worst_counts),
+        "best_counts": dict(report.best_counts),
+        "partial": report.partial,
+        "timings": dict(report.timings),
+    }
+
+
+def report_from_dict(data: dict) -> BoundReport:
+    return BoundReport(
+        entry=data["entry"],
+        machine=data["machine"],
+        best=data["best"],
+        worst=data["worst"],
+        set_results=[set_result_from_dict(r) for r in data["set_results"]],
+        sets_total=data["sets_total"],
+        sets_pruned=data["sets_pruned"],
+        worst_counts=data["worst_counts"],
+        best_counts=data["best_counts"],
+        partial=data.get("partial", False),
+        timings=data.get("timings", {}),
+    )

@@ -1,0 +1,322 @@
+"""The batch analysis engine: fan jobs and constraint-set ILPs out
+over a process pool, with caching, timeouts and retry.
+
+Dispatch grains
+---------------
+``AnalysisEngine.run`` picks (or is told) a *grain*:
+
+* ``"job"`` — one pool task per :class:`~repro.engine.jobs.AnalysisJob`;
+  compilation, CFG construction and every ILP of a job run in one
+  worker.  The right grain for batches of many routines (Tables I-III).
+* ``"set"`` — the parent builds each job's analysis and fans the
+  individual constraint-set ILPs out across one shared pool.  The
+  right grain for a few jobs with many DNF sets.
+* ``"auto"`` (default) — ``"job"`` when more than one job needs
+  solving, else ``"set"``.
+
+Failure semantics
+-----------------
+* Deterministic analysis errors (:class:`~repro.errors.ReproError`:
+  infeasible systems, missing bounds, unbounded objectives, ...) fail
+  only their own job; the batch continues.
+* A constraint set that exceeds ``set_timeout`` falls back to its LP
+  relaxation — still a sound bound — and marks the job ``partial``.
+* Transient failures (a crashed worker, a broken pool, an OS error)
+  are retried up to ``retries`` times with exponential backoff before
+  the job is declared failed.
+
+Results always come back in submission order, and — because the DNF
+expansion is canonically ordered — a job's ``set_results`` are
+identical whether it ran serially, in a worker, or set-by-set across
+the pool.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+
+from ..analysis.setsolve import solve_set
+from ..errors import ReproError
+from .cache import ResultCache
+from .jobs import AnalysisJob, JobResult
+from .metrics import EngineMetrics
+
+
+def _default_workers() -> int:
+    return max(1, os.cpu_count() or 1)
+
+
+def _execute_job(payload) -> JobResult:
+    """Pool worker: run one job end to end (module-level, picklable)."""
+    job, cache_dir, set_timeout = payload
+    started = time.monotonic()
+    cache = ResultCache(cache_dir) if cache_dir else None
+    try:
+        analysis = job.build_analysis()
+        report = analysis.estimate(set_timeout=set_timeout, cache=cache)
+    except ReproError as error:
+        return JobResult(job.name, "failed", error=str(error),
+                         wall_time=time.monotonic() - started)
+    result = JobResult(job.name,
+                       "partial" if report.partial else "ok",
+                       report, wall_time=time.monotonic() - started)
+    if cache is not None:
+        result.set_cache_hits = cache.hits["set"]
+        result.set_cache_misses = cache.misses["set"]
+    return result
+
+
+class AnalysisEngine:
+    """Batch IPET analysis over a process pool with an on-disk cache.
+
+    Parameters
+    ----------
+    workers:
+        Pool size; defaults to the machine's CPU count.
+    cache_dir:
+        Directory for the :class:`ResultCache`; None disables caching.
+    set_timeout:
+        Per-constraint-set wall budget in seconds (None: no limit).
+    retries, backoff:
+        Transient-failure policy: each job (or set task) is retried up
+        to `retries` extra times, sleeping ``backoff * 2**attempt``
+        seconds between tries.
+    """
+
+    def __init__(self, workers: int | None = None,
+                 cache_dir=None,
+                 set_timeout: float | None = None,
+                 retries: int = 2,
+                 backoff: float = 0.25,
+                 metrics: EngineMetrics | None = None):
+        self.workers = workers or _default_workers()
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.set_timeout = set_timeout
+        self.retries = retries
+        self.backoff = backoff
+        self.metrics = metrics or EngineMetrics()
+
+    # ------------------------------------------------------------------
+    def run(self, jobs: list[AnalysisJob],
+            grain: str = "auto") -> list[JobResult]:
+        """Run every job; results in submission order."""
+        if grain not in ("auto", "job", "set"):
+            raise ValueError(f"unknown dispatch grain {grain!r}")
+        started = time.monotonic()
+        results: dict[int, JobResult] = {}
+        keys: dict[int, str] = {}
+        pending: list[tuple[int, AnalysisJob]] = []
+
+        for index, job in enumerate(jobs):
+            if self.cache is not None:
+                keys[index] = self.cache.job_key(job.fingerprint())
+                report = self.cache.get_report(keys[index])
+                if report is not None:
+                    results[index] = JobResult(
+                        job.name, "ok", report, cache_hit=True)
+                    continue
+            pending.append((index, job))
+
+        if pending:
+            if grain == "auto":
+                grain = "job" if len(pending) > 1 else "set"
+            runner = (self._run_job_grain if grain == "job"
+                      else self._run_set_grain)
+            for index, result in runner(pending):
+                results[index] = result
+                if (self.cache is not None and result.report is not None
+                        and not result.cache_hit):
+                    self.cache.put_report(keys[index], result.report)
+
+        ordered = [results[i] for i in range(len(jobs))]
+        self._record(ordered, time.monotonic() - started)
+        return ordered
+
+    # ------------------------------------------------------------------
+    # Job-grain dispatch
+    # ------------------------------------------------------------------
+    def _run_job_grain(self, pending):
+        cache_dir = str(self.cache.root) if self.cache is not None else None
+        payloads = {index: (job, cache_dir, self.set_timeout)
+                    for index, job in pending}
+        if self.workers <= 1 or len(pending) == 1:
+            for index, job in pending:
+                yield index, _execute_job(payloads[index])
+            return
+        yield from self._pooled(payloads, _execute_job)
+
+    # ------------------------------------------------------------------
+    # Set-grain dispatch
+    # ------------------------------------------------------------------
+    def _run_set_grain(self, pending):
+        prepared = {}          # index -> (job, analysis, tasks, timings)
+        failed = {}
+        set_cache = self.cache
+        task_keys = {}
+        cached_sets = {}
+        todo = []              # (index, task)
+        for index, job in pending:
+            clock = time.perf_counter()
+            try:
+                analysis = job.build_analysis()
+                tasks = analysis.set_tasks(self.set_timeout)
+            except ReproError as error:
+                failed[index] = JobResult(job.name, "failed",
+                                          error=str(error))
+                continue
+            timings = dict(analysis.timings)
+            timings["constraints"] = time.perf_counter() - clock
+            prepared[index] = (job, analysis, tasks, timings)
+            fingerprint = analysis.machine.fingerprint()
+            for task in tasks:
+                if set_cache is not None:
+                    key = set_cache.set_key(task.signature(), fingerprint,
+                                            job.backend)
+                    task_keys[(index, task.index)] = key
+                    hit = set_cache.get_set(key)
+                    if hit is not None:
+                        cached_sets[(index, task.index)] = hit
+                        continue
+                todo.append((index, task))
+
+        solved, errors = self._solve_tasks(todo)
+        for index, (job, analysis, tasks, timings) in prepared.items():
+            if index in errors:
+                failed[index] = JobResult(job.name, "failed",
+                                          error=errors[index])
+                continue
+            ordered = []
+            for task in tasks:
+                result = cached_sets.get((index, task.index))
+                if result is None:
+                    result = solved[(index, task.index)]
+                    if set_cache is not None:
+                        set_cache.put_set(task_keys[(index, task.index)],
+                                          result)
+                ordered.append(result)
+            timings["solve"] = sum(r.wall_time for r in ordered)
+            try:
+                report = analysis.assemble_report(
+                    ordered, analysis._last_expansion, timings)
+            except ReproError as error:
+                failed[index] = JobResult(job.name, "failed",
+                                          error=str(error))
+                continue
+            status = "partial" if report.partial else "ok"
+            wall = sum(timings.values())
+            yield index, JobResult(job.name, status, report,
+                                   wall_time=wall)
+        yield from failed.items()
+
+    def _solve_tasks(self, todo):
+        """Solve (job index, SetTask) pairs, pooled when worthwhile.
+
+        Returns ({(job index, set index): SetResult}, {job index: error
+        text}); one set's failure poisons only its own job.
+        """
+        solved, errors = {}, {}
+
+        def finish(index, task, outcome, error):
+            if error is not None:
+                errors.setdefault(index, error)
+            else:
+                solved[(index, task.index)] = outcome
+
+        if self.workers <= 1 or len(todo) <= 1:
+            for index, task in todo:
+                try:
+                    finish(index, task, solve_set(task), None)
+                except ReproError as exc:
+                    finish(index, task, None, str(exc))
+            return solved, errors
+
+        payloads = {n: (index, task)
+                    for n, (index, task) in enumerate(todo)}
+        for _, outcome in self._pooled(payloads, _solve_one_set,
+                                       as_exceptions=True):
+            if len(outcome) == 3:
+                index, task, result = outcome
+                finish(index, task, result, None)
+            else:                     # (job index, error text)
+                errors.setdefault(outcome[0], outcome[1])
+        return solved, errors
+
+    # ------------------------------------------------------------------
+    # Pool plumbing with retry + backoff
+    # ------------------------------------------------------------------
+    def _pooled(self, payloads: dict, fn, as_exceptions: bool = False):
+        """Run ``fn(payload)`` for every payload over a pool.
+
+        Yields ``(key, outcome)``.  Transient failures (crashed worker,
+        broken pool, OSError) are retried with exponential backoff in a
+        fresh pool; once retries are exhausted the outcome is a failed
+        :class:`JobResult` — or, with ``as_exceptions``, the raw
+        ``(job index, error text)`` pair for the set grain to absorb.
+        """
+        attempts = {key: 0 for key in payloads}
+        remaining = dict(payloads)
+        workers = min(self.workers, max(len(remaining), 1))
+        while remaining:
+            retry = {}
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {key: pool.submit(fn, payload)
+                           for key, payload in remaining.items()}
+                for key, future in futures.items():
+                    try:
+                        yield key, future.result()
+                    except ReproError as error:
+                        # Deterministic analysis failure: don't retry.
+                        yield key, self._failure(key, payloads, error,
+                                                 attempts, as_exceptions)
+                    except Exception as error:
+                        attempts[key] += 1
+                        if attempts[key] > self.retries:
+                            yield key, self._failure(key, payloads, error,
+                                                     attempts, as_exceptions)
+                        else:
+                            retry[key] = remaining[key]
+            remaining = retry
+            if remaining:
+                time.sleep(self.backoff
+                           * (2 ** (max(attempts.values()) - 1)))
+
+    def _failure(self, key, payloads, error, attempts, as_exceptions):
+        detail = "".join(traceback.format_exception_only(error)).strip()
+        if as_exceptions:
+            index, _task = payloads[key]
+            return (index, detail)
+        job = payloads[key][0]
+        return JobResult(job.name, "failed", error=detail,
+                         attempts=attempts[key] + 1)
+
+    # ------------------------------------------------------------------
+    def _record(self, results: list[JobResult], elapsed: float) -> None:
+        self.metrics.total_seconds += elapsed
+        for result in results:
+            self.metrics.record_job(result.status)
+            if result.cache_hit:
+                self.metrics.record_cache("job", True)
+            elif self.cache is not None:
+                self.metrics.record_cache("job", False)
+            if result.report is not None and not result.cache_hit:
+                self.metrics.record_report(result.report)
+            for _ in range(getattr(result, "set_cache_hits", 0)):
+                self.metrics.record_cache("set", True)
+            for _ in range(getattr(result, "set_cache_misses", 0)):
+                self.metrics.record_cache("set", False)
+        if self.cache is not None:
+            # Set-grain lookups hit the parent-side cache object.
+            for _ in range(self.cache.hits["set"]):
+                self.metrics.record_cache("set", True)
+            for _ in range(self.cache.misses["set"]):
+                self.metrics.record_cache("set", False)
+            self.cache.hits["set"] = self.cache.misses["set"] = 0
+
+
+def _solve_one_set(payload):
+    """Pool worker for the set grain (module-level, picklable)."""
+    index, task = payload
+    return index, task, solve_set(task)

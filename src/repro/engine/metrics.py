@@ -1,0 +1,147 @@
+"""Per-stage instrumentation for the batch analysis engine.
+
+:class:`EngineMetrics` accumulates, across every job an engine run
+touches:
+
+* wall time per pipeline stage — ``compile``, ``cfg``, ``constraints``
+  (system assembly + DNF expansion) and ``solve`` — plus the run's
+  total wall time;
+* solver effort: LP calls, cumulative simplex iterations, branch &
+  bound nodes, and how many constraint sets were solved vs timed out;
+* cache traffic: hits and misses at the per-set and per-job layers;
+* job outcomes: ``ok`` / ``partial`` / ``failed``.
+
+The object round-trips through JSON (:meth:`to_dict` / :meth:`load`)
+so ``repro engine stats`` can render a summary of a past run, and
+:meth:`render` produces the human-readable table the CLI prints.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Stage names in pipeline order, for stable rendering.
+STAGES = ("compile", "cfg", "constraints", "solve")
+
+
+@dataclass
+class EngineMetrics:
+    """Aggregated instrumentation for one engine run."""
+
+    stage_seconds: dict = field(default_factory=dict)
+    total_seconds: float = 0.0
+    lp_calls: int = 0
+    simplex_iterations: int = 0
+    nodes: int = 0
+    sets_solved: int = 0
+    sets_timed_out: int = 0
+    cache_hits: dict = field(default_factory=lambda: {"set": 0, "job": 0})
+    cache_misses: dict = field(default_factory=lambda: {"set": 0, "job": 0})
+    jobs: dict = field(default_factory=lambda: {"ok": 0, "partial": 0,
+                                                "failed": 0})
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+    def add_stage(self, stage: str, seconds: float) -> None:
+        self.stage_seconds[stage] = (self.stage_seconds.get(stage, 0.0)
+                                     + seconds)
+
+    def record_report(self, report) -> None:
+        """Fold one :class:`~repro.analysis.BoundReport`'s evidence in."""
+        for stage, seconds in (report.timings or {}).items():
+            self.add_stage(stage, seconds)
+        for result in report.set_results:
+            self.sets_solved += 1
+            self.sets_timed_out += bool(result.timed_out)
+            self.lp_calls += result.stats.lp_calls
+            self.simplex_iterations += result.stats.simplex_iterations
+            self.nodes += result.stats.nodes
+
+    def record_cache(self, layer: str, hit: bool) -> None:
+        bucket = self.cache_hits if hit else self.cache_misses
+        bucket[layer] = bucket.get(layer, 0) + 1
+
+    def record_job(self, status: str) -> None:
+        self.jobs[status] = self.jobs.get(status, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Derived figures
+    # ------------------------------------------------------------------
+    def hit_rate(self, layer: str) -> float | None:
+        hits = self.cache_hits.get(layer, 0)
+        misses = self.cache_misses.get(layer, 0)
+        if hits + misses == 0:
+            return None
+        return hits / (hits + misses)
+
+    # ------------------------------------------------------------------
+    # JSON round trip
+    # ------------------------------------------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "stage_seconds": dict(self.stage_seconds),
+            "total_seconds": self.total_seconds,
+            "lp_calls": self.lp_calls,
+            "simplex_iterations": self.simplex_iterations,
+            "nodes": self.nodes,
+            "sets_solved": self.sets_solved,
+            "sets_timed_out": self.sets_timed_out,
+            "cache_hits": dict(self.cache_hits),
+            "cache_misses": dict(self.cache_misses),
+            "jobs": dict(self.jobs),
+        }
+
+    def dump(self, path: str | Path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2,
+                                         sort_keys=True) + "\n")
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "EngineMetrics":
+        metrics = cls()
+        for key, value in data.items():
+            if hasattr(metrics, key):
+                setattr(metrics, key, value)
+        return metrics
+
+    @classmethod
+    def load(cls, path: str | Path) -> "EngineMetrics":
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        """The per-stage summary table ``repro engine run`` prints."""
+        lines = [f"{'stage':<14} {'wall s':>9} {'share':>7}",
+                 "-" * 32]
+        accounted = sum(self.stage_seconds.values())
+        reference = self.total_seconds or accounted or 1.0
+        ordered = [s for s in STAGES if s in self.stage_seconds]
+        ordered += sorted(set(self.stage_seconds) - set(STAGES))
+        for stage in ordered:
+            seconds = self.stage_seconds[stage]
+            lines.append(f"{stage:<14} {seconds:>9.3f} "
+                         f"{seconds / reference:>6.1%}")
+        if self.total_seconds:
+            lines.append(f"{'total':<14} {self.total_seconds:>9.3f} "
+                         f"{'':>7}")
+        lines.append("")
+        lines.append(f"solver: {self.lp_calls} LP calls, "
+                     f"{self.simplex_iterations:,} simplex iterations, "
+                     f"{self.nodes} nodes over {self.sets_solved} sets"
+                     + (f" ({self.sets_timed_out} timed out)"
+                        if self.sets_timed_out else ""))
+        for layer in ("set", "job"):
+            rate = self.hit_rate(layer)
+            if rate is not None:
+                hits = self.cache_hits.get(layer, 0)
+                total = hits + self.cache_misses.get(layer, 0)
+                lines.append(f"cache[{layer}]: {hits}/{total} hits "
+                             f"({rate:.1%})")
+        lines.append(f"jobs: {self.jobs.get('ok', 0)} ok, "
+                     f"{self.jobs.get('partial', 0)} partial, "
+                     f"{self.jobs.get('failed', 0)} failed")
+        return "\n".join(lines)

@@ -56,6 +56,23 @@ class ILPError(ReproError):
     """Base class for errors from the ILP substrate."""
 
 
+class ILPTimeoutError(ILPError):
+    """An ILP solve exceeded its iteration budget or wall-clock deadline.
+
+    Raised instead of hanging when a caller passes ``max_iterations`` or
+    ``deadline`` to :meth:`repro.ilp.Problem.solve` (or when a solver's
+    internal safety limit trips).  The analysis engine catches this to
+    degrade gracefully: a timed-out constraint set reports a
+    conservative bound from its LP relaxation instead of killing the
+    whole batch.
+    """
+
+    def __init__(self, message: str, iterations: int = 0, nodes: int = 0):
+        self.iterations = iterations
+        self.nodes = nodes
+        super().__init__(message)
+
+
 class InfeasibleError(ILPError):
     """The constraint system has no solution.
 

@@ -57,9 +57,22 @@ def main(argv: list[str] | None = None) -> int:
                                  "ablations", "all"])
     parser.add_argument("--json", metavar="PATH",
                         help="also dump all tables as JSON")
+    parser.add_argument("--workers", type=int, metavar="N",
+                        help="estimate the suite through the batch "
+                             "engine with N pool workers")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="engine result cache (implies the engine)")
     args = parser.parse_args(argv)
 
-    experiments = Experiments()
+    engine = None
+    if args.workers or args.cache_dir:
+        from ..engine import AnalysisEngine
+
+        engine = AnalysisEngine(workers=args.workers,
+                                cache_dir=args.cache_dir)
+    experiments = Experiments(engine=engine)
+    if engine is not None:
+        experiments.prefetch()
     if args.what in ("table1", "all"):
         print("TABLE I: SET OF BENCHMARK EXAMPLES")
         print(render_table1(experiments.table1()))

@@ -17,6 +17,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..analysis import BoundReport, calculated_bound, pessimism
+from ..errors import AnalysisError
 from ..hw import Machine, i960kb
 from ..programs import Benchmark, all_benchmarks
 from ..sim import measure_bounds
@@ -47,19 +48,60 @@ class BoundRow:
 
 
 class Experiments:
-    """Shared context: compiled benchmarks and cached IPET estimates."""
+    """Shared context: compiled benchmarks and cached IPET estimates.
+
+    Pass an :class:`repro.engine.AnalysisEngine` to solve the suite in
+    parallel (and, with a cache directory, to serve table re-runs from
+    disk); without one, estimates run serially on first use.
+    """
 
     def __init__(self, machine: Machine | None = None,
-                 benchmarks: dict[str, Benchmark] | None = None):
+                 benchmarks: dict[str, Benchmark] | None = None,
+                 engine=None):
         self.machine = machine or i960kb()
         self.benchmarks = benchmarks or all_benchmarks()
+        self.engine = engine
         self._reports: dict[str, BoundReport] = {}
+
+    def prefetch(self, names: list[str] | None = None) -> None:
+        """Estimate `names` (default: the whole suite) in one batch."""
+        from ..engine import AnalysisEngine, AnalysisJob
+        from ..programs import all_benchmarks as registry
+
+        registered = registry()
+        todo, serial = [], []
+        for name in (names or self.benchmarks):
+            if name in self._reports:
+                continue
+            # Engine jobs rebuild benchmarks from the registry inside
+            # pool workers; a benchmark that isn't the registered
+            # singleton must be estimated in-process instead.
+            if registered.get(name) is self.benchmarks[name]:
+                todo.append(name)
+            else:
+                serial.append(name)
+        if todo:
+            engine = self.engine or AnalysisEngine()
+            jobs = [AnalysisJob.from_benchmark(name, machine=self.machine)
+                    for name in todo]
+            for name, result in zip(todo, engine.run(jobs)):
+                if not result.ok:
+                    raise AnalysisError(
+                        f"engine failed on {name}: {result.error}")
+                self._reports[name] = result.report
+        for name in serial:
+            analysis = self.benchmarks[name].make_analysis(
+                machine=self.machine)
+            self._reports[name] = analysis.estimate()
 
     def report(self, name: str) -> BoundReport:
         if name not in self._reports:
-            bench = self.benchmarks[name]
-            analysis = bench.make_analysis(machine=self.machine)
-            self._reports[name] = analysis.estimate()
+            if self.engine is not None:
+                self.prefetch([name])
+            else:
+                bench = self.benchmarks[name]
+                analysis = bench.make_analysis(machine=self.machine)
+                self._reports[name] = analysis.estimate()
         return self._reports[name]
 
     # ------------------------------------------------------------------

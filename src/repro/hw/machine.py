@@ -77,6 +77,25 @@ class Machine:
             return 0
         return self.dcache_words // self.dcache_line_words
 
+    def fingerprint(self) -> str:
+        """A canonical, content-only description of this configuration.
+
+        Two Machine objects with the same timing-relevant parameters
+        produce the same string; changing any parameter changes it.
+        Used by the analysis engine's on-disk result cache, so results
+        computed for one machine are never served for another.
+        """
+        issue = ";".join(f"{op.name}={cycles}" for op, cycles in
+                         sorted(self.issue_cycles.items(),
+                                key=lambda item: item[0].name))
+        return (f"icache={self.icache_bytes}/{self.line_bytes}"
+                f"/{self.miss_penalty}"
+                f"|dcache={self.dcache_words}/{self.dcache_line_words}"
+                f"/{self.dcache_miss_penalty}"
+                f"|stall={self.load_use_stall}"
+                f"|clock={self.clock_mhz!r}"
+                f"|issue={issue}")
+
 
 def i960kb() -> Machine:
     """The paper's target: Intel i960KB on the QT960 board (§V-VI)."""

@@ -11,7 +11,9 @@ variables.
 from __future__ import annotations
 
 import math
+import time
 
+from ..errors import ILPTimeoutError
 from .expr import Constraint, LinExpr
 from .model import Problem
 from .solution import ILPResult, SolveStats, Status
@@ -47,10 +49,17 @@ def _rounded(problem: Problem, values) -> dict[str, float]:
 
 
 def solve_ilp(problem: Problem, max_nodes: int = 100_000,
-              engine: str = "float") -> ILPResult:
+              engine: str = "float",
+              max_iterations: int | None = None,
+              deadline: float | None = None) -> ILPResult:
     """Solve `problem` to integer optimality by branch & bound (DFS).
 
-    ``engine`` selects the LP core ("float" or "exact")."""
+    ``engine`` selects the LP core ("float" or "exact").
+    ``max_iterations`` caps the *cumulative* simplex pivots across all
+    nodes and ``deadline`` is an absolute :func:`time.monotonic`
+    cutoff; exceeding either raises
+    :class:`~repro.errors.ILPTimeoutError` instead of running on
+    indefinitely."""
     stats = SolveStats()
     maximize = problem.sense == "max"
 
@@ -76,8 +85,23 @@ def solve_ilp(problem: Problem, max_nodes: int = 100_000,
         extra = stack.pop()
         stats.nodes += 1
         if stats.nodes > max_nodes:
-            raise RuntimeError(f"branch & bound exceeded {max_nodes} nodes")
-        relax = problem.solve_relaxation(extra, engine=engine)
+            raise ILPTimeoutError(
+                f"branch & bound exceeded {max_nodes} nodes",
+                iterations=stats.simplex_iterations, nodes=stats.nodes)
+        if deadline is not None and time.monotonic() > deadline:
+            raise ILPTimeoutError(
+                "branch & bound exceeded its wall-clock deadline",
+                iterations=stats.simplex_iterations, nodes=stats.nodes)
+        budget = None
+        if max_iterations is not None:
+            budget = max_iterations - stats.simplex_iterations
+            if budget <= 0:
+                raise ILPTimeoutError(
+                    f"branch & bound exceeded {max_iterations} simplex "
+                    "iterations",
+                    iterations=stats.simplex_iterations, nodes=stats.nodes)
+        relax = problem.solve_relaxation(extra, engine=engine,
+                                         max_iter=budget, deadline=deadline)
         stats.lp_calls += 1
         stats.simplex_iterations += relax.iterations
         if relax.status is Status.INFEASIBLE:

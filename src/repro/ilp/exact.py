@@ -10,14 +10,17 @@ pathological instances where floating point would need care.  Slower
 
 from __future__ import annotations
 
+import time
 from fractions import Fraction
 
+from ..errors import ILPTimeoutError
 from .solution import LPResult, Status
 
 
 def solve_lp_exact(costs, matrix, senses, rhs,
                    maximize: bool = False,
-                   max_iter: int = 100_000) -> LPResult:
+                   max_iter: int = 100_000,
+                   deadline: float | None = None) -> LPResult:
     """Exact counterpart of :func:`repro.ilp.simplex.solve_lp`."""
     costs = [Fraction(c).limit_denominator(10**12) if isinstance(c, float)
              else Fraction(c) for c in costs]
@@ -31,7 +34,8 @@ def solve_lp_exact(costs, matrix, senses, rhs,
 
     if maximize:
         inner = solve_lp_exact([-c for c in costs], matrix, senses, rhs,
-                               maximize=False, max_iter=max_iter)
+                               maximize=False, max_iter=max_iter,
+                               deadline=deadline)
         if inner.objective is not None:
             inner.objective = -inner.objective
         return inner
@@ -70,7 +74,7 @@ def solve_lp_exact(costs, matrix, senses, rhs,
         basis[i] = col
         col += 1
 
-    state = _Tableau(body, rhs, basis, max_iter)
+    state = _Tableau(body, rhs, basis, max_iter, deadline)
     allowed = [True] * total
 
     if art_rows:
@@ -104,11 +108,12 @@ def _frac(value) -> Fraction:
 
 
 class _Tableau:
-    def __init__(self, body, rhs, basis, max_iter):
+    def __init__(self, body, rhs, basis, max_iter, deadline=None):
         self.body = body
         self.rhs = rhs
         self.basis = basis
         self.max_iter = max_iter
+        self.deadline = deadline
         self.iterations = 0
 
     def reduced(self, costs):
@@ -144,7 +149,13 @@ class _Tableau:
     def optimize(self, costs, allowed):
         while True:
             if self.iterations > self.max_iter:
-                raise RuntimeError("exact simplex iteration limit")
+                raise ILPTimeoutError("exact simplex iteration limit",
+                                      iterations=self.iterations)
+            if (self.deadline is not None
+                    and time.monotonic() > self.deadline):
+                raise ILPTimeoutError(
+                    "exact simplex exceeded its wall-clock deadline",
+                    iterations=self.iterations)
             reduced = self.reduced(costs)
             col = next((j for j, r in enumerate(reduced)
                         if allowed[j] and r < 0), None)   # Bland

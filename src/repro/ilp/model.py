@@ -129,24 +129,33 @@ class Problem:
     # Solving
     # ------------------------------------------------------------------
     def solve_relaxation(self, extra: Iterable[Constraint] = (),
-                         engine: str = "float") -> LPResult:
+                         engine: str = "float",
+                         max_iter: int | None = None,
+                         deadline: float | None = None) -> LPResult:
         """Solve the LP relaxation (integrality dropped).
 
         ``engine`` chooses the numeric core: ``"float"`` (NumPy
         two-phase simplex) or ``"exact"`` (Fraction arithmetic).
+        ``max_iter`` / ``deadline`` (absolute :func:`time.monotonic`
+        time) bound the solve; exceeding either raises
+        :class:`~repro.errors.ILPTimeoutError`.
         """
         (costs, matrix, senses, rhs,
          order, shift, objective_shift) = self.to_arrays(extra)
         if engine == "exact":
             from .exact import solve_lp_exact
 
+            kwargs = {} if max_iter is None else {"max_iter": max_iter}
             result = solve_lp_exact(costs, matrix, senses, rhs,
-                                    maximize=(self.sense == "max"))
+                                    maximize=(self.sense == "max"),
+                                    deadline=deadline, **kwargs)
         else:
             from . import simplex
 
+            kwargs = {} if max_iter is None else {"max_iter": max_iter}
             result = simplex.solve_lp(costs, matrix, senses, rhs,
-                                      maximize=(self.sense == "max"))
+                                      maximize=(self.sense == "max"),
+                                      deadline=deadline, **kwargs)
         if result.status is not Status.OPTIMAL:
             return LPResult(result.status, iterations=result.iterations)
         values = {name: result.values[str(j)] + shift[j]
@@ -154,21 +163,38 @@ class Problem:
         return LPResult(Status.OPTIMAL, result.objective + objective_shift,
                         values, result.iterations)
 
-    def solve(self, backend: str = "simplex") -> ILPResult:
+    def solve(self, backend: str = "simplex",
+              max_iterations: int | None = None,
+              timeout: float | None = None) -> ILPResult:
         """Solve the integer program.
 
         ``backend`` selects ``"simplex"`` (our branch & bound over the
-        from-scratch simplex, the default) or ``"scipy"`` (HiGHS via
-        :func:`scipy.optimize.milp`, used as a cross-check oracle).
+        from-scratch simplex, the default), ``"exact"`` (the same
+        branch & bound over rational arithmetic) or ``"scipy"`` (HiGHS
+        via :func:`scipy.optimize.milp`, used as a cross-check oracle).
+
+        ``max_iterations`` caps cumulative simplex pivots and
+        ``timeout`` is a wall-clock budget in seconds; exceeding either
+        raises :class:`~repro.errors.ILPTimeoutError` instead of
+        hanging.  Neither limit applies to the scipy oracle (HiGHS has
+        its own safeguards).
         """
+        deadline = None
+        if timeout is not None:
+            import time
+
+            deadline = time.monotonic() + timeout
         if backend == "simplex":
             from .branch_bound import solve_ilp
 
-            return solve_ilp(self)
+            return solve_ilp(self, max_iterations=max_iterations,
+                             deadline=deadline)
         if backend == "exact":
             from .branch_bound import solve_ilp
 
-            return solve_ilp(self, engine="exact")
+            return solve_ilp(self, engine="exact",
+                             max_iterations=max_iterations,
+                             deadline=deadline)
         if backend == "scipy":
             from .scipy_backend import solve_with_scipy
 

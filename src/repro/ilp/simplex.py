@@ -18,8 +18,11 @@ thousand rows/columns, far below where sparsity would matter.
 
 from __future__ import annotations
 
+import time
+
 import numpy as np
 
+from ..errors import ILPTimeoutError
 from .solution import LPResult, Status
 
 #: Pivot/feasibility tolerance.  IPET coefficient magnitudes are modest
@@ -69,16 +72,23 @@ class _Tableau:
         self.iterations += 1
 
     def optimize(self, costs: np.ndarray, allowed: np.ndarray,
-                 max_iter: int) -> str:
+                 max_iter: int, deadline: float | None = None) -> str:
         """Pivot to optimality for `costs`.
 
         `allowed` masks columns that may enter the basis (used to keep
         artificial variables out during phase 2).  Returns "optimal" or
-        "unbounded".
+        "unbounded".  `deadline` is an absolute :func:`time.monotonic`
+        instant; exceeding it (checked every few pivots) raises
+        :class:`~repro.errors.ILPTimeoutError`.
         """
         bland_after = 4 * (self.nrows + self.ncols) + 64
         stall = 0
         while True:
+            if (deadline is not None and self.iterations % 16 == 0
+                    and time.monotonic() > deadline):
+                raise ILPTimeoutError(
+                    "simplex exceeded its wall-clock deadline",
+                    iterations=self.iterations)
             reduced, _ = self.reduced_costs(costs)
             candidates = np.flatnonzero((reduced < -TOL) & allowed)
             if candidates.size == 0:
@@ -102,13 +112,15 @@ class _Tableau:
             stall = stall + 1 if degenerate else 0
             self.pivot(row, col)
             if self.iterations > max_iter:
-                raise RuntimeError(
+                raise ILPTimeoutError(
                     f"simplex exceeded {max_iter} iterations; "
-                    "the problem is likely numerically pathological")
+                    "the problem is likely numerically pathological",
+                    iterations=self.iterations)
 
 
 def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
-             max_iter: int = 200_000) -> LPResult:
+             max_iter: int = 200_000,
+             deadline: float | None = None) -> LPResult:
     """Solve an LP with nonnegative variables.
 
     Parameters
@@ -123,6 +135,9 @@ def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
         Right-hand sides, length m.
     maximize:
         Maximize instead of minimize.
+    max_iter, deadline:
+        Pivot budget and absolute :func:`time.monotonic` cutoff;
+        exceeding either raises :class:`~repro.errors.ILPTimeoutError`.
 
     Returns
     -------
@@ -142,7 +157,7 @@ def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
 
     if maximize:
         inner = solve_lp(-costs, matrix, senses, rhs, maximize=False,
-                         max_iter=max_iter)
+                         max_iter=max_iter, deadline=deadline)
         if inner.objective is not None:
             inner.objective = -inner.objective
         return inner
@@ -194,7 +209,7 @@ def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
     if art_rows:
         phase1 = np.zeros(total)
         phase1[art_start:] = 1.0
-        outcome = tab.optimize(phase1, allowed, max_iter)
+        outcome = tab.optimize(phase1, allowed, max_iter, deadline)
         # Phase 1 is bounded below by 0, so "unbounded" cannot happen.
         assert outcome == "optimal"
         _, artificial_sum = tab.reduced_costs(phase1)
@@ -205,7 +220,7 @@ def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
 
     phase2 = np.zeros(total)
     phase2[:n] = costs
-    outcome = tab.optimize(phase2, allowed, max_iter)
+    outcome = tab.optimize(phase2, allowed, max_iter, deadline)
     if outcome == "unbounded":
         return LPResult(Status.UNBOUNDED, iterations=tab.iterations)
 

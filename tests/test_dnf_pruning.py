@@ -1,0 +1,95 @@
+"""DNF expansion: null-set pruning and canonical set ordering."""
+
+import pytest
+
+from repro.constraints import (canonical_set_key, combine,
+                               parse_constraint, trivially_null)
+from repro.errors import InfeasibleError
+
+
+def _sets(*texts, prune=True):
+    return combine([parse_constraint(t) for t in texts], prune=prune)
+
+
+class TestNullPruning:
+    def test_contradictory_equalities_pruned(self):
+        expansion = _sets("x3 = 0", "x3 = 1")
+        assert expansion.total_before_pruning == 1
+        assert expansion.pruned == 1
+        assert expansion.count == 0
+
+    def test_equality_against_lower_bound_pruned(self):
+        # The paper's canonical null set: x3 = 0 against x3 >= 1.
+        expansion = _sets("x3 = 0", "x3 >= 1")
+        assert expansion.count == 0 and expansion.pruned == 1
+
+    def test_empty_integer_gap_pruned(self):
+        # 1 <= x3 and 2*x3 <= 1 leaves only x3 = 0.5: no integer fits.
+        expansion = _sets("x3 >= 1", "2*x3 <= 1")
+        assert expansion.count == 0 and expansion.pruned == 1
+
+    def test_fractional_point_pruned(self):
+        # 2*x3 = 1 pins x3 at 0.5 — no integer count satisfies it.
+        expansion = _sets("2*x3 = 1")
+        assert expansion.count == 0 and expansion.pruned == 1
+
+    def test_negative_only_domain_pruned(self):
+        # Counts are nonnegative, so x3 <= -1 is already null.
+        expansion = _sets("x3 <= 0 - 1")
+        assert expansion.count == 0 and expansion.pruned == 1
+
+    def test_disjunction_prunes_only_null_branches(self):
+        expansion = _sets("(x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0)",
+                          "x3 = 0")
+        assert expansion.total_before_pruning == 2
+        assert expansion.pruned == 1
+        assert expansion.count == 1
+        survivor = expansion.sets[0]
+        assert trivially_null(survivor) is False
+
+    def test_multivariable_infeasibility_survives_pruning(self):
+        # Interval propagation is single-variable: a set that is only
+        # jointly infeasible must survive to the ILP, which then
+        # reports it infeasible.
+        expansion = _sets("x1 + x2 <= 1", "x1 >= 1", "x2 >= 1")
+        assert expansion.pruned == 0
+        assert expansion.count == 1
+
+    def test_prune_false_keeps_null_sets(self):
+        expansion = _sets("x3 = 0", "x3 >= 1", prune=False)
+        assert expansion.count == 1 and expansion.pruned == 0
+
+    def test_all_sets_null_is_analysis_error(self):
+        from repro.analysis import Analysis
+
+        analysis = Analysis(
+            "int f(int n) { int i; int s; s = 0;"
+            " for (i = 0; i < 4; i++) s += i; return s; }",
+            entry="f")
+        analysis.auto_bound_loops()
+        analysis.add_constraint("x2 = 0")
+        analysis.add_constraint("x2 >= 1")
+        with pytest.raises(InfeasibleError):
+            analysis.estimate()
+
+
+class TestCanonicalOrder:
+    def test_formula_order_does_not_change_set_order(self):
+        texts = ["(x3 = 0 & x5 = 1) | (x3 = 1 & x5 = 0)",
+                 "(x7 = 0) | (x7 = 2)"]
+        forward = _sets(*texts)
+        backward = _sets(*reversed(texts))
+        keys = [canonical_set_key(s) for s in forward.sets]
+        assert keys == [canonical_set_key(s) for s in backward.sets]
+        assert keys == sorted(keys)
+
+    def test_relation_spelling_does_not_change_key(self):
+        a = parse_constraint("x1 + 2*x2 <= 7").sets[0]
+        b = parse_constraint("2*x2 + x1 <= 7").sets[0]
+        assert canonical_set_key(a) == canonical_set_key(b)
+
+    def test_expansion_sets_arrive_sorted(self):
+        expansion = _sets("(x3 = 0) | (x3 = 1)", "(x5 = 0) | (x5 = 1)")
+        assert expansion.count == 4
+        keys = [canonical_set_key(s) for s in expansion.sets]
+        assert keys == sorted(keys)

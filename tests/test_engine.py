@@ -1,0 +1,220 @@
+"""Batch analysis engine: cache keys, caching, pool dispatch, timeouts."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import Analysis
+from repro.engine import (AnalysisEngine, AnalysisJob, EngineMetrics,
+                          ResultCache)
+from repro.errors import ILPTimeoutError
+from repro.hw import i960kb
+from repro.programs import get_benchmark
+
+SOURCE = """
+int data[8];
+int tally(int n) {
+    int i; int s; s = 0;
+    for (i = 0; i < 8; i++) {
+        if (data[i] > 0) { s += 2; } else { s += 1; }
+    }
+    return s;
+}
+"""
+
+
+def _analysis(machine=None):
+    analysis = Analysis(SOURCE, entry="tally", machine=machine)
+    analysis.auto_bound_loops()
+    analysis.add_constraint("(x4 = 8 & x5 = 0) | (x4 = 0 & x5 = 8)")
+    return analysis
+
+
+def _job(name="tally", machine=None):
+    return AnalysisJob(name=name, source=SOURCE, entry="tally",
+                       machine=machine, auto_bounds=True,
+                       constraints=(
+                           ("(x4 = 8 & x5 = 0) | (x4 = 0 & x5 = 8)",
+                            None),))
+
+
+class TestCacheKeys:
+    def test_set_key_stable_across_rebuilds(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        machine = i960kb()
+        keys = []
+        for _ in range(2):
+            tasks = _analysis(machine).set_tasks()
+            keys.append([cache.set_key(task.signature(),
+                                       machine.fingerprint(), "simplex")
+                         for task in tasks])
+        assert keys[0] == keys[1]
+        assert len(set(keys[0])) == len(keys[0])
+
+    def test_machine_parameter_changes_set_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        base = i960kb()
+        slower = dataclasses.replace(base, miss_penalty=base.miss_penalty + 1)
+        task = _analysis(base).set_tasks()[0]
+        assert (cache.set_key(task.signature(), base.fingerprint(), "simplex")
+                != cache.set_key(task.signature(), slower.fingerprint(),
+                                 "simplex"))
+
+    def test_backend_changes_set_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        machine = i960kb()
+        task = _analysis(machine).set_tasks()[0]
+        signature = task.signature()
+        assert (cache.set_key(signature, machine.fingerprint(), "simplex")
+                != cache.set_key(signature, machine.fingerprint(), "exact"))
+
+    def test_job_key_stable_and_machine_sensitive(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        assert (cache.job_key(_job().fingerprint())
+                == cache.job_key(_job().fingerprint()))
+        slower = dataclasses.replace(i960kb(), miss_penalty=99)
+        assert (cache.job_key(_job().fingerprint())
+                != cache.job_key(_job(machine=slower).fingerprint()))
+
+    def test_source_change_changes_job_key(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        other = dataclasses.replace(_job(), source=SOURCE + "\n// v2")
+        assert (cache.job_key(_job().fingerprint())
+                != cache.job_key(other.fingerprint()))
+
+
+class TestResultCache:
+    def test_set_layer_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        machine = i960kb()
+        analysis = _analysis(machine)
+        task = analysis.set_tasks()[0]
+        from repro.analysis.setsolve import solve_set
+
+        result = solve_set(task)
+        key = cache.set_key(task.signature(), machine.fingerprint(),
+                            "simplex")
+        assert cache.get_set(key) is None
+        cache.put_set(key, result)
+        loaded = cache.get_set(key)
+        assert (loaded.worst, loaded.best) == (result.worst, result.best)
+        assert loaded.worst_counts == result.worst_counts
+        assert loaded.stats.lp_calls == result.stats.lp_calls
+
+    def test_job_layer_round_trip(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        report = _analysis().estimate()
+        key = cache.job_key(_job().fingerprint())
+        assert cache.get_report(key) is None
+        cache.put_report(key, report)
+        loaded = cache.get_report(key)
+        assert loaded.interval == report.interval
+        assert len(loaded.set_results) == len(report.set_results)
+        assert loaded.sets_pruned == report.sets_pruned
+
+    def test_stats_and_clear(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        report = _analysis().estimate()
+        cache.put_report(cache.job_key("a"), report)
+        cache.put_set(cache.set_key("sig", "m", "simplex"),
+                      report.set_results[0])
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.set_entries == 1 and stats.job_entries == 1
+        assert stats.total_bytes > 0
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+
+
+class TestEngineRuns:
+    def test_cached_rerun_identical(self, tmp_path):
+        jobs = [AnalysisJob.from_benchmark("check_data"), _job()]
+        cold = AnalysisEngine(workers=1, cache_dir=tmp_path).run(jobs)
+        assert [r.status for r in cold] == ["ok", "ok"]
+        warm_engine = AnalysisEngine(workers=1, cache_dir=tmp_path)
+        warm = warm_engine.run(jobs)
+        assert all(r.cache_hit for r in warm)
+        for before, after in zip(cold, warm):
+            assert after.report.interval == before.report.interval
+        assert warm_engine.metrics.hit_rate("job") == 1.0
+
+    def test_engine_matches_serial_estimate(self, tmp_path):
+        serial = get_benchmark("check_data").make_analysis().estimate()
+        for grain in ("job", "set"):
+            engine = AnalysisEngine(workers=2)
+            result = engine.run(
+                [AnalysisJob.from_benchmark("check_data")], grain=grain)[0]
+            assert result.ok
+            assert result.report.interval == serial.interval
+            assert ([(s.index, s.worst, s.best)
+                     for s in result.report.set_results]
+                    == [(s.index, s.worst, s.best)
+                        for s in serial.set_results])
+
+    def test_failed_job_does_not_poison_batch(self):
+        bad = AnalysisJob(name="bad", source="int f() { return 1; }",
+                          entry="missing")
+        good = AnalysisJob.from_benchmark("check_data")
+        engine = AnalysisEngine(workers=1)
+        results = engine.run([bad, good])
+        assert results[0].status == "failed"
+        assert not results[0].ok and results[0].report is None
+        assert "missing" in results[0].error
+        assert results[1].ok
+        assert engine.metrics.jobs == {"ok": 1, "partial": 0, "failed": 1}
+
+    def test_parallel_estimate_matches_serial(self):
+        serial = _analysis().estimate()
+        parallel = _analysis().estimate(parallel=2)
+        assert parallel.interval == serial.interval
+        assert ([(s.index, s.worst) for s in parallel.set_results]
+                == [(s.index, s.worst) for s in serial.set_results])
+
+
+class TestTimeouts:
+    def test_problem_solve_raises_typed_timeout(self):
+        worst, _best = _analysis().set_tasks()[0].problems()
+        with pytest.raises(ILPTimeoutError):
+            worst.solve(max_iterations=1)
+
+    def test_deadline_timeout(self):
+        worst, _best = _analysis().set_tasks()[0].problems()
+        with pytest.raises(ILPTimeoutError):
+            worst.solve(timeout=0.0)
+
+    def test_set_timeout_degrades_to_sound_partial_bound(self):
+        exact = _analysis().estimate()
+        partial = _analysis().estimate(set_timeout=0.0)
+        assert partial.partial is True
+        assert any(r.timed_out for r in partial.set_results)
+        # The relaxation fallback only ever widens the interval.
+        assert partial.worst >= exact.worst
+        assert partial.best <= exact.best
+
+    def test_partial_results_are_not_cached(self, tmp_path):
+        job = _job()
+        engine = AnalysisEngine(workers=1, cache_dir=tmp_path,
+                                set_timeout=0.0)
+        first = engine.run([job])[0]
+        assert first.status == "partial"
+        retry = AnalysisEngine(workers=1, cache_dir=tmp_path).run([job])[0]
+        assert not retry.cache_hit
+        assert retry.status == "ok"
+
+
+class TestMetrics:
+    def test_json_round_trip(self, tmp_path):
+        engine = AnalysisEngine(workers=1, cache_dir=tmp_path)
+        engine.run([_job()])
+        path = tmp_path / "metrics.json"
+        engine.metrics.dump(path)
+        loaded = EngineMetrics.load(path)
+        assert loaded.to_dict() == engine.metrics.to_dict()
+        assert loaded.sets_solved >= 1
+        assert "solve" in loaded.stage_seconds
+
+    def test_render_mentions_stages_and_jobs(self):
+        engine = AnalysisEngine(workers=1)
+        engine.run([_job()])
+        text = engine.metrics.render()
+        assert "solve" in text and "jobs: 1 ok" in text
