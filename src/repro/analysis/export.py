@@ -83,7 +83,41 @@ def markdown_report(analysis: Analysis,
         lines.append(f"* {loop}: {text}")
     if not analysis.loops:
         lines.append("* no loops reachable from the entry")
+
+    lines += _provenance_section(analysis, report)
     return "\n".join(lines)
+
+
+def _provenance_section(analysis: Analysis,
+                        report: BoundReport) -> list[str]:
+    """Where the worst bound comes from: winning set, binding
+    constraints, degradations (see :mod:`repro.obs.explain`)."""
+    from ..obs.explain import explain_bound
+
+    lines = ["", "## Bound provenance", ""]
+    try:
+        explanation = explain_bound(analysis, report)
+    except Exception as error:  # pragma: no cover - diagnostic path
+        lines.append(f"(explanation unavailable: {error})")
+        return lines
+    lines.append(f"* winning constraint set: #{explanation.set_index} "
+                 f"of {explanation.sets_solved}")
+    binding = [c for c in explanation.constraints if c.binding]
+    if binding:
+        lines.append("* binding constraints at the optimum "
+                     "(slack ≈ 0):")
+        for constraint in binding:
+            lines.append(f"  * `{constraint.label or constraint.text}` "
+                         f"({constraint.kind})")
+    if explanation.relaxed_sets:
+        lines.append(f"* sets degraded to LP relaxation: "
+                     f"{explanation.relaxed_sets} (bound is sound but "
+                     "possibly loose)")
+    lines.append(f"* breakdown check: per-block cycles sum to "
+                 f"{explanation.total:,.0f} "
+                 f"({'=' if explanation.consistent else '!='} reported "
+                 f"bound {explanation.bound:,})")
+    return lines
 
 
 def _entry_scope(analysis: Analysis) -> str:

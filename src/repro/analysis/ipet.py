@@ -65,17 +65,27 @@ class Analysis:
     backend:
         ILP backend: ``"simplex"`` (ours, the default), ``"exact"``
         (ours over rational arithmetic) or ``"scipy"`` (HiGHS oracle).
+    tracer:
+        A :class:`repro.obs.Tracer`; compilation, CFG construction,
+        constraint generation, DNF expansion and every solver call emit
+        spans into it.  Defaults to the no-op tracer.
     """
 
     def __init__(self, program: str | Program, entry: str,
                  machine: Machine | None = None,
                  context_sensitive: bool = False,
                  cache_split: bool = False,
-                 backend: str = "simplex"):
+                 backend: str = "simplex",
+                 tracer=None):
+        from ..obs.trace import NULL_TRACER
+
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self.timings: dict[str, float] = {}
         if isinstance(program, str):
             clock = time.perf_counter()
-            program = compile_source(program)
+            with self.tracer.span("compile", cat="pipeline") as span:
+                program = compile_source(program)
+                span.set("functions", len(program.functions))
             self.timings["compile"] = time.perf_counter() - clock
         if entry not in program.functions:
             raise AnalysisError(f"no function named {entry!r}")
@@ -91,11 +101,14 @@ class Analysis:
         self.backend = backend
 
         clock = time.perf_counter()
-        self.cfgs: dict[str, CFG] = build_cfgs(program)
-        self.callgraph = CallGraph(self.cfgs)
-        self.reachable: list[str] = self.callgraph.reachable_from(entry)
-        self.instances = (expand_contexts(self.callgraph, entry)
-                          if context_sensitive else None)
+        with self.tracer.span("cfg", cat="pipeline", entry=entry) as span:
+            self.cfgs: dict[str, CFG] = build_cfgs(program)
+            self.callgraph = CallGraph(self.cfgs)
+            self.reachable: list[str] = self.callgraph.reachable_from(entry)
+            self.instances = (expand_contexts(self.callgraph, entry)
+                              if context_sensitive else None)
+            span.set("cfgs", len(self.cfgs))
+            span.set("reachable", len(self.reachable))
         self.timings["cfg"] = time.perf_counter() - clock
 
         self._loops: dict[tuple[str, int], Loop] = {}
@@ -271,8 +284,13 @@ class Analysis:
                                 for e in loop.back_edges})
                 entry = LinExpr({qualified(scope, e.name): 1.0
                                  for e in loop.entry_edges})
-                constraints.append(back >= bound.lo * entry)
-                constraints.append(back <= bound.hi * entry)
+                where = f"{loop.function}:{loop.header_line}"
+                lo = back >= bound.lo * entry
+                lo.name = f"loop {where} lo"
+                hi = back <= bound.hi * entry
+                hi.name = f"loop {where} hi"
+                constraints.append(lo)
+                constraints.append(hi)
         return constraints
 
     def _scopes(self) -> list[tuple[str, str]]:
@@ -355,13 +373,20 @@ class Analysis:
         """DNF expansion of the functionality constraints (Table I)."""
         return combine(self._formulas)
 
-    def set_tasks(self, set_timeout: float | None = None) -> list[SetTask]:
+    def set_tasks(self, set_timeout: float | None = None,
+                  max_iterations: int | None = None,
+                  trace: bool = False) -> list[SetTask]:
         """The expansion lowered to self-contained, picklable solver
         tasks — one per surviving constraint set, in the expansion's
         canonical order.  Raises when every set is null."""
-        base = self._structural() + self._loop_constraints()
-        worst_obj, best_obj = self._objectives()
-        expansion = self.expansion()
+        with self.tracer.span("constraints", cat="pipeline") as span:
+            base = self._structural() + self._loop_constraints()
+            worst_obj, best_obj = self._objectives()
+            span.set("base", len(base))
+        with self.tracer.span("expand", cat="pipeline") as span:
+            expansion = self.expansion()
+            span.set("sets", len(expansion.sets))
+            span.set("pruned", expansion.pruned)
         if not expansion.sets:
             raise InfeasibleError(
                 "all functionality constraint sets are null")
@@ -370,12 +395,14 @@ class Analysis:
             SetTask(index, base,
                     [r.resolve(self._resolve) for r in relations],
                     worst_obj, best_obj, backend=self.backend,
-                    timeout=set_timeout)
+                    timeout=set_timeout, max_iterations=max_iterations,
+                    trace=trace)
             for index, relations in enumerate(expansion.sets)]
 
     def estimate(self, parallel: int | None = None,
                  set_timeout: float | None = None,
-                 cache=None) -> BoundReport:
+                 cache=None,
+                 max_iterations: int | None = None) -> BoundReport:
         """Run the full IPET procedure (§III-D) and return the bound.
 
         Parameters
@@ -393,19 +420,32 @@ class Analysis:
             A :class:`repro.engine.ResultCache` (or anything with its
             ``get_set``/``put_set`` interface); solved sets are stored
             under a content hash of their canonical LP text plus the
-            machine fingerprint and backend, and re-runs are served
-            from disk.
+            machine fingerprint, backend and solver budgets, and
+            re-runs are served from disk.
+        max_iterations:
+            Cumulative simplex-pivot budget per ILP; exceeding it
+            degrades that direction to its LP relaxation, like a
+            timeout.
         """
+        tracing = self.tracer.enabled
         clock = time.perf_counter()
-        tasks = self.set_tasks(set_timeout)
+        tasks = self.set_tasks(set_timeout, max_iterations,
+                               trace=tracing)
         expansion = self._last_expansion
         timings = dict(self.timings)
         timings["constraints"] = time.perf_counter() - clock
 
         clock = time.perf_counter()
-        results = self._solve_tasks(tasks, parallel, cache)
+        with self.tracer.span("solve", cat="pipeline",
+                              sets=len(tasks)) as span:
+            results = self._solve_tasks(tasks, parallel, cache)
+            span.set("cached", sum(1 for r in results if not r.spans)
+                     if tracing else 0)
         timings["solve"] = time.perf_counter() - clock
-        return self.assemble_report(results, expansion, timings)
+        report = self.assemble_report(results, expansion, timings)
+        if tracing:
+            report.trace = self.tracer.records()
+        return report
 
     def assemble_report(self, results: list[SetResult], expansion,
                         timings: dict | None = None) -> BoundReport:
@@ -452,7 +492,8 @@ class Analysis:
             fingerprint = self.machine.fingerprint()
             for task in tasks:
                 keys[task.index] = cache.set_key(task.signature(),
-                                                 fingerprint, self.backend)
+                                                 fingerprint, self.backend,
+                                                 budget=task.budget_key())
                 hit = cache.get_set(keys[task.index])
                 if hit is not None:
                     results[task.index] = hit
@@ -472,6 +513,9 @@ class Analysis:
 
         for result in solved:
             results[result.index] = result
+            # Worker spans ride home inside the result; merge them into
+            # this process's trace so one export shows everything.
+            self.tracer.absorb(result.spans)
             if cache is not None and not result.timed_out:
                 cache.put_set(keys[result.index], result)
         return [results[task.index] for task in tasks]

@@ -23,12 +23,27 @@ class SetResult:
     #: still sound (relaxation max >= ILP max, relaxation min <= ILP
     #: min) but possibly looser than the integer optimum.
     timed_out: bool = False
+    #: Direction-level degradation flags: the worst-case (resp.
+    #: best-case) figure is an LP-relaxation bound, not an integer
+    #: optimum.  ``timed_out`` is their disjunction; these say *which*
+    #: direction degraded.
+    worst_relaxed: bool = False
+    best_relaxed: bool = False
     #: Wall-clock seconds spent solving this set (worst + best ILPs).
     wall_time: float = 0.0
+    #: Span records captured while solving this set (see
+    #: :mod:`repro.obs.trace`); empty unless tracing was requested.
+    #: Excluded from cache payloads — timings are run-specific.
+    spans: list = field(default_factory=list)
 
     @property
     def feasible(self) -> bool:
         return self.status is Status.OPTIMAL
+
+    @property
+    def relaxed(self) -> bool:
+        """Either direction fell back to its LP relaxation."""
+        return self.worst_relaxed or self.best_relaxed
 
 
 @dataclass
@@ -53,10 +68,19 @@ class BoundReport:
     #: ``constraints``, ``expand``, ``solve``), filled in by
     #: :meth:`repro.Analysis.estimate` for the engine's metrics layer.
     timings: dict = field(default_factory=dict)
+    #: Merged span records for the whole analysis (pipeline stages plus
+    #: every set's solver spans) when tracing was requested; export
+    #: with :func:`repro.obs.write_chrome_trace`.
+    trace: list = field(default_factory=list)
 
     @property
     def interval(self) -> tuple[int, int]:
         return (self.best, self.worst)
+
+    @property
+    def relaxed_sets(self) -> list[int]:
+        """Indices of sets whose bounds degraded to an LP relaxation."""
+        return [r.index for r in self.set_results if r.relaxed]
 
     @property
     def sets_solved(self) -> int:

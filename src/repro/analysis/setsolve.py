@@ -46,6 +46,12 @@ class SetTask:
     #: Wall-clock budget in seconds for the whole set (both ILPs), or
     #: None for no limit.
     timeout: float | None = None
+    #: Cumulative simplex-pivot budget per ILP, or None for no limit.
+    max_iterations: int | None = None
+    #: Capture solver spans while solving; they come back in
+    #: :attr:`SetResult.spans` (picklable, so this survives the trip
+    #: through a process-pool worker).
+    trace: bool = False
 
     def problems(self) -> tuple[Problem, Problem]:
         worst = Problem(f"set{self.index}:worst")
@@ -67,6 +73,17 @@ class SetTask:
         worst, best = self.problems()
         return write_lp(worst) + "\n" + write_lp(best)
 
+    def budget_key(self) -> str:
+        """The solver-budget part of the cache key.
+
+        Two runs of the same mathematical problem under different
+        timeout / pivot budgets can produce different (still sound)
+        bounds — a timed-out run degrades to its LP relaxation — so
+        budgets must participate in content addressing alongside the
+        LP text."""
+        return (f"timeout={self.timeout!r}|"
+                f"max_iterations={self.max_iterations!r}")
+
 
 def solve_set(task: SetTask) -> SetResult:
     """Solve one constraint set to a :class:`SetResult`.
@@ -74,24 +91,38 @@ def solve_set(task: SetTask) -> SetResult:
     Runs in the calling process or a pool worker; everything it needs
     travels inside `task`.
     """
+    from ..obs.trace import NULL_TRACER, Tracer, counters_from_stats
+
+    tracer = Tracer() if task.trace else NULL_TRACER
     started = time.monotonic()
     deadline = None if task.timeout is None else started + task.timeout
     result = SetResult(task.index, Status.OPTIMAL)
     worst_problem, best_problem = task.problems()
 
-    worst = _solve_direction(worst_problem, task, deadline, result)
+    with tracer.span("set.worst", cat="solver", set=task.index,
+                     backend=task.backend) as span:
+        worst = _solve_direction(worst_problem, task, deadline, result,
+                                 "worst", tracer)
+        counters_from_stats(span, worst.stats)
+        span.set("status", worst.status.value)
     if worst.status is Status.UNBOUNDED:
         raise UnboundedError(_UNBOUNDED_MESSAGE)
     if worst.status is Status.INFEASIBLE:
         result.status = Status.INFEASIBLE
         result.wall_time = time.monotonic() - started
+        result.spans = tracer.records()
         return result
     result.worst = worst.objective
     result.worst_counts = worst.values
     result.stats.first_relaxation_integral = \
         worst.stats.first_relaxation_integral
 
-    best = _solve_direction(best_problem, task, deadline, result)
+    with tracer.span("set.best", cat="solver", set=task.index,
+                     backend=task.backend) as span:
+        best = _solve_direction(best_problem, task, deadline, result,
+                                "best", tracer)
+        counters_from_stats(span, best.stats)
+        span.set("status", best.status.value)
     if best.status is Status.UNBOUNDED:  # pragma: no cover - defensive
         raise UnboundedError(_UNBOUNDED_MESSAGE)
     # Minimizing over the same nonempty polyhedron, bounded below by
@@ -104,6 +135,7 @@ def solve_set(task: SetTask) -> SetResult:
         result.stats.first_relaxation_integral
         and best.stats.first_relaxation_integral)
     result.wall_time = time.monotonic() - started
+    result.spans = tracer.records()
     return result
 
 
@@ -127,22 +159,30 @@ def _zero_stats():
 
 def _solve_direction(problem: Problem, task: SetTask,
                      deadline: float | None,
-                     result: SetResult) -> _DirectionOutcome:
-    """Solve one ILP, falling back to its LP relaxation on timeout."""
+                     result: SetResult, direction: str,
+                     tracer=None) -> _DirectionOutcome:
+    """Solve one ILP, falling back to its LP relaxation on timeout.
+
+    ``direction`` ("worst" | "best") labels which bound this is so the
+    degradation flag lands on the right :class:`SetResult` field.
+    """
     timeout = None
     if deadline is not None:
         # 0 means "already expired" — the solver raises on its first
         # deadline check rather than burning the other set's budget.
         timeout = max(deadline - time.monotonic(), 0.0)
     try:
-        ilp = problem.solve(backend=task.backend, timeout=timeout)
+        ilp = problem.solve(backend=task.backend, timeout=timeout,
+                            max_iterations=task.max_iterations,
+                            tracer=tracer)
     except ILPTimeoutError as error:
         result.timed_out = True
+        setattr(result, f"{direction}_relaxed", True)
         result.stats.lp_calls += 1
         result.stats.simplex_iterations += error.iterations
         result.stats.nodes += error.nodes
         engine = "exact" if task.backend == "exact" else "float"
-        relax = problem.solve_relaxation(engine=engine)
+        relax = problem.solve_relaxation(engine=engine, tracer=tracer)
         result.stats.lp_calls += 1
         result.stats.simplex_iterations += relax.iterations
         return _DirectionOutcome(relax.status, relax.objective,

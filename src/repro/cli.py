@@ -77,6 +77,46 @@ def build_parser() -> argparse.ArgumentParser:
                          help="print the extreme-case block counts")
     analyze.add_argument("--optimize", action="store_true",
                          help="constant folding + peephole before analysis")
+    analyze.add_argument("--trace", metavar="PATH",
+                         help="write a Chrome trace_event JSON of the "
+                              "analysis (chrome://tracing / Perfetto)")
+
+    explain = sub.add_parser(
+        "explain", help="explain where a routine's bound comes from: "
+                        "winning constraint set, witness counts, "
+                        "binding constraints, cycle breakdown")
+    explain.add_argument("target",
+                         help="Table-I benchmark name or MiniC file")
+    explain.add_argument("--entry",
+                         help="routine to bound (file targets)")
+    explain.add_argument("--bound", action="append", default=[],
+                         metavar="[FN:][LINE:]LO:HI",
+                         help="loop bound (file targets)")
+    explain.add_argument("--constraint", action="append", default=[],
+                         metavar="TEXT[@FN]",
+                         help="functionality constraint (file targets)")
+    explain.add_argument("--auto-bounds", action="store_true",
+                         help="derive counted-loop bounds automatically")
+    explain.add_argument("--machine", choices=sorted(MACHINES),
+                         default="i960kb")
+    explain.add_argument("--direction", choices=("worst", "best"),
+                         default="worst",
+                         help="explain the worst- or best-case bound")
+    explain.add_argument("--json", action="store_true",
+                         help="emit the explanation as JSON")
+    explain.add_argument("--trace", metavar="PATH",
+                         help="also write a Chrome trace of the run")
+
+    obs = sub.add_parser(
+        "obs", help="metrics snapshots: dump or diff")
+    osub = obs.add_subparsers(dest="obs_command", required=True)
+    odump = osub.add_parser(
+        "dump", help="render a metrics snapshot (engine run --metrics)")
+    odump.add_argument("snapshot", metavar="PATH")
+    odiff = osub.add_parser(
+        "diff", help="per-metric delta between two snapshots")
+    odiff.add_argument("before", metavar="BEFORE")
+    odiff.add_argument("after", metavar="AFTER")
 
     run = sub.add_parser("run", help="execute a routine on the simulator")
     run.add_argument("file")
@@ -135,6 +175,10 @@ def build_parser() -> argparse.ArgumentParser:
                       help="disable the result cache")
     erun.add_argument("--metrics", metavar="PATH",
                       help="write the run's metrics as JSON")
+    erun.add_argument("--trace", metavar="PATH",
+                      help="write a Chrome trace_event JSON of the "
+                           "whole run (pipeline + per-set solver "
+                           "spans, workers included)")
     estats = esub.add_parser(
         "stats", help="inspect the result cache / a saved metrics file")
     estats.add_argument("--cache-dir", metavar="DIR")
@@ -189,6 +233,98 @@ def main(argv: list[str] | None = None) -> int:
         return 1
 
 
+def _make_tracer(path: str | None):
+    """(tracer or None, finish callback writing the Chrome trace)."""
+    if not path:
+        return None, lambda records=None: None
+    from .obs import Tracer, write_chrome_trace
+
+    tracer = Tracer()
+
+    def finish(records=None):
+        write_chrome_trace(records if records is not None
+                           else tracer.records(), path)
+        print(f"trace written to {path}")
+
+    return tracer, finish
+
+
+def _cmd_obs(args) -> int:
+    import json
+
+    from .obs import MetricsRegistry
+
+    def load_snapshot(path: str) -> dict:
+        with open(path) as handle:
+            data = json.load(handle)
+        # Accept both a bare registry snapshot and a full
+        # EngineMetrics dump (which nests one under "registry").
+        return data.get("registry", data) if isinstance(data, dict) \
+            else data
+
+    if args.obs_command == "dump":
+        snapshot = load_snapshot(args.snapshot)
+        print(MetricsRegistry.from_snapshot(snapshot).render())
+        return 0
+    assert args.obs_command == "diff"
+    before = load_snapshot(args.before)
+    after = load_snapshot(args.after)
+    print(MetricsRegistry.render_diff(MetricsRegistry.diff(before,
+                                                           after)))
+    return 0
+
+
+def _cmd_explain(args) -> int:
+    import json
+    import os
+
+    from .obs import (explain_bound, explanation_to_dict,
+                      render_explanation)
+
+    machine = MACHINES[args.machine]()
+    tracer, finish_trace = _make_tracer(args.trace)
+    if os.path.exists(args.target):
+        program = compile_source(_load(args.target))
+        if not args.entry:
+            raise ReproError("--entry is required for file targets")
+        analysis = Analysis(program, entry=args.entry, machine=machine,
+                            tracer=tracer)
+        if args.auto_bounds:
+            analysis.auto_bound_loops()
+        for spec in args.bound:
+            fn, line, lo, hi = _parse_bound(spec, args.entry)
+            analysis.bound_loop(lo, hi, function=fn, line=line)
+        missing = analysis.loops_needing_bounds()
+        if missing:
+            print("loops still needing --bound:", file=sys.stderr)
+            for loop in missing:
+                print(f"  {loop}", file=sys.stderr)
+            return 2
+        for spec in args.constraint:
+            text, _, fn = spec.partition("@")
+            analysis.add_constraint(text, function=fn or None)
+    else:
+        from .programs import get_benchmark
+
+        try:
+            bench = get_benchmark(args.target)
+        except KeyError:
+            raise ReproError(
+                f"{args.target!r} is neither a file nor a Table-I "
+                "benchmark name")
+        analysis = bench.make_analysis(machine=machine, tracer=tracer)
+
+    report = analysis.estimate()
+    explanation = explain_bound(analysis, report,
+                                direction=args.direction)
+    if args.json:
+        print(json.dumps(explanation_to_dict(explanation), indent=2))
+    else:
+        print(render_explanation(explanation))
+    finish_trace(report.trace or None)
+    return 0
+
+
 def _cmd_engine(args) -> int:
     from .engine import (AnalysisEngine, AnalysisJob, EngineMetrics,
                          ResultCache, default_cache_dir)
@@ -221,8 +357,10 @@ def _cmd_engine(args) -> int:
         raise ReproError(str(error.args[0]))
     cache_dir = None if args.no_cache \
         else (args.cache_dir or default_cache_dir())
+    tracer, finish_trace = _make_tracer(args.trace)
     engine = AnalysisEngine(workers=args.workers, cache_dir=cache_dir,
-                            set_timeout=args.set_timeout)
+                            set_timeout=args.set_timeout,
+                            tracer=tracer)
     results = engine.run(jobs, grain=args.grain)
     for result in results:
         print(result)
@@ -231,12 +369,17 @@ def _cmd_engine(args) -> int:
     if args.metrics:
         engine.metrics.dump(args.metrics)
         print(f"metrics written to {args.metrics}")
+    finish_trace()
     return 0 if all(result.ok for result in results) else 1
 
 
 def _dispatch(args) -> int:
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "obs":
+        return _cmd_obs(args)
+    if args.command == "explain":
+        return _cmd_explain(args)
 
     source = _load(args.file)
 
@@ -292,10 +435,12 @@ def _dispatch(args) -> int:
 
     assert args.command == "analyze"
     machine = MACHINES[args.machine]()
+    tracer, finish_trace = _make_tracer(args.trace)
     program = compile_source(source, optimize=args.optimize)
     analysis = Analysis(program, entry=args.entry, machine=machine,
                         context_sensitive=args.context,
-                        cache_split=args.cache_split)
+                        cache_split=args.cache_split,
+                        tracer=tracer)
     if args.auto_bounds:
         for derived in analysis.auto_bound_loops():
             flavor = "exact" if derived.exact else "upper"
@@ -327,6 +472,7 @@ def _dispatch(args) -> int:
             value = report.worst_counts[name]
             if value and "::x" in name:
                 print(f"  {name} = {value:g}")
+    finish_trace(report.trace or None)
     return 0
 
 

@@ -34,8 +34,12 @@ def flow_constraints(cfg: CFG, scope: str | None = None) -> list[Constraint]:
         x = LinExpr({qualified(scope, f"x{block_id}"): 1.0})
         incoming = [qualified(scope, e.name) for e in cfg.in_edges(block_id)]
         outgoing = [qualified(scope, e.name) for e in cfg.out_edges(block_id)]
-        out.append(x == _sum(incoming))
-        out.append(x == _sum(outgoing))
+        flow_in = x == _sum(incoming)
+        flow_in.name = f"flow {scope}:x{block_id} in"
+        flow_out = x == _sum(outgoing)
+        flow_out.name = f"flow {scope}:x{block_id} out"
+        out.append(flow_in)
+        out.append(flow_out)
     return out
 
 
@@ -43,7 +47,9 @@ def entry_constraint(cfg: CFG, scope: str | None = None,
                      count: int = 1) -> Constraint:
     """Pin the function-entry edge: ``d1 = count`` (paper eq. 13)."""
     scope = scope if scope is not None else cfg.name
-    return LinExpr({qualified(scope, cfg.entry_edge.name): 1.0}) == count
+    pinned = LinExpr({qualified(scope, cfg.entry_edge.name): 1.0}) == count
+    pinned.name = f"entry {scope}"
+    return pinned
 
 
 def linking_constraints(callgraph: CallGraph,
@@ -64,7 +70,9 @@ def linking_constraints(callgraph: CallGraph,
                  for caller, edge in callgraph.callers_of(name)
                  if caller in reachable]
         d1 = LinExpr({qualified(name, cfg.entry_edge.name): 1.0})
-        constraints.append(d1 == _sum(sites))
+        link = d1 == _sum(sites)
+        link.name = f"link {name}"
+        constraints.append(link)
     return constraints
 
 

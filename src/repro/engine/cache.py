@@ -78,26 +78,35 @@ class ResultCache:
         return hashlib.sha256(material.encode()).hexdigest()
 
     def set_key(self, signature: str, machine_fingerprint: str,
-                backend: str) -> str:
+                backend: str, *, budget: str = "") -> str:
         """Key for one constraint set's solve.
 
         `signature` is the canonical LP text from
-        :meth:`repro.analysis.setsolve.SetTask.signature`.
+        :meth:`repro.analysis.setsolve.SetTask.signature`; `budget` is
+        the solver-budget summary from
+        :meth:`~repro.analysis.setsolve.SetTask.budget_key`.  Budgets
+        join the key material because a tighter timeout or pivot cap
+        can legitimately produce a different (looser, relaxation-based)
+        bound for the same LP text.
         """
         material = "\n".join([
             "kind=set",
             f"solver={backend}/{SOLVER_VERSION}/{__version__}",
             f"machine={machine_fingerprint}",
+            f"budget={budget}",
             signature,
         ])
         return self._digest(material)
 
-    def job_key(self, fingerprint: str) -> str:
+    def job_key(self, fingerprint: str, *, budget: str = "") -> str:
         """Key for a whole analysis job (see
-        :meth:`repro.engine.jobs.AnalysisJob.fingerprint`)."""
+        :meth:`repro.engine.jobs.AnalysisJob.fingerprint`).  `budget`
+        carries the job's solver budgets (set timeout, pivot cap) for
+        the same reason they join :meth:`set_key`."""
         material = "\n".join([
             "kind=job",
             f"solver_version={SOLVER_VERSION}/{__version__}",
+            f"budget={budget}",
             fingerprint,
         ])
         return self._digest(material)
@@ -222,10 +231,15 @@ def set_result_to_dict(result: SetResult) -> dict:
         "worst_counts": dict(result.worst_counts),
         "best_counts": dict(result.best_counts),
         "timed_out": result.timed_out,
+        "worst_relaxed": result.worst_relaxed,
+        "best_relaxed": result.best_relaxed,
         "wall_time": result.wall_time,
+        # Spans are deliberately not serialized: timings are specific
+        # to the run that produced them, not to the cached value.
         "stats": {
             "lp_calls": result.stats.lp_calls,
             "nodes": result.stats.nodes,
+            "nodes_pruned": result.stats.nodes_pruned,
             "simplex_iterations": result.stats.simplex_iterations,
             "first_relaxation_integral":
                 result.stats.first_relaxation_integral,
@@ -242,6 +256,8 @@ def set_result_from_dict(data: dict) -> SetResult:
         worst_counts=data["worst_counts"],
         best_counts=data["best_counts"],
         timed_out=data.get("timed_out", False),
+        worst_relaxed=data.get("worst_relaxed", False),
+        best_relaxed=data.get("best_relaxed", False),
         wall_time=data.get("wall_time", 0.0),
         stats=SolveStats(**data["stats"]),
     )

@@ -51,18 +51,29 @@ def _default_workers() -> int:
 
 def _execute_job(payload) -> JobResult:
     """Pool worker: run one job end to end (module-level, picklable)."""
-    job, cache_dir, set_timeout = payload
+    job, cache_dir, set_timeout, max_iterations, trace = payload
     started = time.monotonic()
     cache = ResultCache(cache_dir) if cache_dir else None
+    tracer = None
+    if trace:
+        from ..obs.trace import Tracer
+
+        tracer = Tracer()
     try:
-        analysis = job.build_analysis()
-        report = analysis.estimate(set_timeout=set_timeout, cache=cache)
+        analysis = job.build_analysis(tracer=tracer)
+        report = analysis.estimate(set_timeout=set_timeout, cache=cache,
+                                   max_iterations=max_iterations)
     except ReproError as error:
-        return JobResult(job.name, "failed", error=str(error),
-                         wall_time=time.monotonic() - started)
+        failed = JobResult(job.name, "failed", error=str(error),
+                           wall_time=time.monotonic() - started)
+        if tracer is not None:
+            failed.spans = tracer.records()
+        return failed
     result = JobResult(job.name,
                        "partial" if report.partial else "ok",
                        report, wall_time=time.monotonic() - started)
+    if tracer is not None:
+        result.spans = tracer.records()
     if cache is not None:
         result.set_cache_hits = cache.hits["set"]
         result.set_cache_misses = cache.misses["set"]
@@ -80,24 +91,43 @@ class AnalysisEngine:
         Directory for the :class:`ResultCache`; None disables caching.
     set_timeout:
         Per-constraint-set wall budget in seconds (None: no limit).
+    max_iterations:
+        Cumulative simplex-pivot budget per ILP (None: no limit);
+        exceeding it degrades that direction to its LP relaxation.
     retries, backoff:
         Transient-failure policy: each job (or set task) is retried up
         to `retries` extra times, sleeping ``backoff * 2**attempt``
         seconds between tries.
+    tracer:
+        A :class:`repro.obs.Tracer`; the run and every job's pipeline
+        and solver work emit spans into it, including spans captured
+        inside pool workers (shipped home in the result objects).
     """
 
     def __init__(self, workers: int | None = None,
                  cache_dir=None,
                  set_timeout: float | None = None,
+                 max_iterations: int | None = None,
                  retries: int = 2,
                  backoff: float = 0.25,
-                 metrics: EngineMetrics | None = None):
+                 metrics: EngineMetrics | None = None,
+                 tracer=None):
+        from ..obs.trace import NULL_TRACER
+
         self.workers = workers or _default_workers()
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.set_timeout = set_timeout
+        self.max_iterations = max_iterations
         self.retries = retries
         self.backoff = backoff
         self.metrics = metrics or EngineMetrics()
+        self.tracer = NULL_TRACER if tracer is None else tracer
+
+    def _budget_key(self) -> str:
+        """Solver budgets as cache-key material (see
+        :meth:`repro.engine.cache.ResultCache.job_key`)."""
+        return (f"timeout={self.set_timeout!r}|"
+                f"max_iterations={self.max_iterations!r}")
 
     # ------------------------------------------------------------------
     def run(self, jobs: list[AnalysisJob],
@@ -112,7 +142,8 @@ class AnalysisEngine:
 
         for index, job in enumerate(jobs):
             if self.cache is not None:
-                keys[index] = self.cache.job_key(job.fingerprint())
+                keys[index] = self.cache.job_key(
+                    job.fingerprint(), budget=self._budget_key())
                 report = self.cache.get_report(keys[index])
                 if report is not None:
                     results[index] = JobResult(
@@ -125,11 +156,16 @@ class AnalysisEngine:
                 grain = "job" if len(pending) > 1 else "set"
             runner = (self._run_job_grain if grain == "job"
                       else self._run_set_grain)
-            for index, result in runner(pending):
-                results[index] = result
-                if (self.cache is not None and result.report is not None
-                        and not result.cache_hit):
-                    self.cache.put_report(keys[index], result.report)
+            with self.tracer.span("engine.run", cat="engine",
+                                  grain=grain, jobs=len(jobs),
+                                  pending=len(pending)):
+                for index, result in runner(pending):
+                    results[index] = result
+                    self.tracer.absorb(result.spans)
+                    if (self.cache is not None
+                            and result.report is not None
+                            and not result.cache_hit):
+                        self.cache.put_report(keys[index], result.report)
 
         ordered = [results[i] for i in range(len(jobs))]
         self._record(ordered, time.monotonic() - started)
@@ -140,7 +176,8 @@ class AnalysisEngine:
     # ------------------------------------------------------------------
     def _run_job_grain(self, pending):
         cache_dir = str(self.cache.root) if self.cache is not None else None
-        payloads = {index: (job, cache_dir, self.set_timeout)
+        payloads = {index: (job, cache_dir, self.set_timeout,
+                            self.max_iterations, self.tracer.enabled)
                     for index, job in pending}
         if self.workers <= 1 or len(pending) == 1:
             for index, job in pending:
@@ -161,8 +198,10 @@ class AnalysisEngine:
         for index, job in pending:
             clock = time.perf_counter()
             try:
-                analysis = job.build_analysis()
-                tasks = analysis.set_tasks(self.set_timeout)
+                analysis = job.build_analysis(tracer=self.tracer)
+                tasks = analysis.set_tasks(self.set_timeout,
+                                           self.max_iterations,
+                                           trace=self.tracer.enabled)
             except ReproError as error:
                 failed[index] = JobResult(job.name, "failed",
                                           error=str(error))
@@ -174,7 +213,8 @@ class AnalysisEngine:
             for task in tasks:
                 if set_cache is not None:
                     key = set_cache.set_key(task.signature(), fingerprint,
-                                            job.backend)
+                                            job.backend,
+                                            budget=task.budget_key())
                     task_keys[(index, task.index)] = key
                     hit = set_cache.get_set(key)
                     if hit is not None:
@@ -193,6 +233,7 @@ class AnalysisEngine:
                 result = cached_sets.get((index, task.index))
                 if result is None:
                     result = solved[(index, task.index)]
+                    self.tracer.absorb(result.spans)
                     if set_cache is not None:
                         set_cache.put_set(task_keys[(index, task.index)],
                                           result)

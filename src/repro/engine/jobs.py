@@ -16,7 +16,7 @@ job-level cache.  Jobs come in two flavors:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..analysis import Analysis, BoundReport
 from ..errors import AnalysisError
@@ -58,8 +58,13 @@ class AnalysisJob:
     def resolved_machine(self) -> Machine:
         return self.machine or i960kb()
 
-    def build_analysis(self) -> Analysis:
-        """Construct the ready-to-estimate Analysis (worker side)."""
+    def build_analysis(self, tracer=None) -> Analysis:
+        """Construct the ready-to-estimate Analysis (worker side).
+
+        ``tracer`` (a :class:`repro.obs.Tracer`) captures the
+        compile/CFG pipeline spans and is carried by the returned
+        Analysis for the solve stages.
+        """
         if self.benchmark is not None:
             from ..programs import get_benchmark
 
@@ -71,7 +76,8 @@ class AnalysisJob:
             bench.program
             compile_seconds = time.perf_counter() - clock
             analysis = bench.make_analysis(machine=self.machine,
-                                           backend=self.backend)
+                                           backend=self.backend,
+                                           tracer=tracer)
             analysis.timings["compile"] = compile_seconds
             return analysis
         if self.source is None or self.entry is None:
@@ -82,7 +88,8 @@ class AnalysisJob:
                             machine=self.machine,
                             context_sensitive=self.context_sensitive,
                             cache_split=self.cache_split,
-                            backend=self.backend)
+                            backend=self.backend,
+                            tracer=tracer)
         if self.auto_bounds:
             analysis.auto_bound_loops()
         for function, line, lo, hi in self.bounds:
@@ -141,6 +148,9 @@ class JobResult:
     #: Set-layer cache traffic observed inside the worker (job grain).
     set_cache_hits: int = 0
     set_cache_misses: int = 0
+    #: Span records captured in the worker when the engine ran with a
+    #: tracer (picklable; merged by the parent).
+    spans: list = field(default_factory=list)
 
     @property
     def ok(self) -> bool:

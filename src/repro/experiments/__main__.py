@@ -62,15 +62,24 @@ def main(argv: list[str] | None = None) -> int:
                              "engine with N pool workers")
     parser.add_argument("--cache-dir", metavar="DIR",
                         help="engine result cache (implies the engine)")
+    parser.add_argument("--trace", metavar="PATH",
+                        help="write a Chrome trace_event JSON of every "
+                             "estimate (pipeline + solver spans)")
     args = parser.parse_args(argv)
 
+    tracer = None
+    if args.trace:
+        from ..obs import Tracer
+
+        tracer = Tracer()
     engine = None
     if args.workers or args.cache_dir:
         from ..engine import AnalysisEngine
 
         engine = AnalysisEngine(workers=args.workers,
-                                cache_dir=args.cache_dir)
-    experiments = Experiments(engine=engine)
+                                cache_dir=args.cache_dir,
+                                tracer=tracer)
+    experiments = Experiments(engine=engine, tracer=tracer)
     if engine is not None:
         experiments.prefetch()
     if args.what in ("table1", "all"):
@@ -98,6 +107,11 @@ def main(argv: list[str] | None = None) -> int:
 
         write_results(experiments, args.json)
         print(f"JSON results written to {args.json}")
+    if tracer is not None:
+        from ..obs import write_chrome_trace
+
+        write_chrome_trace(tracer.records(), args.trace)
+        print(f"trace written to {args.trace}")
     return 0
 
 

@@ -16,7 +16,10 @@ def collect_results(experiments: Experiments) -> dict:
     """All tables as plain dictionaries."""
     table1 = [
         {"function": r.function, "description": r.description,
-         "lines": r.lines, "sets": r.sets}
+         "lines": r.lines, "sets": r.sets,
+         "lp_calls": r.lp_calls,
+         "simplex_iterations": r.simplex_iterations,
+         "solve_seconds": round(r.solve_seconds, 6)}
         for r in experiments.table1()
     ]
 
@@ -39,6 +42,12 @@ def collect_results(experiments: Experiments) -> dict:
             "sets_pruned": report.sets_pruned,
             "sets_solved": report.sets_solved,
             "lp_calls": report.lp_calls,
+            "simplex_iterations": sum(
+                r.stats.simplex_iterations for r in report.set_results),
+            "nodes": sum(r.stats.nodes for r in report.set_results),
+            "nodes_pruned": sum(
+                r.stats.nodes_pruned for r in report.set_results),
+            "relaxed_sets": report.relaxed_sets,
             "first_relaxations_integral":
                 report.all_first_relaxations_integral,
         })

@@ -29,6 +29,11 @@ class Table1Row:
     description: str
     lines: int
     sets: int
+    #: Solver-effort columns (not in the paper's Table I, but they
+    #: substantiate its §VI-A discussion of ILP cost).
+    lp_calls: int = 0
+    simplex_iterations: int = 0
+    solve_seconds: float = 0.0
 
 
 @dataclass
@@ -57,10 +62,13 @@ class Experiments:
 
     def __init__(self, machine: Machine | None = None,
                  benchmarks: dict[str, Benchmark] | None = None,
-                 engine=None):
+                 engine=None, tracer=None):
+        from ..obs.trace import NULL_TRACER
+
         self.machine = machine or i960kb()
         self.benchmarks = benchmarks or all_benchmarks()
         self.engine = engine
+        self.tracer = NULL_TRACER if tracer is None else tracer
         self._reports: dict[str, BoundReport] = {}
 
     def prefetch(self, names: list[str] | None = None) -> None:
@@ -81,7 +89,7 @@ class Experiments:
             else:
                 serial.append(name)
         if todo:
-            engine = self.engine or AnalysisEngine()
+            engine = self.engine or AnalysisEngine(tracer=self.tracer)
             jobs = [AnalysisJob.from_benchmark(name, machine=self.machine)
                     for name in todo]
             for name, result in zip(todo, engine.run(jobs)):
@@ -91,7 +99,7 @@ class Experiments:
                 self._reports[name] = result.report
         for name in serial:
             analysis = self.benchmarks[name].make_analysis(
-                machine=self.machine)
+                machine=self.machine, tracer=self.tracer)
             self._reports[name] = analysis.estimate()
 
     def report(self, name: str) -> BoundReport:
@@ -100,7 +108,8 @@ class Experiments:
                 self.prefetch([name])
             else:
                 bench = self.benchmarks[name]
-                analysis = bench.make_analysis(machine=self.machine)
+                analysis = bench.make_analysis(machine=self.machine,
+                                               tracer=self.tracer)
                 self._reports[name] = analysis.estimate()
         return self._reports[name]
 
@@ -109,8 +118,13 @@ class Experiments:
         rows = []
         for name, bench in self.benchmarks.items():
             report = self.report(name)
-            rows.append(Table1Row(name, bench.description, bench.lines,
-                                  report.sets_solved))
+            rows.append(Table1Row(
+                name, bench.description, bench.lines,
+                report.sets_solved,
+                lp_calls=report.lp_calls,
+                simplex_iterations=sum(
+                    r.stats.simplex_iterations for r in report.set_results),
+                solve_seconds=report.timings.get("solve", 0.0)))
         return rows
 
     def table2(self) -> list[BoundRow]:
@@ -142,11 +156,14 @@ class Experiments:
 # Rendering
 # ----------------------------------------------------------------------
 def render_table1(rows: list[Table1Row]) -> str:
-    header = f"{'Function':<18} {'Description':<42} {'Lines':>5} {'Sets':>4}"
+    header = (f"{'Function':<18} {'Description':<42} {'Lines':>5} "
+              f"{'Sets':>4} {'LPs':>4} {'Pivots':>7} {'Solve s':>8}")
     lines = [header, "-" * len(header)]
     for row in rows:
         lines.append(f"{row.function:<18} {row.description:<42} "
-                     f"{row.lines:>5} {row.sets:>4}")
+                     f"{row.lines:>5} {row.sets:>4} {row.lp_calls:>4} "
+                     f"{row.simplex_iterations:>7,} "
+                     f"{row.solve_seconds:>8.3f}")
     return "\n".join(lines)
 
 

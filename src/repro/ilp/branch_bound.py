@@ -51,7 +51,8 @@ def _rounded(problem: Problem, values) -> dict[str, float]:
 def solve_ilp(problem: Problem, max_nodes: int = 100_000,
               engine: str = "float",
               max_iterations: int | None = None,
-              deadline: float | None = None) -> ILPResult:
+              deadline: float | None = None,
+              tracer=None) -> ILPResult:
     """Solve `problem` to integer optimality by branch & bound (DFS).
 
     ``engine`` selects the LP core ("float" or "exact").
@@ -59,8 +60,32 @@ def solve_ilp(problem: Problem, max_nodes: int = 100_000,
     nodes and ``deadline`` is an absolute :func:`time.monotonic`
     cutoff; exceeding either raises
     :class:`~repro.errors.ILPTimeoutError` instead of running on
-    indefinitely."""
+    indefinitely.  ``tracer`` (a :class:`repro.obs.Tracer`) wraps the
+    search in a span carrying node/pivot counters; the root relaxation
+    additionally gets its own phase-level simplex spans."""
+    from ..obs.trace import NULL_TRACER
+
+    tracer = NULL_TRACER if tracer is None else tracer
     stats = SolveStats()
+    with tracer.span("bnb", cat="solver", problem=problem.name,
+                     engine=engine) as span:
+        try:
+            result = _branch_and_bound(problem, max_nodes, engine,
+                                       max_iterations, deadline, stats,
+                                       tracer)
+        finally:
+            span.set("status", "done")
+            span.inc("nodes", stats.nodes)
+            span.inc("nodes_pruned", stats.nodes_pruned)
+            span.inc("lp_calls", stats.lp_calls)
+            span.inc("pivots", stats.simplex_iterations)
+    return result
+
+
+def _branch_and_bound(problem: Problem, max_nodes: int, engine: str,
+                      max_iterations: int | None,
+                      deadline: float | None, stats: SolveStats,
+                      tracer) -> ILPResult:
     maximize = problem.sense == "max"
 
     incumbent_obj: float | None = None
@@ -100,8 +125,9 @@ def solve_ilp(problem: Problem, max_nodes: int = 100_000,
                     f"branch & bound exceeded {max_iterations} simplex "
                     "iterations",
                     iterations=stats.simplex_iterations, nodes=stats.nodes)
-        relax = problem.solve_relaxation(extra, engine=engine,
-                                         max_iter=budget, deadline=deadline)
+        relax = problem.solve_relaxation(
+            extra, engine=engine, max_iter=budget, deadline=deadline,
+            tracer=tracer if first else None)
         stats.lp_calls += 1
         stats.simplex_iterations += relax.iterations
         if relax.status is Status.INFEASIBLE:
@@ -120,6 +146,7 @@ def solve_ilp(problem: Problem, max_nodes: int = 100_000,
             stats.first_relaxation_integral = branch_var is None
             first = False
         if not can_beat(relax.objective):
+            stats.nodes_pruned += 1
             continue
         if branch_var is None:
             if better(relax.objective):

@@ -20,8 +20,21 @@ from .solution import LPResult, Status
 def solve_lp_exact(costs, matrix, senses, rhs,
                    maximize: bool = False,
                    max_iter: int = 100_000,
-                   deadline: float | None = None) -> LPResult:
-    """Exact counterpart of :func:`repro.ilp.simplex.solve_lp`."""
+                   deadline: float | None = None,
+                   tracer=None) -> LPResult:
+    """Exact counterpart of :func:`repro.ilp.simplex.solve_lp`.
+
+    ``tracer`` (a :class:`repro.obs.Tracer`) wraps the solve in a
+    ``simplex.exact`` span recording its pivot count.
+    """
+    if tracer is not None and tracer.enabled:
+        with tracer.span("simplex.exact", cat="solver",
+                         rows=len(rhs), cols=len(costs)) as span:
+            result = solve_lp_exact(costs, matrix, senses, rhs,
+                                    maximize=maximize, max_iter=max_iter,
+                                    deadline=deadline)
+            span.inc("pivots", result.iterations)
+            return result
     costs = [Fraction(c).limit_denominator(10**12) if isinstance(c, float)
              else Fraction(c) for c in costs]
     matrix = [[_frac(v) for v in row] for row in matrix]

@@ -131,14 +131,17 @@ class Problem:
     def solve_relaxation(self, extra: Iterable[Constraint] = (),
                          engine: str = "float",
                          max_iter: int | None = None,
-                         deadline: float | None = None) -> LPResult:
+                         deadline: float | None = None,
+                         tracer=None) -> LPResult:
         """Solve the LP relaxation (integrality dropped).
 
         ``engine`` chooses the numeric core: ``"float"`` (NumPy
         two-phase simplex) or ``"exact"`` (Fraction arithmetic).
         ``max_iter`` / ``deadline`` (absolute :func:`time.monotonic`
         time) bound the solve; exceeding either raises
-        :class:`~repro.errors.ILPTimeoutError`.
+        :class:`~repro.errors.ILPTimeoutError`.  ``tracer`` (a
+        :class:`repro.obs.Tracer`) makes the LP core emit phase-level
+        spans with pivot counters.
         """
         (costs, matrix, senses, rhs,
          order, shift, objective_shift) = self.to_arrays(extra)
@@ -148,14 +151,16 @@ class Problem:
             kwargs = {} if max_iter is None else {"max_iter": max_iter}
             result = solve_lp_exact(costs, matrix, senses, rhs,
                                     maximize=(self.sense == "max"),
-                                    deadline=deadline, **kwargs)
+                                    deadline=deadline, tracer=tracer,
+                                    **kwargs)
         else:
             from . import simplex
 
             kwargs = {} if max_iter is None else {"max_iter": max_iter}
             result = simplex.solve_lp(costs, matrix, senses, rhs,
                                       maximize=(self.sense == "max"),
-                                      deadline=deadline, **kwargs)
+                                      deadline=deadline, tracer=tracer,
+                                      **kwargs)
         if result.status is not Status.OPTIMAL:
             return LPResult(result.status, iterations=result.iterations)
         values = {name: result.values[str(j)] + shift[j]
@@ -165,7 +170,8 @@ class Problem:
 
     def solve(self, backend: str = "simplex",
               max_iterations: int | None = None,
-              timeout: float | None = None) -> ILPResult:
+              timeout: float | None = None,
+              tracer=None) -> ILPResult:
         """Solve the integer program.
 
         ``backend`` selects ``"simplex"`` (our branch & bound over the
@@ -177,7 +183,8 @@ class Problem:
         ``timeout`` is a wall-clock budget in seconds; exceeding either
         raises :class:`~repro.errors.ILPTimeoutError` instead of
         hanging.  Neither limit applies to the scipy oracle (HiGHS has
-        its own safeguards).
+        its own safeguards).  ``tracer`` threads span tracing through
+        the branch & bound search and the LP core.
         """
         deadline = None
         if timeout is not None:
@@ -188,13 +195,13 @@ class Problem:
             from .branch_bound import solve_ilp
 
             return solve_ilp(self, max_iterations=max_iterations,
-                             deadline=deadline)
+                             deadline=deadline, tracer=tracer)
         if backend == "exact":
             from .branch_bound import solve_ilp
 
             return solve_ilp(self, engine="exact",
                              max_iterations=max_iterations,
-                             deadline=deadline)
+                             deadline=deadline, tracer=tracer)
         if backend == "scipy":
             from .scipy_backend import solve_with_scipy
 

@@ -120,7 +120,8 @@ class _Tableau:
 
 def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
              max_iter: int = 200_000,
-             deadline: float | None = None) -> LPResult:
+             deadline: float | None = None,
+             tracer=None) -> LPResult:
     """Solve an LP with nonnegative variables.
 
     Parameters
@@ -138,6 +139,9 @@ def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
     max_iter, deadline:
         Pivot budget and absolute :func:`time.monotonic` cutoff;
         exceeding either raises :class:`~repro.errors.ILPTimeoutError`.
+    tracer:
+        Optional :class:`repro.obs.Tracer`; when given, phase 1 and
+        phase 2 each emit a span with their pivot counts.
 
     Returns
     -------
@@ -157,10 +161,13 @@ def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
 
     if maximize:
         inner = solve_lp(-costs, matrix, senses, rhs, maximize=False,
-                         max_iter=max_iter, deadline=deadline)
+                         max_iter=max_iter, deadline=deadline,
+                         tracer=tracer)
         if inner.objective is not None:
             inner.objective = -inner.objective
         return inner
+    if tracer is None:
+        from ..obs.trace import NULL_TRACER as tracer
 
     if m == 0:
         # No constraints: optimum is 0 on x=0 unless some cost is
@@ -209,7 +216,12 @@ def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
     if art_rows:
         phase1 = np.zeros(total)
         phase1[art_start:] = 1.0
-        outcome = tab.optimize(phase1, allowed, max_iter, deadline)
+        with tracer.span("simplex.phase1", cat="solver",
+                         rows=m, cols=total) as span:
+            try:
+                outcome = tab.optimize(phase1, allowed, max_iter, deadline)
+            finally:
+                span.inc("pivots", tab.iterations)
         # Phase 1 is bounded below by 0, so "unbounded" cannot happen.
         assert outcome == "optimal"
         _, artificial_sum = tab.reduced_costs(phase1)
@@ -220,7 +232,13 @@ def solve_lp(costs, matrix, senses, rhs, maximize: bool = False,
 
     phase2 = np.zeros(total)
     phase2[:n] = costs
-    outcome = tab.optimize(phase2, allowed, max_iter, deadline)
+    pivots_before = tab.iterations
+    with tracer.span("simplex.phase2", cat="solver",
+                     rows=m, cols=total) as span:
+        try:
+            outcome = tab.optimize(phase2, allowed, max_iter, deadline)
+        finally:
+            span.inc("pivots", tab.iterations - pivots_before)
     if outcome == "unbounded":
         return LPResult(Status.UNBOUNDED, iterations=tab.iterations)
 

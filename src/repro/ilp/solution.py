@@ -43,6 +43,9 @@ class SolveStats:
 
     lp_calls: int = 0
     nodes: int = 0
+    #: Branch & bound nodes discarded because their relaxation bound
+    #: could not beat the incumbent (the classic "pruned" count).
+    nodes_pruned: int = 0
     simplex_iterations: int = 0
     first_relaxation_integral: bool = False
 

@@ -1,0 +1,39 @@
+"""Observability for the IPET pipeline: tracing, metrics, explanation.
+
+Three cooperating layers, all dependency-free:
+
+* :mod:`repro.obs.trace` — hierarchical span tracer.  Thread-safe in
+  process; process-safe by shipping picklable records back from pool
+  workers for the engine to merge.  :data:`NULL_TRACER` makes the
+  disabled path effectively free.
+* :mod:`repro.obs.registry` — counter/gauge/histogram metrics with
+  snapshot, diff and merge; backs
+  :class:`~repro.engine.metrics.EngineMetrics`.
+* :mod:`repro.obs.explain` — turns a solved
+  :class:`~repro.analysis.BoundReport` into provenance: winning
+  constraint set, execution-count witness, binding constraints and a
+  per-block cycle breakdown summing to the bound.
+
+Exporters in :mod:`repro.obs.export` render traces as Chrome
+``trace_event`` JSON (``chrome://tracing`` / Perfetto) or plain JSON.
+See ``docs/observability.md``.
+"""
+
+from .explain import (BreakdownRow, ConstraintLine, Explanation,
+                      explain_bound, explain_set, explanation_to_dict,
+                      render_explanation)
+from .export import (to_chrome, to_json, trace_skeleton,
+                     write_chrome_trace)
+from .registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
+                       MetricsRegistry)
+from .trace import (NULL_TRACER, NullTracer, Tracer, counters_from_stats)
+
+__all__ = [
+    "Tracer", "NullTracer", "NULL_TRACER", "counters_from_stats",
+    "MetricsRegistry", "Counter", "Gauge", "Histogram",
+    "DEFAULT_BUCKETS",
+    "to_chrome", "to_json", "trace_skeleton", "write_chrome_trace",
+    "Explanation", "ConstraintLine", "BreakdownRow",
+    "explain_bound", "explain_set", "render_explanation",
+    "explanation_to_dict",
+]

@@ -1,0 +1,284 @@
+"""The bound explainer: *why* is the estimate what it is?
+
+A WCET number nobody can audit is a number nobody should trust (the
+paper's interactive tool showed its users the extreme path for exactly
+this reason).  :func:`explain_bound` augments a
+:class:`~repro.analysis.BoundReport` with provenance:
+
+* the **winning constraint set** — which DNF set of the functionality
+  constraints produced the max (worst) / min (best) bound;
+* the **witness** — the optimal nonzero execution counts (``x_i``
+  block counts, ``d_i`` edge counts, per-context ``scope::x_i``
+  counts) that realize the bound;
+* the **binding constraints** — loop-bound and functionality
+  constraints with slack ≈ 0 at the optimum, i.e. the user-supplied
+  facts that actually limited the bound (structural flow equalities
+  bind by definition and are only counted);
+* the **cycle breakdown** — per-block ``c_i * x_i`` contributions that
+  sum exactly to the reported bound.
+
+Sets that timed out and degraded to their LP relaxation are flagged:
+their bound is sound but possibly not tight, and an explanation built
+on one says so.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from ..errors import AnalysisError
+
+#: Slack at or below this is "binding" (IPET data is integral; the
+#: simplex tolerance is far tighter than this).
+BINDING_TOL = 1e-6
+
+
+@dataclass
+class ConstraintLine:
+    """One non-structural constraint evaluated at the witness."""
+
+    kind: str                # "loop" | "functionality"
+    label: str               # e.g. "loop check_data:5 hi" or the text
+    text: str                # rendered constraint
+    slack: float
+    binding: bool
+
+
+@dataclass
+class BreakdownRow:
+    """One objective term's contribution: ``cycles = unit * count``."""
+
+    var: str                 # qualified count variable
+    kind: str                # "block" | "edge"
+    count: float
+    unit: float              # cycles per execution
+    cycles: float
+
+
+@dataclass
+class Explanation:
+    """Full provenance for one direction of a bound."""
+
+    entry: str
+    machine: str
+    direction: str                       # "worst" | "best"
+    bound: int
+    set_index: int
+    sets_solved: int
+    set_constraints: list[str] = field(default_factory=list)
+    witness: dict = field(default_factory=dict)
+    constraints: list[ConstraintLine] = field(default_factory=list)
+    structural_equalities: int = 0
+    breakdown: list[BreakdownRow] = field(default_factory=list)
+    total: float = 0.0
+    #: False when the winning set degraded to its LP relaxation
+    #: (sound, but possibly looser than the integer optimum).
+    tight: bool = True
+    #: Indices of every set in the report that degraded to a
+    #: relaxation bound.
+    relaxed_sets: list[int] = field(default_factory=list)
+
+    @property
+    def binding(self) -> list[ConstraintLine]:
+        return [c for c in self.constraints if c.binding]
+
+    @property
+    def consistent(self) -> bool:
+        """Does the breakdown sum reproduce the reported bound?"""
+        return abs(self.total - self.bound) < 0.5
+
+
+def _slack(constraint, counts) -> float:
+    """Distance from the constraint boundary at `counts` (>= 0 when
+    satisfied; equalities are at 0 whenever they hold)."""
+    value = constraint.expr.evaluate(counts)
+    if constraint.sense == "<=":
+        return -value
+    if constraint.sense == ">=":
+        return value
+    return abs(value)
+
+
+def _numeric_key(name: str):
+    return tuple(int(p) if p.isdigit() else p
+                 for p in re.split(r"(\d+)", name))
+
+
+def explain_set(task, result, direction: str = "worst",
+                relaxed_sets=(), entry: str = "", machine: str = "",
+                sets_solved: int = 0) -> Explanation:
+    """Build the explanation for one solved constraint set."""
+    if direction not in ("worst", "best"):
+        raise AnalysisError(f"unknown direction {direction!r}")
+    if direction == "worst":
+        objective, counts = task.worst_obj, result.worst_counts
+        bound = result.worst
+        relaxed = getattr(result, "worst_relaxed", result.timed_out)
+    else:
+        objective, counts = task.best_obj, result.best_counts
+        bound = result.best
+        relaxed = getattr(result, "best_relaxed", result.timed_out)
+
+    lines: list[ConstraintLine] = []
+    structural = 0
+    for constraint in task.base:
+        name = constraint.name or ""
+        if name.startswith("loop "):
+            slack = _slack(constraint, counts)
+            lines.append(ConstraintLine(
+                "loop", name, repr(constraint), slack,
+                slack <= BINDING_TOL))
+        else:
+            structural += 1
+    for constraint in task.resolved:
+        slack = _slack(constraint, counts)
+        lines.append(ConstraintLine(
+            "functionality", constraint.name or repr(constraint),
+            repr(constraint), slack, slack <= BINDING_TOL))
+
+    rows: list[BreakdownRow] = []
+    total = objective.const
+    for var in sorted(objective.coefs, key=_numeric_key):
+        unit = objective.coefs[var]
+        count = counts.get(var, 0.0)
+        cycles = unit * count
+        total += cycles
+        if count and unit:
+            local = var.rsplit("::", 1)[-1]
+            kind = "block" if local.startswith("x") else "edge"
+            rows.append(BreakdownRow(var, kind, count, unit, cycles))
+
+    witness = {name: counts[name]
+               for name in sorted(counts, key=_numeric_key)
+               if counts[name]}
+    texts = [c.name or repr(c) for c in task.resolved]
+    return Explanation(
+        entry=entry, machine=machine, direction=direction,
+        bound=int(round(bound)), set_index=result.index,
+        sets_solved=sets_solved, set_constraints=texts,
+        witness=witness, constraints=lines,
+        structural_equalities=structural, breakdown=rows, total=total,
+        tight=not relaxed, relaxed_sets=list(relaxed_sets))
+
+
+def explain_bound(analysis, report=None,
+                  direction: str = "worst") -> Explanation:
+    """Explain one direction of an :class:`~repro.Analysis` bound.
+
+    Rebuilds the (deterministically ordered) constraint-set tasks and
+    pairs the winning set's task with its solved result from `report`
+    (estimating first when no report is passed).
+    """
+    if report is None:
+        report = analysis.estimate()
+    tasks = analysis.set_tasks()
+    feasible = [r for r in report.set_results if r.feasible]
+    if not feasible:
+        raise AnalysisError("no feasible constraint set to explain")
+    if direction == "worst":
+        winner = max(feasible, key=lambda r: r.worst)
+    elif direction == "best":
+        winner = min(feasible, key=lambda r: r.best)
+    else:
+        raise AnalysisError(f"unknown direction {direction!r}")
+    if winner.index >= len(tasks):
+        raise AnalysisError(
+            "report does not match this analysis "
+            f"(set {winner.index} of {len(tasks)} tasks)")
+    return explain_set(tasks[winner.index], winner, direction,
+                       relaxed_sets=report.relaxed_sets,
+                       entry=report.entry, machine=report.machine,
+                       sets_solved=report.sets_solved)
+
+
+# ----------------------------------------------------------------------
+# Rendering
+# ----------------------------------------------------------------------
+def render_explanation(expl: Explanation, max_rows: int = 30) -> str:
+    """The plain-text explanation ``repro explain`` prints."""
+    arrow = "maximized" if expl.direction == "worst" else "minimized"
+    lines = [
+        f"{expl.direction}-case bound: {expl.bound:,} cycles for "
+        f"{expl.entry}() on {expl.machine}",
+        f"winning constraint set: #{expl.set_index} of "
+        f"{expl.sets_solved} ({arrow} over all sets)",
+    ]
+    if not expl.tight:
+        lines.append("  ** this set timed out and reports its LP "
+                     "relaxation — sound but possibly not tight **")
+    if expl.set_constraints:
+        lines.append("  functionality constraints of this set:")
+        for text in expl.set_constraints:
+            lines.append(f"    {text}")
+    else:
+        lines.append("  (no functionality constraints; the set is "
+                     "purely structural)")
+
+    lines.append("")
+    lines.append("witness (nonzero execution counts):")
+    for name, value in expl.witness.items():
+        lines.append(f"  {name} = {value:g}")
+
+    lines.append("")
+    binding = expl.binding
+    lines.append(f"binding constraints at the optimum "
+                 f"(slack <= {BINDING_TOL:g}):")
+    for line in binding:
+        lines.append(f"  [{line.kind:<13}] {line.label}")
+    if not binding:
+        lines.append("  (none beyond the structural equalities)")
+    lines.append(f"  (+ {expl.structural_equalities} structural "
+                 "flow/link equalities, binding by definition)")
+    loose = [c for c in expl.constraints if not c.binding]
+    if loose:
+        lines.append("non-binding constraints (slack shown):")
+        for line in loose:
+            lines.append(f"  [{line.kind:<13}] {line.label} "
+                         f"(slack {line.slack:g})")
+
+    lines.append("")
+    lines.append(f"per-block cycle breakdown ({expl.direction} costs):")
+    lines.append(f"  {'variable':<28} {'count':>8} {'unit':>8} "
+                 f"{'cycles':>12}")
+    shown = sorted(expl.breakdown, key=lambda r: -abs(r.cycles))
+    for row in shown[:max_rows]:
+        lines.append(f"  {row.var:<28} {row.count:>8g} {row.unit:>8g} "
+                     f"{row.cycles:>12,.0f}")
+    if len(shown) > max_rows:
+        rest = sum(r.cycles for r in shown[max_rows:])
+        lines.append(f"  {'... ' + str(len(shown) - max_rows) + ' more':<46} "
+                     f"{rest:>12,.0f}")
+    check = "=" if expl.consistent else "!="
+    lines.append(f"  {'total':<46} {expl.total:>12,.0f}")
+    lines.append(f"  ({check} reported {expl.direction} bound "
+                 f"{expl.bound:,})")
+    if expl.relaxed_sets:
+        lines.append("")
+        lines.append(f"relaxation-bound (not-tight) sets in this run: "
+                     f"{expl.relaxed_sets}")
+    return "\n".join(lines)
+
+
+def explanation_to_dict(expl: Explanation) -> dict:
+    """JSON-safe form of an explanation (for ``repro explain --json``)."""
+    return {
+        "entry": expl.entry,
+        "machine": expl.machine,
+        "direction": expl.direction,
+        "bound": expl.bound,
+        "set_index": expl.set_index,
+        "sets_solved": expl.sets_solved,
+        "set_constraints": list(expl.set_constraints),
+        "witness": dict(expl.witness),
+        "binding": [{"kind": c.kind, "label": c.label, "slack": c.slack}
+                    for c in expl.binding],
+        "structural_equalities": expl.structural_equalities,
+        "breakdown": [{"var": r.var, "kind": r.kind, "count": r.count,
+                       "unit": r.unit, "cycles": r.cycles}
+                      for r in expl.breakdown],
+        "total": expl.total,
+        "tight": expl.tight,
+        "relaxed_sets": list(expl.relaxed_sets),
+        "consistent": expl.consistent,
+    }

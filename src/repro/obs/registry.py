@@ -1,0 +1,272 @@
+"""Metrics primitives: counters, gauges, histograms, snapshots.
+
+The :class:`MetricsRegistry` is the numeric side of the observability
+layer (spans in :mod:`repro.obs.trace` are the temporal side).  It
+holds named metrics of three kinds:
+
+* **counter** — monotonically increasing total (LP calls, cache hits);
+* **gauge** — a level that can move both ways (run wall time);
+* **histogram** — a distribution over fixed buckets (per-set solve
+  seconds, simplex pivots per set).
+
+A registry serializes to a *snapshot* (plain dict, JSON-safe) and two
+snapshots diff into the per-metric deltas, which is what the
+``repro obs diff`` CLI prints to compare runs.  The engine's
+:class:`~repro.engine.metrics.EngineMetrics` is a facade over one of
+these registries.
+
+>>> registry = MetricsRegistry()
+>>> registry.counter("lp_calls").inc(3)
+>>> registry.gauge("wall_seconds").set(1.5)
+>>> registry.histogram("set_seconds", buckets=(0.1, 1.0)).observe(0.4)
+>>> registry.snapshot()["lp_calls"]["value"]
+3
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+#: Default histogram buckets: log-ish spread that covers both per-set
+#: wall seconds and iteration counts.
+DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    kind = "counter"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: float = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A value that can be set or moved in either direction."""
+
+    kind = "gauge"
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def inc(self, amount: float = 1) -> None:
+        self.value += amount
+
+    def to_dict(self) -> dict:
+        return {"type": self.kind, "value": self.value}
+
+
+class Histogram:
+    """Counts of observations falling into fixed upper-bound buckets.
+
+    ``counts[i]`` counts observations ``<= buckets[i]``; the final
+    implicit bucket is ``+inf``.  ``sum`` and ``count`` give the mean.
+    """
+
+    kind = "histogram"
+    __slots__ = ("name", "buckets", "counts", "sum", "count")
+
+    def __init__(self, name: str, buckets=DEFAULT_BUCKETS):
+        self.name = name
+        self.buckets = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        self.sum += value
+        self.count += 1
+        for i, upper in enumerate(self.buckets):
+            if value <= upper:
+                self.counts[i] += 1
+                return
+        self.counts[-1] += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> dict:
+        return {"type": self.kind, "buckets": list(self.buckets),
+                "counts": list(self.counts), "sum": self.sum,
+                "count": self.count}
+
+
+class MetricsRegistry:
+    """A named collection of metrics with snapshot/diff/merge support."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    # -- creation / lookup --------------------------------------------
+    def counter(self, name: str) -> Counter:
+        return self._typed(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._typed(name, Gauge)
+
+    def histogram(self, name: str, buckets=DEFAULT_BUCKETS) -> Histogram:
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = Histogram(name, buckets)
+        elif not isinstance(metric, Histogram):
+            raise TypeError(f"metric {name!r} is a {metric.kind}, "
+                            "not a histogram")
+        return metric
+
+    def _typed(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = cls(name)
+        elif not isinstance(metric, cls):
+            raise TypeError(f"metric {name!r} is a {metric.kind}, "
+                            f"not a {cls.kind}")
+        return metric
+
+    def names(self, prefix: str = "") -> list[str]:
+        return sorted(n for n in self._metrics if n.startswith(prefix))
+
+    def value(self, name: str, default=0):
+        metric = self._metrics.get(name)
+        if metric is None:
+            return default
+        if isinstance(metric, Histogram):
+            return metric.count
+        return metric.value
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._metrics
+
+    # -- snapshots -----------------------------------------------------
+    def snapshot(self) -> dict:
+        """All metrics as a JSON-safe dict, sorted by name."""
+        return {name: self._metrics[name].to_dict()
+                for name in sorted(self._metrics)}
+
+    @classmethod
+    def from_snapshot(cls, data: dict) -> "MetricsRegistry":
+        registry = cls()
+        for name, payload in data.items():
+            kind = payload.get("type", "counter")
+            if kind == "histogram":
+                metric = Histogram(name, payload.get("buckets",
+                                                     DEFAULT_BUCKETS))
+                metric.counts = list(payload.get("counts", metric.counts))
+                metric.sum = payload.get("sum", 0.0)
+                metric.count = payload.get("count", 0)
+                registry._metrics[name] = metric
+            elif kind == "gauge":
+                registry.gauge(name).set(payload.get("value", 0))
+            else:
+                registry.counter(name).value = payload.get("value", 0)
+        return registry
+
+    def dump(self, path) -> None:
+        Path(path).write_text(json.dumps(self.snapshot(), indent=2,
+                                         sort_keys=True) + "\n")
+
+    @classmethod
+    def load(cls, path) -> "MetricsRegistry":
+        return cls.from_snapshot(json.loads(Path(path).read_text()))
+
+    # -- diff ----------------------------------------------------------
+    @staticmethod
+    def diff(before: dict, after: dict) -> dict:
+        """Per-metric change between two snapshots.
+
+        Counters and gauges diff to ``after - before``; histograms diff
+        on their ``count`` and ``sum``.  Metrics present on only one
+        side appear with the other side treated as zero.
+        """
+        out: dict[str, dict] = {}
+        for name in sorted(set(before) | set(after)):
+            a = before.get(name, {})
+            b = after.get(name, {})
+            kind = b.get("type", a.get("type", "counter"))
+            if kind == "histogram":
+                delta = {
+                    "type": kind,
+                    "count": b.get("count", 0) - a.get("count", 0),
+                    "sum": b.get("sum", 0.0) - a.get("sum", 0.0),
+                }
+            else:
+                delta = {"type": kind,
+                         "value": b.get("value", 0) - a.get("value", 0)}
+            out[name] = delta
+        return out
+
+    @staticmethod
+    def render_diff(delta: dict) -> str:
+        """Human-readable table of :meth:`diff` output (nonzero rows)."""
+        lines = [f"{'metric':<38} {'delta':>14}", "-" * 53]
+        shown = 0
+        for name, payload in delta.items():
+            if payload.get("type") == "histogram":
+                value = payload.get("count", 0)
+                extra = payload.get("sum", 0.0)
+                if not value and not extra:
+                    continue
+                lines.append(f"{name:<38} {value:>+14,} "
+                             f"(sum {extra:+.3f})")
+            else:
+                value = payload.get("value", 0)
+                if not value:
+                    continue
+                text = f"{value:+,.3f}" if isinstance(value, float) \
+                    and not float(value).is_integer() else f"{value:+,.0f}"
+                lines.append(f"{name:<38} {text:>14}")
+            shown += 1
+        if not shown:
+            lines.append("(no differences)")
+        return "\n".join(lines)
+
+    # -- rendering -----------------------------------------------------
+    def render(self) -> str:
+        """One-line-per-metric summary table."""
+        lines = [f"{'metric':<38} {'value':>14}", "-" * 53]
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                lines.append(f"{name:<38} {metric.count:>14,} "
+                             f"(mean {metric.mean:.4g})")
+            else:
+                value = metric.value
+                text = f"{value:,.3f}" if isinstance(value, float) \
+                    and not float(value).is_integer() else f"{value:,.0f}"
+                lines.append(f"{name:<38} {text:>14}")
+        return "\n".join(lines)
+
+    # -- merge ---------------------------------------------------------
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's totals into this one (for per-worker
+        registries merged by the engine)."""
+        for name, metric in other._metrics.items():
+            if isinstance(metric, Histogram):
+                mine = self.histogram(name, metric.buckets)
+                if mine.buckets != metric.buckets:
+                    raise ValueError(
+                        f"histogram {name!r} bucket mismatch")
+                for i, count in enumerate(metric.counts):
+                    mine.counts[i] += count
+                mine.sum += metric.sum
+                mine.count += metric.count
+            elif isinstance(metric, Gauge):
+                self.gauge(name).inc(metric.value)
+            else:
+                self.counter(name).inc(metric.value)

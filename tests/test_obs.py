@@ -1,0 +1,382 @@
+"""Tests for the observability layer (:mod:`repro.obs`): span tracer,
+metrics registry, Chrome trace exporter, golden trace/explanation
+files, the bound explainer's witness properties, per-direction
+relaxation flags, and budget-aware cache keys."""
+
+import json
+import threading
+from pathlib import Path
+
+import pytest
+
+from repro.engine.cache import ResultCache
+from repro.engine.metrics import EngineMetrics
+from repro.errors import AnalysisError
+from repro.obs import (NULL_TRACER, Counter, Gauge, Histogram,
+                       MetricsRegistry, Tracer, explain_bound,
+                       explanation_to_dict, render_explanation,
+                       to_chrome, trace_skeleton, write_chrome_trace)
+from repro.programs import get_benchmark
+
+GOLDEN = Path(__file__).parent / "golden"
+
+
+# ----------------------------------------------------------------------
+# Tracer
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_span_records_fields(self):
+        tracer = Tracer()
+        with tracer.span("work", cat="solver", set=3) as span:
+            span.inc("pivots", 17)
+            span.set("status", "optimal")
+        (record,) = tracer.records()
+        assert record["name"] == "work"
+        assert record["cat"] == "solver"
+        assert record["depth"] == 0
+        assert record["dur"] >= 0
+        assert record["args"] == {"set": 3, "pivots": 17,
+                                  "status": "optimal"}
+
+    def test_nesting_depth(self):
+        tracer = Tracer()
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        by_name = {r["name"]: r for r in tracer.records()}
+        assert by_name["outer"]["depth"] == 0
+        assert by_name["inner"]["depth"] == 1
+        # Inner finishes (and is recorded) first.
+        assert [r["name"] for r in tracer.records()] == ["inner", "outer"]
+
+    def test_exception_tags_span_and_propagates(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                raise ValueError("no")
+        (record,) = tracer.records()
+        assert record["args"]["error"] == "ValueError"
+
+    def test_empty_tracer_is_truthy(self):
+        # `tracer or NULL_TRACER` must never demote a live tracer.
+        tracer = Tracer()
+        assert len(tracer) == 0
+        assert bool(tracer)
+        assert (tracer or NULL_TRACER) is tracer
+
+    def test_absorb_merges_foreign_records(self):
+        parent, child = Tracer(), Tracer()
+        with child.span("remote"):
+            pass
+        parent.absorb(child.records())
+        assert [r["name"] for r in parent.records()] == ["remote"]
+
+    def test_records_are_picklable_plain_dicts(self):
+        import pickle
+
+        tracer = Tracer()
+        with tracer.span("work", cat="solver"):
+            pass
+        assert pickle.loads(pickle.dumps(tracer.records())) \
+            == tracer.records()
+
+    def test_threads_keep_independent_stacks(self):
+        tracer = Tracer()
+
+        def work(name):
+            with tracer.span(name):
+                pass
+
+        threads = [threading.Thread(target=work, args=(f"t{i}",))
+                   for i in range(4)]
+        with tracer.span("main"):
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        records = tracer.records()
+        assert len(records) == 5
+        # Spans on other threads are roots there, not children of main.
+        assert all(r["depth"] == 0 for r in records)
+
+    def test_null_tracer_is_inert(self):
+        assert not NULL_TRACER.enabled
+        with NULL_TRACER.span("ignored", cat="x", a=1) as span:
+            span.inc("n")
+            span.set("k", "v")
+        NULL_TRACER.absorb([{"name": "x"}])
+        assert NULL_TRACER.records() == []
+        assert len(NULL_TRACER) == 0
+
+
+# ----------------------------------------------------------------------
+# Metrics registry
+# ----------------------------------------------------------------------
+class TestRegistry:
+    def test_counter_monotonic(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(2)
+        assert counter.value == 3
+        with pytest.raises(ValueError):
+            counter.inc(-1)
+
+    def test_gauge_moves_both_ways(self):
+        gauge = Gauge("g")
+        gauge.set(5.0)
+        gauge.inc(-2.0)
+        assert gauge.value == 3.0
+
+    def test_histogram_buckets(self):
+        histogram = Histogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 5.0, 50.0, 0.1):
+            histogram.observe(value)
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.mean == pytest.approx(55.6 / 4)
+
+    def test_kind_mismatch_raises(self):
+        registry = MetricsRegistry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+        with pytest.raises(TypeError):
+            registry.histogram("x")
+
+    def test_snapshot_roundtrip(self):
+        registry = MetricsRegistry()
+        registry.counter("lp_calls").inc(7)
+        registry.gauge("wall").set(1.25)
+        registry.histogram("secs", buckets=(0.1, 1.0)).observe(0.5)
+        snapshot = registry.snapshot()
+        json.dumps(snapshot)  # JSON-safe
+        clone = MetricsRegistry.from_snapshot(snapshot)
+        assert clone.snapshot() == snapshot
+        assert clone.value("lp_calls") == 7
+        assert clone.value("secs") == 1  # histograms report count
+
+    def test_diff_and_render(self):
+        before = MetricsRegistry()
+        before.counter("lp_calls").inc(2)
+        after = MetricsRegistry.from_snapshot(before.snapshot())
+        after.counter("lp_calls").inc(5)
+        after.histogram("secs").observe(0.2)
+        delta = MetricsRegistry.diff(before.snapshot(), after.snapshot())
+        assert delta["lp_calls"]["value"] == 5
+        assert delta["secs"]["count"] == 1
+        rendered = MetricsRegistry.render_diff(delta)
+        assert "lp_calls" in rendered and "+5" in rendered
+        assert "(no differences)" in MetricsRegistry.render_diff(
+            MetricsRegistry.diff(after.snapshot(), after.snapshot()))
+
+    def test_merge_accumulates(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("n").inc(1)
+        b.counter("n").inc(2)
+        b.histogram("h", buckets=(1.0,)).observe(0.5)
+        a.merge(b)
+        assert a.value("n") == 3
+        assert a.histogram("h", buckets=(1.0,)).counts == [1, 0]
+
+    def test_dump_load(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("n").inc(4)
+        path = tmp_path / "metrics.json"
+        registry.dump(path)
+        assert MetricsRegistry.load(path).value("n") == 4
+
+
+class TestEngineMetricsFacade:
+    def test_backed_by_registry(self):
+        metrics = EngineMetrics()
+        metrics.registry.counter("engine.lp_calls").inc(3)
+        assert metrics.lp_calls == 3
+        dump = metrics.to_dict()
+        assert "registry" in dump
+        clone = EngineMetrics.from_dict(dump)
+        assert clone.to_dict() == dump
+
+    def test_legacy_flat_dict_still_loads(self):
+        metrics = EngineMetrics()
+        flat = {k: v for k, v in metrics.to_dict().items()
+                if k != "registry"}
+        flat["lp_calls"] = 9
+        assert EngineMetrics.from_dict(flat).lp_calls == 9
+
+
+# ----------------------------------------------------------------------
+# Chrome exporter
+# ----------------------------------------------------------------------
+class TestChromeExport:
+    def make_records(self):
+        tracer = Tracer()
+        with tracer.span("solve", cat="pipeline", sets=2):
+            with tracer.span("bnb", cat="solver") as span:
+                span.inc("pivots", 5)
+        return tracer.records()
+
+    def test_to_chrome_structure(self):
+        records = self.make_records()
+        document = to_chrome(records)
+        events = document["traceEvents"]
+        metadata = [e for e in events if e["ph"] == "M"]
+        spans = [e for e in events if e["ph"] == "X"]
+        # One process_name metadata event per distinct pid.
+        assert len(metadata) == len({r["pid"] for r in records}) == 1
+        assert metadata[0]["args"]["name"] == "repro"
+        assert {e["name"] for e in spans} == {"solve", "bnb"}
+        for event, record in zip(spans, records):
+            assert event["ts"] == pytest.approx(record["ts"] * 1e6)
+            assert event["dur"] == pytest.approx(record["dur"] * 1e6,
+                                                 abs=1e-3)
+            assert event["args"] == record["args"]
+
+    def test_worker_pids_get_their_own_track(self):
+        records = self.make_records()
+        shipped = [dict(r, pid=r["pid"] + 1) for r in records]
+        document = to_chrome(records + shipped)
+        names = [e["args"]["name"] for e in document["traceEvents"]
+                 if e["ph"] == "M"]
+        assert names == ["repro", "repro worker 1"]
+
+    def test_write_chrome_trace_is_loadable_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(self.make_records(), path)
+        document = json.loads(path.read_text())
+        assert document["displayTimeUnit"] == "ms"
+        assert any(e["ph"] == "X" for e in document["traceEvents"])
+
+
+# ----------------------------------------------------------------------
+# Golden files: trace shape and explanation text
+# ----------------------------------------------------------------------
+def traced_estimate(name):
+    bench = get_benchmark(name)
+    tracer = Tracer()
+    analysis = bench.make_analysis(tracer=tracer)
+    report = analysis.estimate()
+    return analysis, report, tracer
+
+
+@pytest.mark.parametrize("name", ["check_data", "piksrt"])
+def test_trace_skeleton_matches_golden(name):
+    _, _, tracer = traced_estimate(name)
+    expected = (GOLDEN / f"{name}_trace_skeleton.txt").read_text()
+    assert "\n".join(trace_skeleton(tracer.records())) + "\n" == expected
+
+
+@pytest.mark.parametrize("name", ["check_data", "piksrt"])
+def test_explanation_matches_golden(name):
+    analysis, report, _ = traced_estimate(name)
+    explanation = explain_bound(analysis, report)
+    expected = (GOLDEN / f"{name}_explain.txt").read_text()
+    assert render_explanation(explanation) + "\n" == expected
+
+
+# ----------------------------------------------------------------------
+# Explainer properties
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("name", ["check_data", "piksrt", "fft"])
+def test_witness_satisfies_winning_set(name):
+    """The explainer's witness must be a genuine feasible point: it
+    satisfies *every* constraint (and integrality) of the winning
+    set's worst-case ILP, and its objective value is the bound."""
+    bench = get_benchmark(name)
+    analysis = bench.make_analysis()
+    report = analysis.estimate()
+    explanation = explain_bound(analysis, report)
+    task = analysis.set_tasks()[explanation.set_index]
+    worst_problem, _ = task.problems()
+    assert worst_problem.check(explanation.witness)
+    value = task.worst_obj.evaluate(explanation.witness)
+    assert value == pytest.approx(explanation.bound)
+
+
+@pytest.mark.parametrize("name", ["check_data", "piksrt", "fft"])
+def test_breakdown_sums_to_bound(name):
+    bench = get_benchmark(name)
+    analysis = bench.make_analysis()
+    explanation = explain_bound(analysis)
+    assert explanation.consistent
+    assert sum(r.cycles for r in explanation.breakdown) \
+        == pytest.approx(explanation.total)
+    assert explanation.bound == analysis.estimate().worst
+
+
+def test_explain_best_direction():
+    bench = get_benchmark("check_data")
+    analysis = bench.make_analysis()
+    report = analysis.estimate()
+    explanation = explain_bound(analysis, report, direction="best")
+    assert explanation.direction == "best"
+    assert explanation.bound == report.best
+    assert explanation.consistent
+
+
+def test_explanation_to_dict_is_json_safe():
+    bench = get_benchmark("check_data")
+    analysis = bench.make_analysis()
+    payload = explanation_to_dict(explain_bound(analysis))
+    parsed = json.loads(json.dumps(payload))
+    assert parsed["bound"] == payload["bound"]
+    assert parsed["consistent"] is True
+
+
+def test_explain_rejects_unknown_direction():
+    bench = get_benchmark("check_data")
+    analysis = bench.make_analysis()
+    with pytest.raises(AnalysisError):
+        explain_bound(analysis, analysis.estimate(), direction="sideways")
+
+
+# ----------------------------------------------------------------------
+# Per-direction relaxation flags
+# ----------------------------------------------------------------------
+def test_expired_timeout_flags_each_direction():
+    bench = get_benchmark("check_data")
+    analysis = bench.make_analysis()
+    tight = analysis.estimate()
+    relaxed = bench.make_analysis().estimate(set_timeout=0.0)
+    assert relaxed.relaxed_sets  # every set degraded
+    for result in relaxed.set_results:
+        assert result.worst_relaxed and result.best_relaxed
+        assert result.relaxed and result.timed_out
+    # Degraded bounds stay sound: relaxation max >= ILP max,
+    # relaxation min <= ILP min.
+    assert relaxed.worst >= tight.worst
+    assert relaxed.best <= tight.best
+    explanation = explain_bound(analysis, relaxed)
+    assert not explanation.tight
+    assert "relaxation" in render_explanation(explanation)
+
+
+def test_untimed_run_has_no_relaxed_sets():
+    report = get_benchmark("check_data").make_analysis().estimate()
+    assert report.relaxed_sets == []
+    assert all(not r.relaxed for r in report.set_results)
+
+
+# ----------------------------------------------------------------------
+# Budget-aware cache keys
+# ----------------------------------------------------------------------
+def test_budget_key_distinguishes_solver_budgets():
+    bench = get_benchmark("check_data")
+    tasks = bench.make_analysis().set_tasks()
+    default = tasks[0].budget_key()
+    timed = bench.make_analysis().set_tasks(set_timeout=1.5)[0]
+    capped = bench.make_analysis().set_tasks(max_iterations=100)[0]
+    assert timed.budget_key() != default
+    assert capped.budget_key() != default
+    assert timed.budget_key() != capped.budget_key()
+
+
+def test_cache_keys_include_budget(tmp_path):
+    cache = ResultCache(tmp_path)
+    signature, machine = "max: x1\nx1 <= 3", "m1"
+    base = cache.set_key(signature, machine, "simplex")
+    timed = cache.set_key(signature, machine, "simplex",
+                          budget="timeout=1.0|max_iterations=None")
+    assert base != timed
+    assert cache.job_key("fp") != cache.job_key("fp", budget="timeout=1.0")
+    # Same budget, same everything -> stable key.
+    assert base == cache.set_key(signature, machine, "simplex")
