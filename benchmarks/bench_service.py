@@ -1,0 +1,94 @@
+"""Analysis service — concurrent Table I replay through the HTTP API.
+
+A load generator drives the asyncio job-queue server the way a CI
+fleet would: every Table I routine is submitted concurrently from
+client threads, twice.  The first wave is cold; the second hits the
+shared content-addressed result cache.  Asserted shape:
+
+* every bound returned over HTTP equals the serial
+  ``Analysis.estimate`` bound for the same routine (the service is a
+  transport, not a different analysis);
+* the second wave is answered from the job cache (hit rate 1.0);
+* the /metricz snapshot carries the queue-latency histogram and the
+  throughput/percentile summary printed below.
+"""
+
+import threading
+import time
+
+from conftest import one_shot
+
+from repro.obs import MetricsRegistry
+from repro.service import ServiceClient, ServiceThread
+
+
+def _replay(client: ServiceClient, names, results: dict) -> None:
+    """Submit every routine concurrently; wait for all records."""
+    errors = []
+
+    def drive(name: str) -> None:
+        try:
+            ticket = client.submit_retry({"benchmark": name})
+            results[name] = client.wait(ticket["id"], timeout=300)
+        except Exception as error:  # surfaced after join
+            errors.append((name, error))
+
+    threads = [threading.Thread(target=drive, args=(name,))
+               for name in names]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    if errors:
+        raise AssertionError(f"replay failures: {errors}")
+
+
+def test_service_replay_table1(benchmark, tmp_path, benchmarks,
+                               experiments):
+    expected = {name: experiments.report(name).interval
+                for name in benchmarks}
+
+    with ServiceThread(workers=2, queue_depth=64,
+                       cache_dir=tmp_path) as handle:
+        client = ServiceClient(port=handle.port)
+        client.wait_ready()
+
+        cold: dict = {}
+        clock = time.perf_counter()
+        one_shot(benchmark, _replay, client, benchmarks, cold)
+        cold_seconds = time.perf_counter() - clock
+
+        warm: dict = {}
+        clock = time.perf_counter()
+        _replay(client, benchmarks, warm)
+        warm_seconds = time.perf_counter() - clock
+
+        snapshot = client.metricz()
+
+    # Bounds over HTTP == serial Analysis.estimate, routine by routine.
+    for name in benchmarks:
+        assert (cold[name]["best"], cold[name]["worst"]) \
+            == expected[name], name
+        assert (warm[name]["best"], warm[name]["worst"]) \
+            == expected[name], name
+    assert not any(record["cache_hit"] for record in cold.values())
+    assert all(record["cache_hit"] for record in warm.values())
+
+    registry = MetricsRegistry.from_snapshot(snapshot)
+    hits = registry.counter("engine.cache.hits.job").value
+    misses = registry.counter("engine.cache.misses.job").value
+    hit_rate = hits / (hits + misses)
+    assert hit_rate == 0.5          # second wave fully cached
+
+    queue = registry.histogram("service.queue_seconds")
+    jobs = 2 * len(benchmarks)
+    assert queue.count == jobs
+    print(f"\n{len(benchmarks)} routines x 2 waves over HTTP")
+    print(f"cold wave {cold_seconds:.2f}s "
+          f"({len(benchmarks) / cold_seconds:.1f} jobs/s), "
+          f"warm wave {warm_seconds:.2f}s "
+          f"({len(benchmarks) / warm_seconds:.1f} jobs/s)")
+    print(f"queue latency p50 {queue.percentile(0.5):.3f}s, "
+          f"p95 {queue.percentile(0.95):.3f}s, "
+          f"p99 {queue.percentile(0.99):.3f}s over {queue.count} jobs")
+    print(f"job cache hit rate {hit_rate:.2f}")

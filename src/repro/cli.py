@@ -23,20 +23,14 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from .analysis import Analysis, annotate_program
 from .codegen import compile_source, disassemble
 from .errors import ReproError
-from .hw import dsp3210, i960kb, no_cache, perfect_cache
+from .hw import MACHINES
 from .sim import CycleModel, Interpreter
-
-MACHINES = {
-    "i960kb": i960kb,
-    "dsp3210": dsp3210,
-    "perfect": perfect_cache,
-    "nocache": no_cache,
-}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -104,6 +98,10 @@ def build_parser() -> argparse.ArgumentParser:
                          help="explain the worst- or best-case bound")
     explain.add_argument("--json", action="store_true",
                          help="emit the explanation as JSON")
+    explain.add_argument("--against", metavar="PATH",
+                         help="diff against a saved `explain --json` "
+                              "file: bound, binding-constraint and "
+                              "per-block breakdown changes")
     explain.add_argument("--trace", metavar="PATH",
                          help="also write a Chrome trace of the run")
 
@@ -171,6 +169,12 @@ def build_parser() -> argparse.ArgumentParser:
     erun.add_argument("--cache-dir", metavar="DIR",
                       help="result cache location (default: "
                            "$REPRO_CACHE_DIR or ~/.cache/repro/engine)")
+    erun.add_argument("--cache-max-entries", type=int, metavar="N",
+                      help="LRU cap on cache entries (default: "
+                           "$REPRO_CACHE_MAX_ENTRIES or unlimited)")
+    erun.add_argument("--cache-max-bytes", type=int, metavar="BYTES",
+                      help="LRU cap on cache size (default: "
+                           "$REPRO_CACHE_MAX_BYTES or unlimited)")
     erun.add_argument("--no-cache", action="store_true",
                       help="disable the result cache")
     erun.add_argument("--metrics", metavar="PATH",
@@ -186,6 +190,59 @@ def build_parser() -> argparse.ArgumentParser:
                         help="render a metrics JSON from engine run")
     estats.add_argument("--clear", action="store_true",
                         help="empty the cache")
+
+    serve = sub.add_parser(
+        "serve", help="run the analysis service (async HTTP job queue)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8787)
+    serve.add_argument("--workers", type=int, default=None, metavar="N",
+                       help="analysis workers (default: CPU count)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       metavar="N",
+                       help="admission cap; beyond it submissions get "
+                            "429 + Retry-After (0: unbounded)")
+    serve.add_argument("--executor", choices=("process", "thread"),
+                       default="process",
+                       help="worker isolation (process: parallel + "
+                            "crash-isolated; thread: low overhead)")
+    serve.add_argument("--set-timeout", type=float, metavar="SECONDS",
+                       help="default per-constraint-set solver budget")
+    serve.add_argument("--max-iterations", type=int, metavar="N",
+                       help="default simplex-pivot budget per ILP")
+    serve.add_argument("--cache-dir", metavar="DIR",
+                       help="result cache location (default: "
+                            "$REPRO_CACHE_DIR or ~/.cache/repro/engine)")
+    serve.add_argument("--cache-max-entries", type=int, metavar="N")
+    serve.add_argument("--cache-max-bytes", type=int, metavar="BYTES")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the result cache")
+    serve.add_argument("--metrics", metavar="PATH",
+                       help="flush the metrics registry snapshot here "
+                            "on graceful drain")
+
+    submit = sub.add_parser(
+        "submit", help="submit benchmark jobs to a running service")
+    submit.add_argument("benchmarks", nargs="*", metavar="NAME",
+                        help="Table-I benchmark names (default: the "
+                             "whole suite)")
+    submit.add_argument("--host", default="127.0.0.1")
+    submit.add_argument("--port", type=int, default=8787)
+    submit.add_argument("--machine", choices=sorted(MACHINES),
+                        default="i960kb")
+    submit.add_argument("--backend", choices=("simplex", "exact"),
+                        default="simplex")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--deadline", type=float, metavar="SECONDS",
+                        help="per-job deadline from admission; the "
+                             "remainder at dispatch becomes the "
+                             "solver budget")
+    submit.add_argument("--timeout", type=float, default=600.0,
+                        metavar="SECONDS",
+                        help="client-side wait budget per job")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="submit and print ids without waiting")
+    submit.add_argument("--json", action="store_true",
+                        help="emit the final job records as JSON")
     return parser
 
 
@@ -276,7 +333,6 @@ def _cmd_obs(args) -> int:
 
 def _cmd_explain(args) -> int:
     import json
-    import os
 
     from .obs import (explain_bound, explanation_to_dict,
                       render_explanation)
@@ -317,12 +373,40 @@ def _cmd_explain(args) -> int:
     report = analysis.estimate()
     explanation = explain_bound(analysis, report,
                                 direction=args.direction)
-    if args.json:
+    if args.against:
+        from .obs import (diff_explanations, explanation_delta_to_dict,
+                          render_explanation_delta)
+
+        with open(args.against) as handle:
+            before = json.load(handle)
+        if not isinstance(before, dict) or "bound" not in before:
+            raise ReproError(
+                f"{args.against} is not a saved `repro explain "
+                "--json` file")
+        delta = diff_explanations(before,
+                                  explanation_to_dict(explanation))
+        if args.json:
+            print(json.dumps(explanation_delta_to_dict(delta),
+                             indent=2))
+        else:
+            print(render_explanation_delta(delta))
+    elif args.json:
         print(json.dumps(explanation_to_dict(explanation), indent=2))
     else:
         print(render_explanation(explanation))
     finish_trace(report.trace or None)
     return 0
+
+
+def _cache_limits(args) -> tuple:
+    """(max_entries, max_bytes) from flags, falling back to env."""
+    from .engine import cache_limits_from_env
+
+    env_entries, env_bytes = cache_limits_from_env()
+    entries = getattr(args, "cache_max_entries", None)
+    size = getattr(args, "cache_max_bytes", None)
+    return (entries if entries is not None else env_entries,
+            size if size is not None else env_bytes)
 
 
 def _cmd_engine(args) -> int:
@@ -342,6 +426,7 @@ def _cmd_engine(args) -> int:
         print(f"entries: {stats.entries} "
               f"({stats.set_entries} sets, {stats.job_entries} jobs), "
               f"{stats.total_bytes:,} bytes")
+        print(f"evictions: {stats.evictions} (lifetime)")
         return 0
 
     assert args.engine_command == "run"
@@ -360,6 +445,7 @@ def _cmd_engine(args) -> int:
     tracer, finish_trace = _make_tracer(args.trace)
     engine = AnalysisEngine(workers=args.workers, cache_dir=cache_dir,
                             set_timeout=args.set_timeout,
+                            cache_limits=_cache_limits(args),
                             tracer=tracer)
     results = engine.run(jobs, grain=args.grain)
     for result in results:
@@ -373,9 +459,76 @@ def _cmd_engine(args) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def _cmd_serve(args) -> int:
+    from .engine import default_cache_dir
+    from .service import AnalysisService
+
+    cache_dir = None if args.no_cache \
+        else (args.cache_dir or default_cache_dir())
+    workers = args.workers or max(1, os.cpu_count() or 1)
+    service = AnalysisService(
+        host=args.host, port=args.port, workers=workers,
+        queue_depth=args.queue_depth, executor=args.executor,
+        cache_dir=cache_dir, cache_limits=_cache_limits(args),
+        set_timeout=args.set_timeout,
+        max_iterations=args.max_iterations,
+        metrics_path=args.metrics)
+    return service.run()
+
+
+def _cmd_submit(args) -> int:
+    import json
+
+    from .service import JobFailed, ServiceClient
+
+    names = args.benchmarks
+    if not names:
+        from .programs import all_benchmarks
+
+        names = list(all_benchmarks())
+    client = ServiceClient(host=args.host, port=args.port)
+    submitted = []
+    for name in names:
+        spec = {"benchmark": name, "machine": args.machine,
+                "backend": args.backend, "priority": args.priority,
+                "deadline_seconds": args.deadline}
+        response = client.submit_retry(spec)
+        submitted.append((name, response["id"]))
+    if args.no_wait:
+        for name, job_id in submitted:
+            print(f"{name}: submitted as {job_id}")
+        return 0
+    records, failures = [], 0
+    for name, job_id in submitted:
+        try:
+            record = client.wait(job_id, timeout=args.timeout)
+        except JobFailed as error:
+            record = error.record
+            failures += 1
+        records.append(record)
+    if args.json:
+        print(json.dumps(records, indent=2))
+    else:
+        for record in records:
+            if record.get("state") == "done":
+                flag = " (partial)" if record.get("status") == \
+                    "partial" else ""
+                hit = " [cached]" if record.get("cache_hit") else ""
+                print(f"{record['name']}: [{record['best']:,}, "
+                      f"{record['worst']:,}]{flag}{hit}")
+            else:
+                print(f"{record.get('name')}: FAILED "
+                      f"({record.get('error')})")
+    return 0 if not failures else 1
+
+
 def _dispatch(args) -> int:
     if args.command == "engine":
         return _cmd_engine(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
+    if args.command == "submit":
+        return _cmd_submit(args)
     if args.command == "obs":
         return _cmd_obs(args)
     if args.command == "explain":

@@ -12,8 +12,9 @@ See ``docs/engine.md`` for the job model, cache layout, failure
 semantics and metrics schema.
 """
 
-from .cache import CacheStats, ResultCache, SOLVER_VERSION, default_cache_dir
-from .core import AnalysisEngine
+from .cache import (CacheStats, ResultCache, SOLVER_VERSION,
+                    cache_limits_from_env, default_cache_dir)
+from .core import AnalysisEngine, execute_job
 from .jobs import AnalysisJob, JobResult
 from .metrics import STAGES, EngineMetrics
 
@@ -24,6 +25,8 @@ __all__ = [
     "ResultCache",
     "CacheStats",
     "default_cache_dir",
+    "cache_limits_from_env",
+    "execute_job",
     "SOLVER_VERSION",
     "EngineMetrics",
     "STAGES",

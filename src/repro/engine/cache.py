@@ -21,6 +21,16 @@ harmless for a content-addressed store.
 
 Timed-out (``partial``) results are never cached — a re-run with a
 longer budget should get the chance to do better.
+
+Size caps (LRU eviction)
+------------------------
+A cache constructed with ``max_entries`` and/or ``max_bytes`` evicts
+least-recently-used entries after every write until it fits again.
+Recency is the entry file's mtime: reads touch it, writes set it, so
+the file system itself is the LRU bookkeeping and concurrent workers
+need no shared state.  Lifetime eviction totals persist in
+``root/_meta.json`` (best effort under races; the counter may
+undercount, never overcount) and surface in ``repro engine stats``.
 """
 
 from __future__ import annotations
@@ -50,6 +60,21 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "repro" / "engine"
 
 
+def cache_limits_from_env() -> tuple[int | None, int | None]:
+    """``($REPRO_CACHE_MAX_ENTRIES, $REPRO_CACHE_MAX_BYTES)``; None
+    where unset or unparsable (unlimited)."""
+
+    def read(name: str) -> int | None:
+        raw = os.environ.get(name)
+        try:
+            return int(raw) if raw else None
+        except ValueError:
+            return None
+
+    return (read("REPRO_CACHE_MAX_ENTRIES"),
+            read("REPRO_CACHE_MAX_BYTES"))
+
+
 @dataclass
 class CacheStats:
     """What ``repro engine stats`` reports about a cache directory."""
@@ -59,16 +84,31 @@ class CacheStats:
     set_entries: int
     job_entries: int
     total_bytes: int
+    #: Lifetime LRU evictions recorded in the cache's meta file.
+    evictions: int = 0
+    max_entries: int | None = None
+    max_bytes: int | None = None
 
 
 class ResultCache:
-    """A content-addressed store of solved sets and finished reports."""
+    """A content-addressed store of solved sets and finished reports.
 
-    def __init__(self, root: str | Path):
+    ``max_entries`` / ``max_bytes`` cap the store; ``None`` means
+    unlimited.  Eviction is LRU (see the module docstring).
+    """
+
+    def __init__(self, root: str | Path,
+                 max_entries: int | None = None,
+                 max_bytes: int | None = None):
         self.root = Path(root).expanduser()
         self.root.mkdir(parents=True, exist_ok=True)
+        self.max_entries = max_entries
+        self.max_bytes = max_bytes
         self.hits = {"set": 0, "job": 0}
         self.misses = {"set": 0, "job": 0}
+        #: Evictions performed by *this* cache object (the meta file
+        #: keeps the lifetime total across processes).
+        self.evictions = 0
 
     # ------------------------------------------------------------------
     # Keys
@@ -120,9 +160,14 @@ class ResultCache:
     def _read(self, key: str) -> dict | None:
         path = self._path(key)
         try:
-            return json.loads(path.read_text())
+            payload = json.loads(path.read_text())
         except (FileNotFoundError, json.JSONDecodeError, OSError):
             return None
+        try:
+            os.utime(path)           # mark recently used for the LRU
+        except OSError:  # pragma: no cover - racing eviction
+            pass
+        return payload
 
     def _write(self, key: str, payload: dict) -> None:
         path = self._path(key)
@@ -134,6 +179,81 @@ class ResultCache:
             handle.write(text)
             handle.close()
             os.replace(handle.name, path)
+        except BaseException:  # pragma: no cover - cleanup path
+            handle.close()
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+        self._evict_if_needed()
+
+    # ------------------------------------------------------------------
+    # LRU eviction
+    # ------------------------------------------------------------------
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """Every entry as (mtime_ns, size, path), oldest first."""
+        entries = []
+        for path in self.root.glob("*/*.json"):
+            try:
+                stat = path.stat()
+            except OSError:  # pragma: no cover - racing eviction
+                continue
+            entries.append((stat.st_mtime_ns, stat.st_size, path))
+        entries.sort()
+        return entries
+
+    def _evict_if_needed(self) -> int:
+        """Drop least-recently-used entries until under the caps."""
+        if self.max_entries is None and self.max_bytes is None:
+            return 0
+        entries = self._entries()
+        count = len(entries)
+        total = sum(size for _, size, _ in entries)
+        evicted = 0
+        for _, size, path in entries:
+            over_entries = (self.max_entries is not None
+                            and count > self.max_entries)
+            over_bytes = (self.max_bytes is not None
+                          and total > self.max_bytes)
+            if not over_entries and not over_bytes:
+                break
+            try:
+                path.unlink()
+            except OSError:  # pragma: no cover - racing eviction
+                continue
+            count -= 1
+            total -= size
+            evicted += 1
+        if evicted:
+            self.evictions += evicted
+            self._bump_meta("evictions", evicted)
+        return evicted
+
+    # ------------------------------------------------------------------
+    # Meta file (lifetime counters shared across processes)
+    # ------------------------------------------------------------------
+    def _meta_path(self) -> Path:
+        return self.root / "_meta.json"
+
+    def _load_meta(self) -> dict:
+        try:
+            return json.loads(self._meta_path().read_text())
+        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            return {}
+
+    def _bump_meta(self, field: str, amount: int) -> None:
+        # Read-modify-write without locking: a concurrent bump can be
+        # lost (undercount), which is acceptable for a statistics
+        # counter.  The write itself is atomic.
+        meta = self._load_meta()
+        meta[field] = meta.get(field, 0) + amount
+        handle = tempfile.NamedTemporaryFile(
+            "w", dir=self.root, suffix=".tmp", delete=False)
+        try:
+            handle.write(json.dumps(meta, sort_keys=True))
+            handle.close()
+            os.replace(handle.name, self._meta_path())
         except BaseException:  # pragma: no cover - cleanup path
             handle.close()
             try:
@@ -191,7 +311,10 @@ class ResultCache:
             elif payload == "job":
                 job_entries += 1
         return CacheStats(str(self.root), entries, set_entries,
-                          job_entries, total_bytes)
+                          job_entries, total_bytes,
+                          evictions=self._load_meta().get("evictions", 0),
+                          max_entries=self.max_entries,
+                          max_bytes=self.max_bytes)
 
     @staticmethod
     def _read_kind(path: Path) -> str | None:

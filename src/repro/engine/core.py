@@ -49,8 +49,13 @@ def _default_workers() -> int:
     return max(1, os.cpu_count() or 1)
 
 
-def _execute_job(payload) -> JobResult:
-    """Pool worker: run one job end to end (module-level, picklable)."""
+def execute_job(payload) -> JobResult:
+    """Pool worker: run one job end to end (module-level, picklable).
+
+    ``payload`` is ``(job, cache_dir, set_timeout, max_iterations,
+    trace)``.  Also the unit of work the analysis service dispatches —
+    one HTTP job request becomes exactly one of these payloads.
+    """
     job, cache_dir, set_timeout, max_iterations, trace = payload
     started = time.monotonic()
     cache = ResultCache(cache_dir) if cache_dir else None
@@ -94,6 +99,9 @@ class AnalysisEngine:
     max_iterations:
         Cumulative simplex-pivot budget per ILP (None: no limit);
         exceeding it degrades that direction to its LP relaxation.
+    cache_limits:
+        Optional ``(max_entries, max_bytes)`` LRU caps for the cache
+        (None in either slot: unlimited on that axis).
     retries, backoff:
         Transient-failure policy: each job (or set task) is retried up
         to `retries` extra times, sleeping ``backoff * 2**attempt``
@@ -108,6 +116,7 @@ class AnalysisEngine:
                  cache_dir=None,
                  set_timeout: float | None = None,
                  max_iterations: int | None = None,
+                 cache_limits: tuple | None = None,
                  retries: int = 2,
                  backoff: float = 0.25,
                  metrics: EngineMetrics | None = None,
@@ -115,7 +124,10 @@ class AnalysisEngine:
         from ..obs.trace import NULL_TRACER
 
         self.workers = workers or _default_workers()
-        self.cache = ResultCache(cache_dir) if cache_dir else None
+        max_entries, max_bytes = cache_limits or (None, None)
+        self.cache = ResultCache(cache_dir, max_entries=max_entries,
+                                 max_bytes=max_bytes) \
+            if cache_dir else None
         self.set_timeout = set_timeout
         self.max_iterations = max_iterations
         self.retries = retries
@@ -181,9 +193,9 @@ class AnalysisEngine:
                     for index, job in pending}
         if self.workers <= 1 or len(pending) == 1:
             for index, job in pending:
-                yield index, _execute_job(payloads[index])
+                yield index, execute_job(payloads[index])
             return
-        yield from self._pooled(payloads, _execute_job)
+        yield from self._pooled(payloads, execute_job)
 
     # ------------------------------------------------------------------
     # Set-grain dispatch

@@ -257,6 +257,16 @@ class EngineMetrics:
                      f"{self.nodes} nodes over {self.sets_solved} sets"
                      + (f" ({', '.join(qualifiers)})" if qualifiers
                         else ""))
+        histogram = self.registry.histogram("engine.set_wall_seconds",
+                                            buckets=SET_SECONDS_BUCKETS)
+        if histogram.count:
+            lines.append(
+                f"set solve seconds: "
+                f"p50 {histogram.percentile(0.50):.4g}, "
+                f"p95 {histogram.percentile(0.95):.4g}, "
+                f"p99 {histogram.percentile(0.99):.4g} "
+                f"(mean {histogram.mean:.4g} over "
+                f"{histogram.count} sets)")
         for layer in ("set", "job"):
             rate = self.hit_rate(layer)
             if rate is not None:

@@ -8,10 +8,19 @@ from .icache import ICache
 from .machine import (Machine, dsp3210, i960kb, i960kb_dcache,
                       no_cache, perfect_cache)
 
+#: Machine factories addressable by name — the registry the CLI's
+#: ``--machine`` choices and the service's job specs both draw from.
+MACHINES = {
+    "i960kb": i960kb,
+    "dsp3210": dsp3210,
+    "perfect": perfect_cache,
+    "nocache": no_cache,
+}
+
 __all__ = [
     "BlockCost", "block_cost", "cost_table", "entry_stall",
     "lines_touched", "pipeline_cycles",
     "ICache", "DCache", "data_miss_worst",
     "Machine", "dsp3210", "i960kb", "i960kb_dcache", "no_cache",
-    "perfect_cache",
+    "perfect_cache", "MACHINES",
 ]

@@ -19,9 +19,11 @@ Exporters in :mod:`repro.obs.export` render traces as Chrome
 See ``docs/observability.md``.
 """
 
-from .explain import (BreakdownRow, ConstraintLine, Explanation,
-                      explain_bound, explain_set, explanation_to_dict,
-                      render_explanation)
+from .explain import (BreakdownRow, ConstraintLine, DeltaRow,
+                      Explanation, ExplanationDelta, diff_explanations,
+                      explain_bound, explain_set,
+                      explanation_delta_to_dict, explanation_to_dict,
+                      render_explanation, render_explanation_delta)
 from .export import (to_chrome, to_json, trace_skeleton,
                      write_chrome_trace)
 from .registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
@@ -36,4 +38,6 @@ __all__ = [
     "Explanation", "ConstraintLine", "BreakdownRow",
     "explain_bound", "explain_set", "render_explanation",
     "explanation_to_dict",
+    "ExplanationDelta", "DeltaRow", "diff_explanations",
+    "render_explanation_delta", "explanation_delta_to_dict",
 ]

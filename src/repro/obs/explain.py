@@ -260,6 +260,183 @@ def render_explanation(expl: Explanation, max_rows: int = 30) -> str:
     return "\n".join(lines)
 
 
+def _delta_tag(value: float) -> str:
+    return f"{value:+,.0f}"
+
+
+@dataclass
+class DeltaRow:
+    """One breakdown variable whose contribution changed."""
+
+    var: str
+    kind: str                       # "block" | "edge"
+    before_count: float
+    after_count: float
+    before_cycles: float
+    after_cycles: float
+
+    @property
+    def delta_cycles(self) -> float:
+        return self.after_cycles - self.before_cycles
+
+
+@dataclass
+class ExplanationDelta:
+    """What changed between two explanations of the same routine.
+
+    Built from the dict form (:func:`explanation_to_dict`) so a live
+    run can diff against a saved ``repro explain --json`` file —
+    the workflow behind ``repro explain --against other.json``.
+    """
+
+    entry: str
+    machine: str
+    direction: str
+    before_bound: int
+    after_bound: int
+    #: (before, after) when the winning DNF set changed, else None.
+    set_index_change: tuple | None = None
+    binding_added: list = field(default_factory=list)
+    binding_removed: list = field(default_factory=list)
+    rows: list = field(default_factory=list)      # DeltaRow, |delta| desc
+    #: Identity mismatches (different entry/machine/direction) — the
+    #: diff is still computed but should be read with suspicion.
+    notes: list = field(default_factory=list)
+
+    @property
+    def bound_delta(self) -> int:
+        return self.after_bound - self.before_bound
+
+    @property
+    def unchanged(self) -> bool:
+        return (not self.bound_delta and self.set_index_change is None
+                and not self.binding_added and not self.binding_removed
+                and not self.rows)
+
+
+def diff_explanations(before: dict, after: dict) -> ExplanationDelta:
+    """Diff two :func:`explanation_to_dict` dicts (before -> after)."""
+    notes = []
+    for key in ("entry", "machine", "direction"):
+        if before.get(key) != after.get(key):
+            notes.append(f"{key} differs: {before.get(key)!r} vs "
+                         f"{after.get(key)!r}")
+
+    def binding_map(expl: dict) -> dict:
+        return {(line["kind"], line["label"]): line
+                for line in expl.get("binding", [])}
+
+    bound_before = binding_map(before)
+    bound_after = binding_map(after)
+    added = [bound_after[key] for key in sorted(bound_after)
+             if key not in bound_before]
+    removed = [bound_before[key] for key in sorted(bound_before)
+               if key not in bound_after]
+
+    def breakdown_map(expl: dict) -> dict:
+        return {row["var"]: row for row in expl.get("breakdown", [])}
+
+    rows_before = breakdown_map(before)
+    rows_after = breakdown_map(after)
+    rows = []
+    for var in sorted(set(rows_before) | set(rows_after),
+                      key=_numeric_key):
+        b = rows_before.get(var)
+        a = rows_after.get(var)
+        kind = (a or b).get("kind", "block")
+        b_count = b["count"] if b else 0.0
+        a_count = a["count"] if a else 0.0
+        b_cycles = b["cycles"] if b else 0.0
+        a_cycles = a["cycles"] if a else 0.0
+        if (abs(a_cycles - b_cycles) > 1e-9
+                or abs(a_count - b_count) > 1e-9):
+            rows.append(DeltaRow(var, kind, b_count, a_count,
+                                 b_cycles, a_cycles))
+    rows.sort(key=lambda r: -abs(r.delta_cycles))
+
+    set_change = None
+    if before.get("set_index") != after.get("set_index"):
+        set_change = (before.get("set_index"), after.get("set_index"))
+
+    return ExplanationDelta(
+        entry=after.get("entry", ""), machine=after.get("machine", ""),
+        direction=after.get("direction", "worst"),
+        before_bound=int(before.get("bound", 0)),
+        after_bound=int(after.get("bound", 0)),
+        set_index_change=set_change, binding_added=added,
+        binding_removed=removed, rows=rows, notes=notes)
+
+
+def render_explanation_delta(delta: ExplanationDelta,
+                             max_rows: int = 30) -> str:
+    """The plain-text diff ``repro explain --against`` prints."""
+    lines = [
+        f"{delta.direction}-case bound: {delta.before_bound:,} -> "
+        f"{delta.after_bound:,} cycles "
+        f"({_delta_tag(delta.bound_delta)}) for {delta.entry}() on "
+        f"{delta.machine}",
+    ]
+    for note in delta.notes:
+        lines.append(f"  ** {note} **")
+    if delta.set_index_change is not None:
+        b, a = delta.set_index_change
+        lines.append(f"winning constraint set: #{b} -> #{a}")
+    if delta.unchanged:
+        lines.append("(no differences)")
+        return "\n".join(lines)
+
+    if delta.binding_added or delta.binding_removed:
+        lines.append("")
+        lines.append("binding-constraint changes:")
+        for line in delta.binding_added:
+            lines.append(f"  + [{line['kind']:<13}] {line['label']}")
+        for line in delta.binding_removed:
+            lines.append(f"  - [{line['kind']:<13}] {line['label']}")
+
+    if delta.rows:
+        lines.append("")
+        lines.append("per-block breakdown changes (cycles):")
+        lines.append(f"  {'variable':<28} {'before':>10} {'after':>10} "
+                     f"{'delta':>10}")
+        for row in delta.rows[:max_rows]:
+            lines.append(f"  {row.var:<28} {row.before_cycles:>10,.0f} "
+                         f"{row.after_cycles:>10,.0f} "
+                         f"{_delta_tag(row.delta_cycles):>10}")
+        if len(delta.rows) > max_rows:
+            rest = sum(r.delta_cycles for r in delta.rows[max_rows:])
+            lines.append(f"  ... {len(delta.rows) - max_rows} more rows "
+                         f"({_delta_tag(rest)} cycles)")
+        total = sum(r.delta_cycles for r in delta.rows)
+        lines.append(f"  {'total change':<28} {'':>10} {'':>10} "
+                     f"{_delta_tag(total):>10}")
+    return "\n".join(lines)
+
+
+def explanation_delta_to_dict(delta: ExplanationDelta) -> dict:
+    """JSON-safe form (for ``repro explain --against ... --json``)."""
+    return {
+        "entry": delta.entry,
+        "machine": delta.machine,
+        "direction": delta.direction,
+        "before_bound": delta.before_bound,
+        "after_bound": delta.after_bound,
+        "bound_delta": delta.bound_delta,
+        "set_index_change": (list(delta.set_index_change)
+                             if delta.set_index_change else None),
+        "binding_added": list(delta.binding_added),
+        "binding_removed": list(delta.binding_removed),
+        "rows": [{"var": r.var, "kind": r.kind,
+                  "before_count": r.before_count,
+                  "after_count": r.after_count,
+                  "before_cycles": r.before_cycles,
+                  "after_cycles": r.after_cycles,
+                  "delta_cycles": r.delta_cycles}
+                 for r in delta.rows],
+        "notes": list(delta.notes),
+        "unchanged": delta.unchanged,
+    }
+
+
 def explanation_to_dict(expl: Explanation) -> dict:
     """JSON-safe form of an explanation (for ``repro explain --json``)."""
     return {

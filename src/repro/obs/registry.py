@@ -102,6 +102,31 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimated value at quantile ``q`` (0 < q <= 1).
+
+        Linear interpolation inside the bucket holding the target rank
+        (Prometheus ``histogram_quantile`` style), so the answer is an
+        estimate bounded by the bucket edges, not an exact order
+        statistic.  Ranks landing in the final ``+inf`` bucket clamp to
+        the largest finite bucket edge.
+        """
+        if not 0.0 < q <= 1.0:
+            raise ValueError(f"quantile {q!r} not in (0, 1]")
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        cumulative = 0
+        lower = 0.0
+        for i, upper in enumerate(self.buckets):
+            count = self.counts[i]
+            if count and cumulative + count >= target:
+                fraction = (target - cumulative) / count
+                return lower + (upper - lower) * fraction
+            cumulative += count
+            lower = upper
+        return self.buckets[-1] if self.buckets else self.mean
+
     def to_dict(self) -> dict:
         return {"type": self.kind, "buckets": list(self.buckets),
                 "counts": list(self.counts), "sum": self.sum,

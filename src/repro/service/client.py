@@ -1,0 +1,177 @@
+"""A small blocking client for the analysis service.
+
+Used by the ``repro submit`` CLI verb, the load-generator benchmark
+and the service tests.  Stdlib only (:mod:`http.client`); one
+connection per request, matching the server's ``Connection: close``.
+
+Backpressure shows up as typed exceptions: a saturated queue raises
+:class:`ServiceSaturated` carrying the server's ``Retry-After`` hint,
+a draining server raises :class:`ServiceUnavailable`.
+:meth:`ServiceClient.submit_retry` turns the former into bounded
+retry-with-backoff, which is what a well-behaved load generator does.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import time
+
+from ..errors import ReproError
+
+
+class ClientError(ReproError):
+    """Base class for client-visible service failures."""
+
+
+class ServiceSaturated(ClientError):
+    """429: the queue is full; retry after ``retry_after`` seconds."""
+
+    def __init__(self, message: str, retry_after: float = 1.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ServiceUnavailable(ClientError):
+    """503 (draining) or the server cannot be reached at all."""
+
+
+class JobFailed(ClientError):
+    """A waited-on job finished in the ``failed`` state."""
+
+    def __init__(self, record: dict):
+        self.record = record
+        super().__init__(f"job {record.get('id')} "
+                         f"({record.get('name')}) failed: "
+                         f"{record.get('error')}")
+
+
+class ServiceClient:
+    """Blocking HTTP client for one analysis service."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8787,
+                 timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    # Transport
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, body: dict | None = None):
+        payload = json.dumps(body).encode() if body is not None else None
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout)
+        try:
+            connection.request(
+                method, path, body=payload,
+                headers={"Content-Type": "application/json"}
+                if payload else {})
+            response = connection.getresponse()
+            raw = response.read()
+            headers = {k.lower(): v for k, v in response.getheaders()}
+            try:
+                data = json.loads(raw) if raw else {}
+            except json.JSONDecodeError:
+                data = {"error": raw.decode(errors="replace")}
+            return response.status, headers, data
+        except (ConnectionError, OSError) as error:
+            raise ServiceUnavailable(
+                f"cannot reach service at {self.host}:{self.port}: "
+                f"{error}")
+        finally:
+            connection.close()
+
+    def _raise_for(self, status: int, headers: dict, data: dict):
+        if status == 429:
+            try:
+                retry_after = float(headers.get(
+                    "retry-after", data.get("retry_after", 1)))
+            except (TypeError, ValueError):
+                retry_after = 1.0
+            raise ServiceSaturated(data.get("error", "queue saturated"),
+                                   retry_after=retry_after)
+        if status == 503:
+            raise ServiceUnavailable(data.get("error",
+                                              "service unavailable"))
+        if status >= 400:
+            raise ClientError(
+                f"HTTP {status}: {data.get('error', data)}")
+
+    # ------------------------------------------------------------------
+    # API surface
+    # ------------------------------------------------------------------
+    def submit(self, spec) -> dict:
+        """POST one job; returns ``{"id": ..., "state": "queued"}``.
+
+        ``spec`` is a dict (the wire schema) or anything with a
+        ``to_dict()`` (a :class:`~.protocol.JobSpec`).
+        """
+        body = spec.to_dict() if hasattr(spec, "to_dict") else spec
+        status, headers, data = self._request("POST", "/v1/jobs", body)
+        self._raise_for(status, headers, data)
+        return data
+
+    def submit_retry(self, spec, attempts: int = 8,
+                     max_sleep: float = 10.0) -> dict:
+        """Submit, honouring 429 ``Retry-After`` up to `attempts`."""
+        for attempt in range(attempts):
+            try:
+                return self.submit(spec)
+            except ServiceSaturated as error:
+                if attempt == attempts - 1:
+                    raise
+                time.sleep(min(max(error.retry_after, 0.05), max_sleep))
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    def job(self, job_id: str) -> dict:
+        status, headers, data = self._request("GET",
+                                              f"/v1/jobs/{job_id}")
+        self._raise_for(status, headers, data)
+        return data
+
+    def wait(self, job_id: str, timeout: float = 300.0,
+             poll: float = 0.05) -> dict:
+        """Poll until the job leaves the queue/worker; returns the
+        final record.  Raises :class:`JobFailed` on failure and
+        ``TimeoutError`` when `timeout` elapses first."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] == "done":
+                return record
+            if record["state"] == "failed":
+                raise JobFailed(record)
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {record['state']} after "
+                    f"{timeout}s")
+            time.sleep(poll)
+
+    def explain(self, job_id: str, direction: str = "worst") -> dict:
+        status, headers, data = self._request(
+            "GET", f"/v1/jobs/{job_id}/explain?direction={direction}")
+        self._raise_for(status, headers, data)
+        return data
+
+    def healthz(self) -> dict:
+        status, headers, data = self._request("GET", "/healthz")
+        self._raise_for(status, headers, data)
+        return data
+
+    def metricz(self) -> dict:
+        status, headers, data = self._request("GET", "/metricz")
+        self._raise_for(status, headers, data)
+        return data
+
+    def wait_ready(self, timeout: float = 30.0,
+                   poll: float = 0.05) -> dict:
+        """Block until ``/healthz`` answers (server start-up)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            try:
+                return self.healthz()
+            except ServiceUnavailable:
+                if time.monotonic() >= deadline:
+                    raise
+                time.sleep(poll)

@@ -1,0 +1,278 @@
+"""The scheduler: queue -> executor dispatch with budgets and retry.
+
+``workers`` asyncio worker tasks pop :class:`~.protocol.JobRecord`
+objects off the :class:`~.queue.JobQueue` and run each through an
+executor — a ``ProcessPoolExecutor`` in production (real parallelism,
+crash isolation) or a ``ThreadPoolExecutor`` for tests and
+low-overhead embedding.  The unit of work is the engine's
+:func:`repro.engine.execute_job` payload, so the service computes
+bounds on exactly the code path ``repro engine run`` uses.
+
+Deadline propagation
+--------------------
+A spec's ``deadline_seconds`` counts from admission.  Whatever is left
+when the job reaches a worker becomes its per-set solver timeout
+(min-combined with any explicit ``set_timeout``), so a job that sat in
+the queue gets a proportionally tighter solver budget instead of
+blowing through its deadline.  A job whose deadline has already passed
+fails immediately with ``deadline exceeded`` and never occupies a
+worker.  Cache keys carry only the *spec-level* budgets, never the
+deadline-derived remainder: a run that finishes without tripping any
+budget produced the true bound, which is valid for every deadline,
+while a budget-degraded (partial) result is never cached at all.
+
+Failure semantics
+-----------------
+Deterministic analysis errors come back inside the ``JobResult``
+(status ``failed``) and are terminal.  Transient executor failures — a
+worker killed by the OOM killer, a broken pool — are retried with
+exponential backoff in a fresh pool up to ``retries`` times.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+
+from ..engine.core import execute_job
+from ..engine.metrics import EngineMetrics
+from ..errors import ReproError
+from ..obs.registry import MetricsRegistry
+
+#: Buckets for queue-wait and run-time histograms (seconds).
+LATENCY_BUCKETS = (0.001, 0.005, 0.025, 0.1, 0.5, 2.0, 10.0, 60.0)
+
+#: EWMA smoothing for the running average job duration that feeds the
+#: ``Retry-After`` estimate.
+_EWMA_ALPHA = 0.3
+
+
+class Scheduler:
+    """Dispatches queued job records to analysis workers.
+
+    Parameters
+    ----------
+    queue:
+        The :class:`~.queue.JobQueue` to consume.
+    workers:
+        Executor width and number of concurrent dispatch tasks.
+    cache:
+        A :class:`repro.engine.ResultCache` shared with the workers
+        (None disables caching).
+    executor:
+        ``"process"`` (default) or ``"thread"``.
+    runner:
+        The payload function run in the executor; defaults to
+        :func:`repro.engine.execute_job`.  Injectable for tests.
+    registry:
+        The service's :class:`~repro.obs.MetricsRegistry`; engine
+        evidence (stage timings, solver effort, cache traffic) is
+        folded into the same registry under ``engine.*`` names.
+    """
+
+    def __init__(self, queue, workers: int = 2, cache=None,
+                 executor: str = "process", runner=None,
+                 retries: int = 2, backoff: float = 0.25,
+                 default_set_timeout: float | None = None,
+                 max_iterations: int | None = None,
+                 registry: MetricsRegistry | None = None):
+        if executor not in ("process", "thread"):
+            raise ValueError(f"unknown executor kind {executor!r}")
+        self.queue = queue
+        self.workers = max(1, workers)
+        self.cache = cache
+        self.executor_kind = executor
+        self.runner = runner or execute_job
+        self.retries = retries
+        self.backoff = backoff
+        self.default_set_timeout = default_set_timeout
+        self.max_iterations = max_iterations
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        self.engine_metrics = EngineMetrics(self.registry)
+        for status in ("ok", "partial", "failed"):
+            self.registry.counter(f"service.jobs.done.{status}")
+        self.registry.counter("service.jobs.deadline_expired")
+        self.registry.counter("service.retries")
+        self.registry.histogram("service.queue_seconds",
+                                buckets=LATENCY_BUCKETS)
+        self.registry.histogram("service.run_seconds",
+                                buckets=LATENCY_BUCKETS)
+        self.running = 0
+        self.completed = 0
+        self.avg_run_seconds = 0.0
+        self._executor = None
+        self._tasks: list[asyncio.Task] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Create the executor and spawn the worker tasks."""
+        self._executor = self._make_executor()
+        self._tasks = [asyncio.create_task(self._worker(),
+                                           name=f"service-worker-{n}")
+                       for n in range(self.workers)]
+
+    async def join(self) -> None:
+        """Wait for every worker to exit (queue closed and drained)."""
+        if self._tasks:
+            await asyncio.gather(*self._tasks)
+
+    def shutdown(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True, cancel_futures=True)
+            self._executor = None
+
+    def _make_executor(self):
+        if self.executor_kind == "thread":
+            return ThreadPoolExecutor(max_workers=self.workers)
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+    def _reset_executor(self) -> None:
+        """Replace a (possibly broken) pool before a retry."""
+        broken = self._executor
+        self._executor = self._make_executor()
+        if broken is not None:
+            broken.shutdown(wait=False, cancel_futures=True)
+
+    # ------------------------------------------------------------------
+    # Admission helpers (used by the HTTP layer)
+    # ------------------------------------------------------------------
+    def retry_after(self) -> int:
+        """Whole-second backpressure hint for a 429 response: the
+        estimated time for the backlog to clear one slot."""
+        backlog = self.queue.depth + self.running
+        per_job = max(self.avg_run_seconds, 0.05)
+        return max(1, math.ceil(backlog * per_job / self.workers))
+
+    def note_depth(self) -> None:
+        self.registry.gauge("service.queue_depth").set(self.queue.depth)
+        self.registry.gauge("service.running").set(self.running)
+
+    def _budget_key(self, spec) -> str:
+        """Spec-level budgets as cache-key material; matches
+        :meth:`repro.engine.AnalysisEngine._budget_key` so warm cache
+        entries are shared with ``repro engine run``."""
+        set_timeout = spec.set_timeout if spec.set_timeout is not None \
+            else self.default_set_timeout
+        max_iterations = spec.max_iterations \
+            if spec.max_iterations is not None else self.max_iterations
+        return (f"timeout={set_timeout!r}|"
+                f"max_iterations={max_iterations!r}")
+
+    # ------------------------------------------------------------------
+    # Workers
+    # ------------------------------------------------------------------
+    async def _worker(self) -> None:
+        while True:
+            record = await self.queue.pop()
+            if record is None:
+                return
+            self.note_depth()
+            await self._run_record(record)
+
+    async def _run_record(self, record) -> None:
+        loop = asyncio.get_running_loop()
+        record.state = "running"
+        record.queue_seconds = (time.monotonic()
+                                - record.admitted_monotonic)
+        self.registry.histogram(
+            "service.queue_seconds",
+            buckets=LATENCY_BUCKETS).observe(record.queue_seconds)
+        self.running += 1
+        self.note_depth()
+        started = time.monotonic()
+        try:
+            await self._execute(loop, record)
+        finally:
+            record.run_seconds = time.monotonic() - started
+            self.registry.histogram(
+                "service.run_seconds",
+                buckets=LATENCY_BUCKETS).observe(record.run_seconds)
+            self.avg_run_seconds = (
+                record.run_seconds if not self.completed
+                else _EWMA_ALPHA * record.run_seconds
+                + (1 - _EWMA_ALPHA) * self.avg_run_seconds)
+            self.running -= 1
+            self.completed += 1
+            self.registry.counter(
+                f"service.jobs.done.{record.status or 'failed'}").inc()
+            self.note_depth()
+
+    async def _execute(self, loop, record) -> None:
+        spec = record.spec
+        remaining = record.deadline_remaining()
+        if remaining is not None and remaining <= 0:
+            self.registry.counter("service.jobs.deadline_expired").inc()
+            record.fail("deadline exceeded while queued")
+            return
+        try:
+            job = spec.to_analysis_job()
+        except (ReproError, KeyError) as error:
+            record.fail(str(error))
+            return
+
+        key = None
+        if self.cache is not None:
+            key = self.cache.job_key(job.fingerprint(),
+                                     budget=self._budget_key(spec))
+            report = self.cache.get_report(key)
+            self.engine_metrics.record_cache("job", report is not None)
+            if report is not None:
+                record.cache_hit = True
+                record.state = "done"
+                record.status = "ok"
+                record.report = report
+                return
+
+        set_timeout = spec.set_timeout if spec.set_timeout is not None \
+            else self.default_set_timeout
+        if remaining is not None:
+            set_timeout = remaining if set_timeout is None \
+                else min(set_timeout, remaining)
+        max_iterations = spec.max_iterations \
+            if spec.max_iterations is not None else self.max_iterations
+        cache_dir = str(self.cache.root) if self.cache is not None \
+            else None
+        payload = (job, cache_dir, set_timeout, max_iterations, False)
+
+        result = await self._dispatch(loop, payload, record)
+        if result is None:           # retries exhausted; record failed
+            return
+        record.finish(result)
+        if result.report is not None:
+            self.engine_metrics.record_report(result.report)
+            for _ in range(result.set_cache_hits):
+                self.engine_metrics.record_cache("set", True)
+            for _ in range(result.set_cache_misses):
+                self.engine_metrics.record_cache("set", False)
+            if self.cache is not None and result.ok:
+                self.cache.put_report(key, result.report)
+
+    async def _dispatch(self, loop, payload, record):
+        """Run the payload in the executor with retry + backoff."""
+        attempt = 0
+        while True:
+            record.attempts += 1
+            try:
+                return await loop.run_in_executor(
+                    self._executor, self.runner, payload)
+            except asyncio.CancelledError:
+                raise
+            except ReproError as error:
+                # Deterministic analysis failure escaping the runner.
+                record.fail(str(error))
+                return None
+            except Exception as error:
+                attempt += 1
+                self.registry.counter("service.retries").inc()
+                if attempt > self.retries:
+                    record.fail(
+                        f"worker failed after {attempt} attempts: "
+                        f"{error!r}")
+                    return None
+                self._reset_executor()
+                await asyncio.sleep(self.backoff * (2 ** (attempt - 1)))

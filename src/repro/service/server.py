@@ -1,0 +1,379 @@
+"""The asyncio HTTP front end of the analysis service.
+
+Dependency-free: a minimal HTTP/1.1 request parser over
+``asyncio.start_server`` streams (one request per connection,
+``Connection: close``), JSON in and out.  Endpoints:
+
+================================  =====================================
+``POST /v1/jobs``                 submit a :class:`~.protocol.JobSpec`;
+                                  ``202`` + id, ``429`` + ``Retry-After``
+                                  when saturated, ``503`` when draining,
+                                  ``400`` on bad specs
+``GET /v1/jobs/{id}``             job record (bounds + full report once
+                                  done)
+``GET /v1/jobs/{id}/explain``     bound provenance (winning set,
+                                  witness, binding constraints); takes
+                                  ``?direction=worst|best``
+``GET /healthz``                  liveness + queue depth (``draining``
+                                  while shutting down)
+``GET /metricz``                  the service's ``repro.obs`` registry
+                                  snapshot — mergeable JSON, same
+                                  schema as ``repro obs dump/diff``
+================================  =====================================
+
+Graceful drain: ``SIGTERM``/``SIGINT`` (or :meth:`AnalysisService.drain`)
+closes admission (new submissions get ``503``), lets in-flight and
+queued jobs finish, flushes the metrics snapshot to ``metrics_path``
+if configured, stops the listener and exits 0.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import signal
+import threading
+
+from ..engine.cache import ResultCache
+from ..obs.registry import MetricsRegistry
+from .protocol import BadRequest, JobRecord, JobSpec
+from .queue import JobQueue, QueueClosed, QueueSaturated
+from .scheduler import Scheduler
+
+#: Largest accepted request body (a job spec with inline source).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+_REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
+            404: "Not Found", 405: "Method Not Allowed",
+            409: "Conflict", 413: "Payload Too Large",
+            429: "Too Many Requests", 500: "Internal Server Error",
+            503: "Service Unavailable"}
+
+
+class AnalysisService:
+    """The analysis server: queue + scheduler + HTTP listener.
+
+    Construct, then either :meth:`run` (blocking, installs signal
+    handlers — the ``repro serve`` path) or ``await start()`` /
+    ``await drain()`` inside an existing event loop (tests,
+    :class:`ServiceThread`).
+    """
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 workers: int = 2, queue_depth: int = 64,
+                 cache_dir=None, cache_limits: tuple | None = None,
+                 executor: str = "process", runner=None,
+                 set_timeout: float | None = None,
+                 max_iterations: int | None = None,
+                 retries: int = 2, backoff: float = 0.25,
+                 metrics_path=None,
+                 registry: MetricsRegistry | None = None):
+        self.host = host
+        self.port = port
+        self.metrics_path = metrics_path
+        self.registry = registry if registry is not None \
+            else MetricsRegistry()
+        for name in ("service.jobs.submitted", "service.jobs.rejected"):
+            self.registry.counter(name)
+        max_entries, max_bytes = cache_limits or (None, None)
+        cache = ResultCache(cache_dir, max_entries=max_entries,
+                            max_bytes=max_bytes) if cache_dir else None
+        self.queue = JobQueue(maxsize=queue_depth)
+        self.scheduler = Scheduler(
+            self.queue, workers=workers, cache=cache,
+            executor=executor, runner=runner, retries=retries,
+            backoff=backoff, default_set_timeout=set_timeout,
+            max_iterations=max_iterations, registry=self.registry)
+        self.records: dict[str, JobRecord] = {}
+        self._seq = 0
+        self._server: asyncio.AbstractServer | None = None
+        self._draining = False
+        self._drained: asyncio.Event | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener and start the scheduler workers."""
+        self._drained = asyncio.Event()
+        self.scheduler.start()
+        self._server = await asyncio.start_server(
+            self._handle, self.host, self.port)
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def drain(self) -> None:
+        """Stop admitting, finish in-flight jobs, flush, stop."""
+        if self._draining:
+            await self._drained.wait()
+            return
+        self._draining = True
+        self.queue.close()
+        await self.scheduler.join()
+        if self.metrics_path:
+            self.registry.dump(self.metrics_path)
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        self.scheduler.shutdown()
+        self._drained.set()
+
+    async def wait_drained(self) -> None:
+        await self._drained.wait()
+
+    def run(self) -> int:
+        """Serve until SIGTERM/SIGINT, drain gracefully, return 0."""
+        return asyncio.run(self._serve_forever())
+
+    async def _serve_forever(self) -> int:
+        await self.start()
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGTERM, signal.SIGINT):
+            loop.add_signal_handler(
+                signum,
+                lambda: asyncio.ensure_future(self.drain()))
+        print(f"analysis service listening on "
+              f"http://{self.host}:{self.port} "
+              f"(workers={self.scheduler.workers}, "
+              f"queue={self.queue.maxsize}, "
+              f"executor={self.scheduler.executor_kind})",
+              flush=True)
+        await self.wait_drained()
+        print("analysis service drained; bye", flush=True)
+        return 0
+
+    # ------------------------------------------------------------------
+    # HTTP plumbing
+    # ------------------------------------------------------------------
+    async def _handle(self, reader, writer) -> None:
+        try:
+            status, payload, headers = await self._respond(reader)
+            body = json.dumps(payload).encode()
+            reason = _REASONS.get(status, "")
+            head = [f"HTTP/1.1 {status} {reason}",
+                    "Content-Type: application/json",
+                    f"Content-Length: {len(body)}",
+                    "Connection: close"]
+            head += [f"{k}: {v}" for k, v in (headers or {}).items()]
+            writer.write(("\r\n".join(head) + "\r\n\r\n").encode()
+                         + body)
+            await writer.drain()
+        except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):  # pragma: no cover
+                pass
+
+    async def _respond(self, reader):
+        """Parse one request and route it; returns
+        ``(status, json_payload, extra_headers)``."""
+        try:
+            request = await self._read_request(reader)
+        except _RequestTooLarge:
+            return 413, {"error": "request body too large"}, None
+        except (ValueError, UnicodeDecodeError,
+                asyncio.IncompleteReadError):
+            return 400, {"error": "malformed HTTP request"}, None
+        if request is None:
+            return 400, {"error": "empty request"}, None
+        method, path, query, body = request
+        try:
+            return await self._route(method, path, query, body)
+        except BadRequest as error:
+            return 400, {"error": str(error)}, None
+        except Exception as error:  # pragma: no cover - defense
+            return 500, {"error": f"internal error: {error!r}"}, None
+
+    async def _read_request(self, reader):
+        line = await reader.readline()
+        if not line:
+            return None
+        parts = line.decode("ascii").split()
+        if len(parts) != 3:
+            raise ValueError("bad request line")
+        method, target, _version = parts
+        headers = {}
+        while True:
+            line = await reader.readline()
+            if line in (b"\r\n", b"\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", 0))
+        if length > MAX_BODY_BYTES:
+            raise _RequestTooLarge()
+        body = await reader.readexactly(length) if length else b""
+        path, _, query_text = target.partition("?")
+        query = {}
+        for pair in query_text.split("&"):
+            if "=" in pair:
+                key, _, value = pair.partition("=")
+                query[key] = value
+        return method.upper(), path, query, body
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    async def _route(self, method, path, query, body):
+        if path == "/healthz":
+            if method != "GET":
+                return 405, {"error": "GET only"}, None
+            return 200, self._health(), None
+        if path == "/metricz":
+            if method != "GET":
+                return 405, {"error": "GET only"}, None
+            self.scheduler.note_depth()
+            return 200, self.registry.snapshot(), None
+        if path == "/v1/jobs":
+            if method != "POST":
+                return 405, {"error": "POST only"}, None
+            return self._submit(body)
+        prefix = "/v1/jobs/"
+        if path.startswith(prefix):
+            rest = path[len(prefix):]
+            if rest.endswith("/explain"):
+                job_id = rest[: -len("/explain")]
+                if method != "GET":
+                    return 405, {"error": "GET only"}, None
+                return await self._explain(job_id, query)
+            if method != "GET":
+                return 405, {"error": "GET only"}, None
+            record = self.records.get(rest)
+            if record is None:
+                return 404, {"error": f"unknown job {rest!r}"}, None
+            return 200, record.to_dict(), None
+        return 404, {"error": f"no route for {path}"}, None
+
+    def _health(self) -> dict:
+        return {
+            "status": "draining" if self._draining else "ok",
+            "queue_depth": self.queue.depth,
+            "running": self.scheduler.running,
+            "completed": self.scheduler.completed,
+            "workers": self.scheduler.workers,
+        }
+
+    def _submit(self, body: bytes):
+        if self._draining:
+            self.registry.counter("service.jobs.rejected").inc()
+            return 503, {"error": "service is draining"}, None
+        try:
+            data = json.loads(body or b"{}")
+        except json.JSONDecodeError as error:
+            raise BadRequest(f"body is not valid JSON: {error}")
+        spec = JobSpec.from_dict(data)
+        self._seq += 1
+        record = JobRecord(id=f"j{self._seq:06d}", spec=spec)
+        try:
+            self.queue.push(record)
+        except QueueSaturated as error:
+            self.registry.counter("service.jobs.rejected").inc()
+            retry_after = self.scheduler.retry_after()
+            return (429,
+                    {"error": str(error), "retry_after": retry_after},
+                    {"Retry-After": str(retry_after)})
+        except QueueClosed:
+            self.registry.counter("service.jobs.rejected").inc()
+            return 503, {"error": "service is draining"}, None
+        self.records[record.id] = record
+        self.registry.counter("service.jobs.submitted").inc()
+        self.scheduler.note_depth()
+        return (202,
+                {"id": record.id, "state": record.state,
+                 "queue_depth": self.queue.depth},
+                None)
+
+    async def _explain(self, job_id: str, query):
+        record = self.records.get(job_id)
+        if record is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, None
+        if record.state != "done" or record.report is None:
+            return (409,
+                    {"error": f"job {job_id} is {record.state}; "
+                              "explanations need a finished report"},
+                    None)
+        direction = query.get("direction", "worst")
+        if direction not in ("worst", "best"):
+            raise BadRequest(f"unknown direction {direction!r}")
+        from ..obs.explain import explain_bound, explanation_to_dict
+
+        def build():
+            analysis = record.spec.to_analysis_job().build_analysis()
+            return explain_bound(analysis, record.report,
+                                 direction=direction)
+
+        # Rebuilding the analysis is CPU-bound; keep it off the loop.
+        explanation = await asyncio.to_thread(build)
+        return 200, explanation_to_dict(explanation), None
+
+
+class _RequestTooLarge(Exception):
+    pass
+
+
+class ServiceThread:
+    """Run an :class:`AnalysisService` event loop on a daemon thread.
+
+    The embedding used by tests, the load-generator benchmark and any
+    caller that wants a live server without owning an event loop::
+
+        with ServiceThread(workers=2, executor="thread") as handle:
+            client = ServiceClient(port=handle.port)
+            ...
+
+    ``stop()`` (or leaving the ``with`` block) drains gracefully.
+    """
+
+    def __init__(self, **kwargs):
+        self.service = AnalysisService(**kwargs)
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._thread: threading.Thread | None = None
+        self._ready = threading.Event()
+        self._error: BaseException | None = None
+
+    @property
+    def port(self) -> int:
+        return self.service.port
+
+    def start(self) -> "ServiceThread":
+        self._thread = threading.Thread(
+            target=lambda: asyncio.run(self._main()),
+            name="analysis-service", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("analysis service failed to start")
+        if self._error is not None:
+            raise RuntimeError(
+                f"analysis service failed to start: {self._error!r}")
+        return self
+
+    async def _main(self) -> None:
+        try:
+            await self.service.start()
+        except BaseException as error:
+            self._error = error
+            self._ready.set()
+            return
+        self._loop = asyncio.get_running_loop()
+        self._ready.set()
+        await self.service.wait_drained()
+
+    def drain(self, timeout: float = 120.0) -> None:
+        """Drain the service and join the thread."""
+        if self._loop is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(
+            self.service.drain(), self._loop)
+        future.result(timeout)
+        self._thread.join(timeout)
+        self._loop = None
+
+    stop = drain
+
+    def __enter__(self) -> "ServiceThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.drain()

@@ -114,6 +114,82 @@ class TestRun:
         assert code == 1
 
 
+class TestExplainAgainst:
+    def _save_explanation(self, tmp_path, capsys) -> str:
+        assert main(["explain", "check_data", "--json"]) == 0
+        saved = tmp_path / "before.json"
+        saved.write_text(capsys.readouterr().out)
+        return str(saved)
+
+    def test_self_diff_reports_no_differences(self, tmp_path, capsys):
+        saved = self._save_explanation(tmp_path, capsys)
+        code = main(["explain", "check_data", "--against", saved])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "(no differences)" in out
+        assert "worst-case bound:" in out
+
+    def test_against_json_delta(self, tmp_path, capsys):
+        import json
+
+        saved = self._save_explanation(tmp_path, capsys)
+        code = main(["explain", "check_data", "--against", saved,
+                     "--json"])
+        payload = json.loads(capsys.readouterr().out)
+        assert code == 0
+        assert payload["unchanged"] is True
+        assert payload["bound_delta"] == 0
+
+    def test_against_cross_machine_shows_delta(self, tmp_path, capsys):
+        saved = self._save_explanation(tmp_path, capsys)
+        code = main(["explain", "check_data", "--against", saved,
+                     "--machine", "nocache"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "machine differs" in out
+        assert "(no differences)" not in out
+
+    def test_against_rejects_non_explain_file(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        code = main(["explain", "check_data", "--against", str(bogus)])
+        assert code == 1
+        assert "explain" in capsys.readouterr().err
+
+
+class TestServiceCli:
+    def test_engine_stats_reports_evictions(self, tmp_path, capsys):
+        code = main(["engine", "stats", "--cache-dir", str(tmp_path)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "evictions: 0 (lifetime)" in out
+
+    def test_submit_round_trip(self, capsys):
+        from repro.service import ServiceThread
+
+        with ServiceThread(workers=1, executor="thread") as handle:
+            code = main(["submit", "check_data",
+                         "--port", str(handle.port)])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert out.startswith("check_data: [")
+
+    def test_submit_no_wait_prints_ids(self, capsys):
+        from repro.service import ServiceThread
+
+        with ServiceThread(workers=1, executor="thread") as handle:
+            code = main(["submit", "check_data", "--no-wait",
+                         "--port", str(handle.port)])
+            out = capsys.readouterr().out
+            assert code == 0
+            assert "check_data: submitted as j" in out
+
+    def test_submit_unreachable_service_fails_cleanly(self, capsys):
+        code = main(["submit", "check_data", "--port", "1"])
+        assert code == 1
+        assert "error:" in capsys.readouterr().err
+
+
 class TestOtherCommands:
     def test_annotate(self, source_file, capsys):
         code = main(["annotate", source_file])

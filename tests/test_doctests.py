@@ -8,8 +8,11 @@ import repro
 import repro.analysis.ipet
 import repro.ilp.expr
 import repro.ilp.model
+import repro.obs.registry
+import repro.service
 
-MODULES = [repro, repro.analysis.ipet, repro.ilp.expr, repro.ilp.model]
+MODULES = [repro, repro.analysis.ipet, repro.ilp.expr,
+           repro.ilp.model, repro.obs.registry, repro.service]
 
 
 @pytest.mark.parametrize("module", MODULES,

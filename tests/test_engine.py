@@ -126,6 +126,78 @@ class TestResultCache:
         assert cache.stats().entries == 0
 
 
+class TestEviction:
+    @staticmethod
+    def _fill(cache, report, count, start=0):
+        """Put `count` reports under distinct keys with deterministic
+        mtimes (oldest first), bypassing wall-clock granularity."""
+        import os
+
+        keys = [cache.job_key(f"job-{start + i}") for i in range(count)]
+        for i, key in enumerate(keys):
+            cache.put_report(key, report)
+            tick = (start + i + 1) * 1_000_000_000
+            os.utime(cache._path(key), ns=(tick, tick))
+        return keys
+
+    def test_max_entries_evicts_oldest(self, tmp_path):
+        report = _analysis().estimate()
+        keys = self._fill(ResultCache(tmp_path), report, 4)
+        capped = ResultCache(tmp_path, max_entries=3)
+        newest = self._fill(capped, report, 1, start=4)[0]
+        assert capped.evictions == 2               # 5 entries -> 3
+        assert capped.stats().entries == 3
+        assert capped.get_report(keys[0]) is None  # oldest two gone
+        assert capped.get_report(keys[1]) is None
+        assert capped.get_report(keys[3]) is not None
+        assert capped.get_report(newest) is not None
+
+    def test_read_touch_protects_entry(self, tmp_path):
+        import os
+
+        report = _analysis().estimate()
+        keys = self._fill(ResultCache(tmp_path), report, 3)
+        capped = ResultCache(tmp_path, max_entries=3)
+        # Reading keys[0] marks it recently used...
+        assert capped.get_report(keys[0]) is not None
+        tick = 10 * 1_000_000_000
+        os.utime(capped._path(keys[0]), ns=(tick, tick))
+        self._fill(capped, report, 1, start=20)
+        # ...so the LRU victim is keys[1], not the touched keys[0].
+        assert capped.get_report(keys[0]) is not None
+        assert capped.get_report(keys[1]) is None
+
+    def test_max_bytes_cap(self, tmp_path):
+        report = _analysis().estimate()
+        probe = ResultCache(tmp_path)
+        self._fill(probe, report, 1)
+        entry_bytes = probe.stats().total_bytes
+        capped = ResultCache(tmp_path, max_bytes=2 * entry_bytes)
+        self._fill(capped, report, 3, start=1)
+        stats = capped.stats()
+        assert stats.total_bytes <= 2 * entry_bytes
+        assert stats.entries == 2
+        assert capped.evictions == 2
+
+    def test_lifetime_evictions_persist_in_stats(self, tmp_path):
+        report = _analysis().estimate()
+        capped = ResultCache(tmp_path, max_entries=1)
+        self._fill(capped, report, 3)
+        assert capped.evictions == 2
+        # A fresh cache object on the same root sees the lifetime total.
+        fresh = ResultCache(tmp_path)
+        stats = fresh.stats()
+        assert stats.evictions == 2
+        assert fresh.evictions == 0                # this object's own
+
+    def test_uncapped_cache_never_evicts(self, tmp_path):
+        report = _analysis().estimate()
+        cache = ResultCache(tmp_path)
+        self._fill(cache, report, 4)
+        assert cache.evictions == 0
+        assert cache.stats().entries == 4
+
+
 class TestEngineRuns:
     def test_cached_rerun_identical(self, tmp_path):
         jobs = [AnalysisJob.from_benchmark("check_data"), _job()]

@@ -13,9 +13,11 @@ from repro.engine.cache import ResultCache
 from repro.engine.metrics import EngineMetrics
 from repro.errors import AnalysisError
 from repro.obs import (NULL_TRACER, Counter, Gauge, Histogram,
-                       MetricsRegistry, Tracer, explain_bound,
+                       MetricsRegistry, Tracer, diff_explanations,
+                       explain_bound, explanation_delta_to_dict,
                        explanation_to_dict, render_explanation,
-                       to_chrome, trace_skeleton, write_chrome_trace)
+                       render_explanation_delta, to_chrome,
+                       trace_skeleton, write_chrome_trace)
 from repro.programs import get_benchmark
 
 GOLDEN = Path(__file__).parent / "golden"
@@ -184,6 +186,104 @@ class TestRegistry:
         path = tmp_path / "metrics.json"
         registry.dump(path)
         assert MetricsRegistry.load(path).value("n") == 4
+
+
+class TestHistogramPercentiles:
+    def test_interpolates_within_bucket(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            histogram.observe(value)
+        # Rank 2 of 4 sits at the end of the (1.0, 2.0] bucket's first
+        # observation: 1.0 + (2/4*4 - 1)/2 * (2.0 - 1.0) = 1.5.
+        assert histogram.percentile(0.5) == pytest.approx(1.5)
+        assert histogram.percentile(1.0) == pytest.approx(4.0)
+        # Quantiles are monotone in q.
+        quantiles = [histogram.percentile(q)
+                     for q in (0.1, 0.3, 0.5, 0.8, 1.0)]
+        assert quantiles == sorted(quantiles)
+
+    def test_overflow_bucket_clamps_to_last_edge(self):
+        histogram = Histogram("h", buckets=(1.0, 2.0))
+        histogram.observe(100.0)
+        assert histogram.percentile(0.99) == 2.0
+
+    def test_empty_and_bad_quantile(self):
+        histogram = Histogram("h", buckets=(1.0,))
+        assert histogram.percentile(0.5) == 0.0
+        histogram.observe(0.5)
+        for q in (0.0, -0.1, 1.5):
+            with pytest.raises(ValueError):
+                histogram.percentile(q)
+
+    def test_engine_report_prints_percentiles(self):
+        metrics = EngineMetrics()
+        from repro.engine.metrics import SET_SECONDS_BUCKETS
+
+        histogram = metrics.registry.histogram(
+            "engine.set_wall_seconds", buckets=SET_SECONDS_BUCKETS)
+        for value in (0.01, 0.02, 0.4):
+            histogram.observe(value)
+        text = metrics.render()
+        assert "set solve seconds: p50" in text
+        assert "p95" in text and "p99" in text and "over 3 sets" in text
+
+    def test_engine_report_omits_percentiles_when_empty(self):
+        assert "set solve seconds" not in EngineMetrics().render()
+
+
+class TestExplanationDelta:
+    def _explanation_dict(self, name="check_data"):
+        analysis = get_benchmark(name).make_analysis()
+        return explanation_to_dict(explain_bound(analysis))
+
+    def test_self_diff_is_unchanged(self):
+        payload = self._explanation_dict()
+        delta = diff_explanations(payload, payload)
+        assert delta.unchanged
+        assert delta.bound_delta == 0
+        assert "(no differences)" in render_explanation_delta(delta)
+
+    def test_detects_bound_binding_and_breakdown_changes(self):
+        before = self._explanation_dict()
+        after = json.loads(json.dumps(before))       # deep copy
+        after["bound"] += 40
+        after["set_index"] = before["set_index"] + 1
+        moved = after["breakdown"][0]
+        moved["count"] += 2
+        moved["cycles"] += 40
+        after["binding"] = [line for line in after["binding"][1:]]
+        after["binding"].append({"kind": "functionality",
+                                 "label": "x9 = 1", "text": "x9 = 1",
+                                 "slack": 0.0, "binding": True})
+
+        delta = diff_explanations(before, after)
+        assert not delta.unchanged
+        assert delta.bound_delta == 40
+        assert delta.set_index_change == (before["set_index"],
+                                          before["set_index"] + 1)
+        assert [l["label"] for l in delta.binding_added] == ["x9 = 1"]
+        assert (delta.binding_removed[0]["label"]
+                == before["binding"][0]["label"])
+        assert delta.rows[0].var == moved["var"]
+        assert delta.rows[0].delta_cycles == pytest.approx(40)
+
+        text = render_explanation_delta(delta)
+        assert "-> " in text and "(+40)" in text
+        assert "+ [functionality]" in text
+        assert "per-block breakdown changes" in text
+
+        payload = explanation_delta_to_dict(delta)
+        parsed = json.loads(json.dumps(payload))
+        assert parsed["bound_delta"] == 40
+        assert parsed["rows"][0]["delta_cycles"] == 40
+        assert parsed["unchanged"] is False
+
+    def test_identity_mismatch_is_noted(self):
+        before = self._explanation_dict("check_data")
+        after = self._explanation_dict("piksrt")
+        delta = diff_explanations(before, after)
+        assert any("entry differs" in note for note in delta.notes)
+        assert "**" in render_explanation_delta(delta)
 
 
 class TestEngineMetricsFacade:

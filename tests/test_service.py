@@ -1,0 +1,286 @@
+"""Analysis service: wire model, queue, admission, deadlines, drain.
+
+Scheduling behaviour is tested deterministically by injecting a gated
+fake runner (the scheduler's ``runner`` hook) so a worker can be held
+mid-job while the test probes the HTTP surface around it; the
+end-to-end class runs the real engine payload and checks the served
+bounds against serial ``Analysis.estimate``.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.engine.jobs import JobResult
+from repro.obs import MetricsRegistry
+from repro.programs import get_benchmark
+from repro.service import (BadRequest, ClientError, JobFailed, JobQueue,
+                           JobSpec, QueueClosed, QueueSaturated,
+                           ServiceClient, ServiceSaturated,
+                           ServiceThread, ServiceUnavailable)
+
+
+class GatedRunner:
+    """A fake engine runner the test can hold and release."""
+
+    def __init__(self):
+        self.gate = threading.Event()
+        self.started = threading.Event()
+        self.payloads = []
+        self._lock = threading.Lock()
+
+    def __call__(self, payload):
+        with self._lock:
+            self.payloads.append(payload)
+        self.started.set()
+        if not self.gate.wait(timeout=30):
+            raise TimeoutError("test never released the gate")
+        return JobResult(payload[0].name, "ok")
+
+    @property
+    def names(self):
+        with self._lock:
+            return [payload[0].name for payload in self.payloads]
+
+
+def _thread_service(**kwargs):
+    kwargs.setdefault("executor", "thread")
+    return ServiceThread(**kwargs)
+
+
+def _src(name, **extra):
+    """A named source-job spec (fake runners never compile it, and the
+    spec's name travels into the engine payload — unlike benchmark
+    jobs, which take the benchmark's registered name)."""
+    return {"name": name, "source": "int f() { return 1; }",
+            "entry": "f", **extra}
+
+
+class TestJobSpec:
+    def test_round_trip(self):
+        spec = JobSpec.from_dict({
+            "source": "int f() { return 1; }", "entry": "f",
+            "machine": "dsp3210", "backend": "exact",
+            "auto_bounds": True, "bounds": [[None, 3, 0, 8]],
+            "constraints": [["x1 = 1", None]], "priority": 4,
+            "deadline_seconds": 9.5, "set_timeout": 2.0,
+            "max_iterations": 1000})
+        assert JobSpec.from_dict(spec.to_dict()) == spec
+        assert spec.name == "f@source"
+
+    def test_lowers_to_engine_job(self):
+        spec = JobSpec.from_dict({"benchmark": "check_data"})
+        job = spec.to_analysis_job()
+        from repro.engine import AnalysisJob
+        assert (job.fingerprint()
+                == AnalysisJob.from_benchmark("check_data").fingerprint())
+
+    @pytest.mark.parametrize("body", [
+        "not a dict",
+        {},                                        # no target
+        {"benchmark": "a", "source": "b", "entry": "f"},
+        {"source": "int f(){}"},                   # no entry
+        {"benchmark": "check_data", "machine": "vax"},
+        {"benchmark": "check_data", "backend": "cplex"},
+        {"benchmark": "check_data", "deadline_seconds": -1},
+        {"benchmark": "check_data", "set_timeout": "soon"},
+        {"benchmark": "check_data", "bounds": [[1]]},
+        {"benchmark": "check_data", "frobnicate": True},
+    ])
+    def test_rejects_bad_specs(self, body):
+        with pytest.raises(BadRequest):
+            JobSpec.from_dict(body)
+
+
+class _Record:
+    def __init__(self, name, priority=0):
+        self.spec = JobSpec(name=name, benchmark=name, priority=priority)
+
+
+class TestJobQueue:
+    def test_priority_then_fifo(self):
+        async def scenario():
+            queue = JobQueue()
+            for name, priority in (("a", 0), ("b", 5),
+                                   ("c", 0), ("d", 5)):
+                queue.push(_Record(name, priority))
+            return [(await queue.pop()).spec.name for _ in range(4)]
+
+        assert asyncio.run(scenario()) == ["b", "d", "a", "c"]
+
+    def test_saturation_and_close(self):
+        async def scenario():
+            queue = JobQueue(maxsize=1)
+            queue.push(_Record("a"))
+            with pytest.raises(QueueSaturated):
+                queue.push(_Record("b"))
+            queue.close()
+            with pytest.raises(QueueClosed):
+                queue.push(_Record("c"))
+            assert (await queue.pop()).spec.name == "a"
+            assert await queue.pop() is None      # closed and empty
+
+        asyncio.run(scenario())
+
+
+class TestAdmissionControl:
+    def test_saturated_queue_gets_429_with_retry_after(self):
+        runner = GatedRunner()
+        with _thread_service(workers=1, queue_depth=1,
+                             runner=runner) as handle:
+            client = ServiceClient(port=handle.port)
+            first = client.submit(_src("inflight"))
+            assert runner.started.wait(timeout=10)
+            client.submit(_src("queued"))
+            with pytest.raises(ServiceSaturated) as excinfo:
+                client.submit(_src("rejected"))
+            assert excinfo.value.retry_after >= 1
+
+            snapshot = client.metricz()
+            assert snapshot["service.jobs.rejected"]["value"] == 1
+            assert snapshot["service.jobs.submitted"]["value"] == 2
+
+            runner.gate.set()
+            record = client.wait(first["id"], timeout=30)
+            assert record["state"] == "done"
+        assert "rejected" not in runner.names
+
+    def test_priority_orders_dispatch(self):
+        runner = GatedRunner()
+        with _thread_service(workers=1, queue_depth=8,
+                             runner=runner) as handle:
+            client = ServiceClient(port=handle.port)
+            client.submit(_src("blocker"))
+            assert runner.started.wait(timeout=10)
+            client.submit(_src("low", priority=0))
+            client.submit(_src("high", priority=5))
+            runner.gate.set()
+        assert runner.names == ["blocker", "high", "low"]
+
+    def test_bad_submissions_are_400(self):
+        with _thread_service(workers=1) as handle:
+            client = ServiceClient(port=handle.port)
+            with pytest.raises(ClientError, match="HTTP 400"):
+                client.submit({"benchmark": "check_data",
+                               "machine": "vax"})
+            with pytest.raises(ClientError, match="HTTP 404"):
+                client.job("j999999")
+
+
+class TestDeadlines:
+    def test_deadline_becomes_solver_budget(self):
+        runner = GatedRunner()
+        runner.gate.set()                         # run-through
+        with _thread_service(workers=1, runner=runner) as handle:
+            client = ServiceClient(port=handle.port)
+            ticket = client.submit({"benchmark": "check_data",
+                                    "deadline_seconds": 60.0})
+            client.wait(ticket["id"], timeout=30)
+            ticket = client.submit({"benchmark": "check_data",
+                                    "deadline_seconds": 60.0,
+                                    "set_timeout": 2.0})
+            client.wait(ticket["id"], timeout=30)
+        # Deadline remainder propagates as the per-set solver timeout…
+        _job, _cache, set_timeout, _iters, _trace = runner.payloads[0]
+        assert set_timeout is not None and 50.0 < set_timeout <= 60.0
+        # …and min-combines with an explicit set_timeout.
+        _job, _cache, set_timeout, _iters, _trace = runner.payloads[1]
+        assert set_timeout == 2.0
+
+    def test_expired_deadline_fails_without_running(self):
+        runner = GatedRunner()
+        with _thread_service(workers=1, runner=runner) as handle:
+            client = ServiceClient(port=handle.port)
+            blocker = client.submit(_src("blocker"))
+            assert runner.started.wait(timeout=10)
+            doomed = client.submit(_src("doomed", deadline_seconds=0.05))
+            time.sleep(0.2)                       # let the deadline pass
+            runner.gate.set()
+            client.wait(blocker["id"], timeout=30)
+            with pytest.raises(JobFailed, match="deadline exceeded"):
+                client.wait(doomed["id"], timeout=30)
+            snapshot = client.metricz()
+            assert (snapshot["service.jobs.deadline_expired"]["value"]
+                    == 1)
+        assert "doomed" not in runner.names       # never reached a worker
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_rejects_new(self, tmp_path):
+        runner = GatedRunner()
+        metrics_path = tmp_path / "metrics.json"
+        handle = _thread_service(workers=1, runner=runner,
+                                 metrics_path=metrics_path).start()
+        client = ServiceClient(port=handle.port)
+        inflight = client.submit(_src("inflight"))
+        assert runner.started.wait(timeout=10)
+        queued = client.submit(_src("queued"))
+
+        drainer = threading.Thread(target=handle.drain)
+        drainer.start()
+        time.sleep(0.2)
+        assert client.healthz()["status"] == "draining"
+        with pytest.raises(ServiceUnavailable):
+            client.submit(_src("late"))
+
+        runner.gate.set()
+        drainer.join(timeout=30)
+        assert not drainer.is_alive()
+
+        # Both admitted jobs finished; the metrics snapshot was flushed
+        # and is a loadable registry.
+        records = handle.service.records
+        assert {records[t["id"]].state
+                for t in (inflight, queued)} == {"done"}
+        flushed = MetricsRegistry.load(metrics_path)
+        assert flushed.value("service.jobs.done.ok") == 2
+        with pytest.raises(ServiceUnavailable):
+            client.healthz()                      # listener is gone
+
+
+class TestEndToEnd:
+    def test_bounds_match_serial_and_cache_reuses(self, tmp_path):
+        serial = get_benchmark("check_data").make_analysis().estimate()
+        with _thread_service(workers=2, cache_dir=tmp_path) as handle:
+            client = ServiceClient(port=handle.port)
+            cold = client.wait(
+                client.submit({"benchmark": "check_data"})["id"],
+                timeout=120)
+            warm = client.wait(
+                client.submit({"benchmark": "check_data"})["id"],
+                timeout=120)
+            explanation = client.explain(cold["id"], direction="worst")
+            with pytest.raises(ClientError, match="HTTP 400"):
+                client.explain(cold["id"], direction="sideways")
+            snapshot = client.metricz()
+
+        assert (cold["best"], cold["worst"]) == serial.interval
+        assert (warm["best"], warm["worst"]) == serial.interval
+        assert not cold["cache_hit"] and warm["cache_hit"]
+        assert (cold["report"]["best"],
+                cold["report"]["worst"]) == serial.interval
+
+        assert explanation["bound"] == serial.worst
+        assert explanation["consistent"] is True
+
+        # /metricz is a mergeable obs snapshot carrying both the
+        # service.* and folded engine.* families.
+        registry = MetricsRegistry.from_snapshot(snapshot)
+        assert registry.value("service.jobs.submitted") == 2
+        assert registry.value("engine.cache.hits.job") == 1
+        merged = MetricsRegistry.from_snapshot(snapshot)
+        merged.merge(registry)
+        assert merged.value("service.jobs.submitted") == 4
+        queue_hist = registry.histogram("service.queue_seconds")
+        assert queue_hist.count == 2
+
+    def test_failed_job_surfaces_as_job_failed(self):
+        with _thread_service(workers=1) as handle:
+            client = ServiceClient(port=handle.port)
+            ticket = client.submit({"benchmark": "no_such_routine"})
+            with pytest.raises(JobFailed):
+                client.wait(ticket["id"], timeout=30)
+            with pytest.raises(ClientError, match="HTTP 409"):
+                client.explain(ticket["id"])
