@@ -106,7 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
                          help="also write a Chrome trace of the run")
 
     obs = sub.add_parser(
-        "obs", help="metrics snapshots: dump or diff")
+        "obs", help="metrics snapshots: dump, diff or diff-trace")
     osub = obs.add_subparsers(dest="obs_command", required=True)
     odump = osub.add_parser(
         "dump", help="render a metrics snapshot (engine run --metrics)")
@@ -115,6 +115,14 @@ def build_parser() -> argparse.ArgumentParser:
         "diff", help="per-metric delta between two snapshots")
     odiff.add_argument("before", metavar="BEFORE")
     odiff.add_argument("after", metavar="AFTER")
+    otrace = osub.add_parser(
+        "diff-trace", help="align two Chrome traces span-by-span and "
+                           "report wall-time / solver-effort "
+                           "regressions")
+    otrace.add_argument("before", metavar="BEFORE")
+    otrace.add_argument("after", metavar="AFTER")
+    otrace.add_argument("--all", action="store_true",
+                        help="include unchanged span groups")
 
     run = sub.add_parser("run", help="execute a routine on the simulator")
     run.add_argument("file")
@@ -183,6 +191,11 @@ def build_parser() -> argparse.ArgumentParser:
                       help="write a Chrome trace_event JSON of the "
                            "whole run (pipeline + per-set solver "
                            "spans, workers included)")
+    erun.add_argument("--live", action="store_true",
+                      help="live terminal dashboard (per-job progress "
+                           "bars, pivot/node counts, cache hit rate); "
+                           "falls back to plain log lines when the "
+                           "terminal cannot host it")
     estats = esub.add_parser(
         "stats", help="inspect the result cache / a saved metrics file")
     estats.add_argument("--cache-dir", metavar="DIR")
@@ -219,6 +232,10 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics", metavar="PATH",
                        help="flush the metrics registry snapshot here "
                             "on graceful drain")
+    serve.add_argument("--peers", metavar="HOST:PORT[,HOST:PORT...]",
+                       help="sibling services whose /metricz this one "
+                            "merges when asked with "
+                            "/metricz?merge=peers")
 
     submit = sub.add_parser(
         "submit", help="submit benchmark jobs to a running service")
@@ -241,6 +258,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="client-side wait budget per job")
     submit.add_argument("--no-wait", action="store_true",
                         help="submit and print ids without waiting")
+    submit.add_argument("--follow", action="store_true",
+                        help="stream live progress (queue position, "
+                             "per-set solver effort) over the "
+                             "service's SSE endpoint while waiting")
     submit.add_argument("--json", action="store_true",
                         help="emit the final job records as JSON")
     return parser
@@ -309,19 +330,38 @@ def _make_tracer(path: str | None):
 def _cmd_obs(args) -> int:
     import json
 
-    from .obs import MetricsRegistry
+    from .errors import SchemaMismatchError
+    from .obs import SNAPSHOT_SCHEMA, MetricsRegistry
 
     def load_snapshot(path: str) -> dict:
         with open(path) as handle:
             data = json.load(handle)
+        if not isinstance(data, dict):
+            raise SchemaMismatchError(
+                f"{path} is not a metrics snapshot (expected a JSON "
+                "object)")
+        schema = data.get("schema", SNAPSHOT_SCHEMA)
+        if schema != SNAPSHOT_SCHEMA:
+            raise SchemaMismatchError(
+                f"{path} has snapshot schema {schema!r}; this build "
+                f"reads schema {SNAPSHOT_SCHEMA} — re-export it with "
+                "a matching build")
         # Accept both a bare registry snapshot and a full
         # EngineMetrics dump (which nests one under "registry").
-        return data.get("registry", data) if isinstance(data, dict) \
-            else data
+        return data.get("registry", data)
 
     if args.obs_command == "dump":
         snapshot = load_snapshot(args.snapshot)
         print(MetricsRegistry.from_snapshot(snapshot).render())
+        return 0
+    if args.obs_command == "diff-trace":
+        from .obs import diff_traces, load_trace_events, \
+            render_trace_diff
+
+        before = load_trace_events(args.before)
+        after = load_trace_events(args.after)
+        print(render_trace_diff(diff_traces(before, after),
+                                show_all=args.all))
         return 0
     assert args.obs_command == "diff"
     before = load_snapshot(args.before)
@@ -374,15 +414,13 @@ def _cmd_explain(args) -> int:
     explanation = explain_bound(analysis, report,
                                 direction=args.direction)
     if args.against:
-        from .obs import (diff_explanations, explanation_delta_to_dict,
+        from .obs import (check_explanation_schema, diff_explanations,
+                          explanation_delta_to_dict,
                           render_explanation_delta)
 
         with open(args.against) as handle:
             before = json.load(handle)
-        if not isinstance(before, dict) or "bound" not in before:
-            raise ReproError(
-                f"{args.against} is not a saved `repro explain "
-                "--json` file")
+        check_explanation_schema(before, label=args.against)
         delta = diff_explanations(before,
                                   explanation_to_dict(explanation))
         if args.json:
@@ -443,11 +481,28 @@ def _cmd_engine(args) -> int:
     cache_dir = None if args.no_cache \
         else (args.cache_dir or default_cache_dir())
     tracer, finish_trace = _make_tracer(args.trace)
+    bus = None
+    if args.live:
+        from .obs import EventBus, Tracer
+
+        bus = EventBus()
+        if tracer is None:
+            # No --trace requested; spin up a tracer anyway so the
+            # dashboard sees per-set solver spans (records are
+            # discarded at exit).
+            tracer = Tracer()
+        tracer.attach_stream(bus)
     engine = AnalysisEngine(workers=args.workers, cache_dir=cache_dir,
                             set_timeout=args.set_timeout,
                             cache_limits=_cache_limits(args),
-                            tracer=tracer)
-    results = engine.run(jobs, grain=args.grain)
+                            tracer=tracer, bus=bus)
+    if bus is not None:
+        from .obs import LiveDashboard
+
+        with LiveDashboard(bus):
+            results = engine.run(jobs, grain=args.grain)
+    else:
+        results = engine.run(jobs, grain=args.grain)
     for result in results:
         print(result)
     print()
@@ -466,14 +521,48 @@ def _cmd_serve(args) -> int:
     cache_dir = None if args.no_cache \
         else (args.cache_dir or default_cache_dir())
     workers = args.workers or max(1, os.cpu_count() or 1)
+    peers = [peer.strip() for peer in (args.peers or "").split(",")
+             if peer.strip()]
     service = AnalysisService(
         host=args.host, port=args.port, workers=workers,
         queue_depth=args.queue_depth, executor=args.executor,
         cache_dir=cache_dir, cache_limits=_cache_limits(args),
         set_timeout=args.set_timeout,
         max_iterations=args.max_iterations,
-        metrics_path=args.metrics)
+        metrics_path=args.metrics, peers=peers)
     return service.run()
+
+
+def _follow_job(client, name: str, job_id: str) -> None:
+    """Print one job's live SSE progress to stderr until it ends."""
+    from .service import ClientError
+
+    try:
+        for event in client.watch(job_id):
+            kind = event.get("type")
+            if kind == "job_running":
+                queued = event.get("queue_seconds")
+                extra = f" after {queued:.2f}s queued" \
+                    if isinstance(queued, (int, float)) else ""
+                print(f"{name}: running{extra}", file=sys.stderr)
+            elif kind == "set_done":
+                if event.get("feasible", True):
+                    detail = (f"[{event.get('best')}, "
+                              f"{event.get('worst')}]  "
+                              f"pivots={event.get('pivots')} "
+                              f"nodes={event.get('nodes')}")
+                else:
+                    detail = "infeasible"
+                print(f"{name}: set {event.get('set')}: {detail}",
+                      file=sys.stderr)
+            elif kind in ("job_done", "job_failed"):
+                status = event.get("status") \
+                    or kind.removeprefix("job_")
+                cached = " [cached]" if event.get("cache_hit") else ""
+                print(f"{name}: {status}{cached}", file=sys.stderr)
+    except ClientError as error:
+        print(f"{name}: live follow unavailable ({error}); "
+              "falling back to polling", file=sys.stderr)
 
 
 def _cmd_submit(args) -> int:
@@ -500,6 +589,8 @@ def _cmd_submit(args) -> int:
         return 0
     records, failures = [], 0
     for name, job_id in submitted:
+        if args.follow:
+            _follow_job(client, name, job_id)
         try:
             record = client.wait(job_id, timeout=args.timeout)
         except JobFailed as error:

@@ -110,6 +110,13 @@ class AnalysisEngine:
         A :class:`repro.obs.Tracer`; the run and every job's pipeline
         and solver work emit spans into it, including spans captured
         inside pool workers (shipped home in the result objects).
+    bus:
+        An optional :class:`repro.obs.EventBus`; the engine publishes
+        run/job lifecycle events into it (``run_start``,
+        ``job_start``, ``job_done`` / ``job_failed``, ``run_done``)
+        for live consumers such as the ``--live`` dashboard.  Span
+        events additionally flow through the tracer when the caller
+        has also attached the bus there.
     """
 
     def __init__(self, workers: int | None = None,
@@ -120,7 +127,8 @@ class AnalysisEngine:
                  retries: int = 2,
                  backoff: float = 0.25,
                  metrics: EngineMetrics | None = None,
-                 tracer=None):
+                 tracer=None,
+                 bus=None):
         from ..obs.trace import NULL_TRACER
 
         self.workers = workers or _default_workers()
@@ -134,6 +142,7 @@ class AnalysisEngine:
         self.backoff = backoff
         self.metrics = metrics or EngineMetrics()
         self.tracer = NULL_TRACER if tracer is None else tracer
+        self.bus = bus
 
     def _budget_key(self) -> str:
         """Solver budgets as cache-key material (see
@@ -151,6 +160,9 @@ class AnalysisEngine:
         results: dict[int, JobResult] = {}
         keys: dict[int, str] = {}
         pending: list[tuple[int, AnalysisJob]] = []
+        bus = self.bus
+        if bus is not None:
+            bus.publish("run_start", jobs=len(jobs), grain=grain)
 
         for index, job in enumerate(jobs):
             if self.cache is not None:
@@ -160,6 +172,10 @@ class AnalysisEngine:
                 if report is not None:
                     results[index] = JobResult(
                         job.name, "ok", report, cache_hit=True)
+                    if bus is not None:
+                        bus.publish("job_start", name=job.name,
+                                    cached=True)
+                        self._publish_result(results[index])
                     continue
             pending.append((index, job))
 
@@ -174,14 +190,33 @@ class AnalysisEngine:
                 for index, result in runner(pending):
                     results[index] = result
                     self.tracer.absorb(result.spans)
+                    if bus is not None:
+                        self._publish_result(result)
                     if (self.cache is not None
                             and result.report is not None
                             and not result.cache_hit):
                         self.cache.put_report(keys[index], result.report)
 
         ordered = [results[i] for i in range(len(jobs))]
-        self._record(ordered, time.monotonic() - started)
+        elapsed = time.monotonic() - started
+        self._record(ordered, elapsed)
+        if bus is not None:
+            bus.publish("run_done", jobs=len(jobs), seconds=elapsed)
         return ordered
+
+    def _publish_result(self, result: JobResult) -> None:
+        """One ``job_done`` / ``job_failed`` bus event per result."""
+        payload = {"name": result.name, "status": result.status,
+                   "wall": result.wall_time,
+                   "cache_hit": result.cache_hit}
+        if result.report is not None:
+            payload["sets"] = result.report.sets_solved
+            payload["worst"] = result.report.worst
+            payload["best"] = result.report.best
+        if result.error:
+            payload["error"] = result.error
+        kind = "job_failed" if result.status == "failed" else "job_done"
+        self.bus.publish(kind, **payload)
 
     # ------------------------------------------------------------------
     # Job-grain dispatch
@@ -193,8 +228,13 @@ class AnalysisEngine:
                     for index, job in pending}
         if self.workers <= 1 or len(pending) == 1:
             for index, job in pending:
+                if self.bus is not None:
+                    self.bus.publish("job_start", name=job.name)
                 yield index, execute_job(payloads[index])
             return
+        if self.bus is not None:
+            for _, job in pending:
+                self.bus.publish("job_start", name=job.name)
         yield from self._pooled(payloads, execute_job)
 
     # ------------------------------------------------------------------
@@ -209,6 +249,8 @@ class AnalysisEngine:
         todo = []              # (index, task)
         for index, job in pending:
             clock = time.perf_counter()
+            if self.bus is not None:
+                self.bus.publish("job_start", name=job.name)
             try:
                 analysis = job.build_analysis(tracer=self.tracer)
                 tasks = analysis.set_tasks(self.set_timeout,
@@ -218,6 +260,9 @@ class AnalysisEngine:
                 failed[index] = JobResult(job.name, "failed",
                                           error=str(error))
                 continue
+            if self.bus is not None:
+                self.bus.publish("job_sets", name=job.name,
+                                 sets=len(tasks))
             timings = dict(analysis.timings)
             timings["constraints"] = time.perf_counter() - clock
             prepared[index] = (job, analysis, tasks, timings)

@@ -110,3 +110,13 @@ class ConstraintSyntaxError(ReproError):
 
 class SimulationError(ReproError):
     """The simulator hit an invalid state (bad address, step limit, ...)."""
+
+
+class SchemaMismatchError(ReproError):
+    """Two serialized dumps (metrics snapshots, explanations, traces)
+    carry incompatible schema versions or shapes and cannot be diffed.
+
+    Raised by ``repro obs diff``, ``repro obs diff-trace`` and
+    ``repro explain --against`` so the CLI exits non-zero with a clear
+    message instead of surfacing a ``KeyError``.
+    """

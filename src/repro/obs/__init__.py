@@ -16,28 +16,45 @@ Three cooperating layers, all dependency-free:
 
 Exporters in :mod:`repro.obs.export` render traces as Chrome
 ``trace_event`` JSON (``chrome://tracing`` / Perfetto) or plain JSON.
+Live consumption happens through :mod:`repro.obs.stream` (the
+telemetry event bus both the tracer and registry can publish into),
+:mod:`repro.obs.dashboard` (terminal progress view) and
+:mod:`repro.obs.tracediff` (span-by-span regression localization).
 See ``docs/observability.md``.
 """
 
-from .explain import (BreakdownRow, ConstraintLine, DeltaRow,
-                      Explanation, ExplanationDelta, diff_explanations,
+from .dashboard import LiveDashboard, live_capable
+from .explain import (EXPLANATION_SCHEMA, BreakdownRow, ConstraintLine,
+                      DeltaRow, Explanation, ExplanationDelta,
+                      check_explanation_schema, diff_explanations,
                       explain_bound, explain_set,
                       explanation_delta_to_dict, explanation_to_dict,
                       render_explanation, render_explanation_delta)
 from .export import (to_chrome, to_json, trace_skeleton,
                      write_chrome_trace)
-from .registry import (DEFAULT_BUCKETS, Counter, Gauge, Histogram,
-                       MetricsRegistry)
+from .registry import (DEFAULT_BUCKETS, SNAPSHOT_SCHEMA, Counter, Gauge,
+                       Histogram, MetricsRegistry)
+from .stream import (EventBus, Subscription, parse_sse_stream,
+                     sse_comment, sse_format)
 from .trace import (NULL_TRACER, NullTracer, Tracer, counters_from_stats)
+from .tracediff import (SpanAggregate, TraceDelta, aggregate_trace,
+                        diff_traces, load_trace_events,
+                        render_trace_diff, span_key)
 
 __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "counters_from_stats",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
-    "DEFAULT_BUCKETS",
+    "DEFAULT_BUCKETS", "SNAPSHOT_SCHEMA",
+    "EventBus", "Subscription", "sse_format", "sse_comment",
+    "parse_sse_stream",
+    "LiveDashboard", "live_capable",
     "to_chrome", "to_json", "trace_skeleton", "write_chrome_trace",
+    "SpanAggregate", "TraceDelta", "span_key", "aggregate_trace",
+    "diff_traces", "load_trace_events", "render_trace_diff",
     "Explanation", "ConstraintLine", "BreakdownRow",
     "explain_bound", "explain_set", "render_explanation",
     "explanation_to_dict",
     "ExplanationDelta", "DeltaRow", "diff_explanations",
     "render_explanation_delta", "explanation_delta_to_dict",
+    "EXPLANATION_SCHEMA", "check_explanation_schema",
 ]

@@ -27,11 +27,15 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass, field
 
-from ..errors import AnalysisError
+from ..errors import AnalysisError, SchemaMismatchError
 
 #: Slack at or below this is "binding" (IPET data is integral; the
 #: simplex tolerance is far tighter than this).
 BINDING_TOL = 1e-6
+
+#: Version stamped into :func:`explanation_to_dict` output; dumps
+#: without the key predate versioning and are treated as version 1.
+EXPLANATION_SCHEMA = 1
 
 
 @dataclass
@@ -314,8 +318,49 @@ class ExplanationDelta:
                 and not self.rows)
 
 
+def check_explanation_schema(expl, label: str = "explanation") -> None:
+    """Validate one :func:`explanation_to_dict`-shaped dump.
+
+    Raises :class:`~repro.errors.SchemaMismatchError` (a clear,
+    non-zero CLI exit) instead of letting a malformed or
+    wrong-versioned dump surface later as a ``KeyError``.
+    """
+    if not isinstance(expl, dict):
+        raise SchemaMismatchError(f"{label}: not a JSON object")
+    schema = expl.get("schema", 1)
+    if schema != EXPLANATION_SCHEMA:
+        raise SchemaMismatchError(
+            f"{label}: explanation schema version {schema!r} is not "
+            f"supported (this build reads version "
+            f"{EXPLANATION_SCHEMA}); re-export it with `repro explain "
+            "--json` from a matching build")
+    if "bound" not in expl:
+        raise SchemaMismatchError(
+            f"{label}: not an explanation dump (missing 'bound'; "
+            "expected the JSON written by `repro explain --json`)")
+    for row in expl.get("breakdown", []):
+        if not isinstance(row, dict) or not {"var", "count",
+                                             "cycles"} <= row.keys():
+            raise SchemaMismatchError(
+                f"{label}: malformed breakdown row {row!r} (expected "
+                "var/count/cycles keys)")
+    for line in expl.get("binding", []):
+        if not isinstance(line, dict) or not {"kind",
+                                              "label"} <= line.keys():
+            raise SchemaMismatchError(
+                f"{label}: malformed binding line {line!r} (expected "
+                "kind/label keys)")
+
+
 def diff_explanations(before: dict, after: dict) -> ExplanationDelta:
-    """Diff two :func:`explanation_to_dict` dicts (before -> after)."""
+    """Diff two :func:`explanation_to_dict` dicts (before -> after).
+
+    Both dumps are schema-checked first; an incompatible dump raises
+    :class:`~repro.errors.SchemaMismatchError` rather than a
+    ``KeyError`` mid-diff.
+    """
+    check_explanation_schema(before, "before")
+    check_explanation_schema(after, "after")
     notes = []
     for key in ("entry", "machine", "direction"):
         if before.get(key) != after.get(key):
@@ -440,6 +485,7 @@ def explanation_delta_to_dict(delta: ExplanationDelta) -> dict:
 def explanation_to_dict(expl: Explanation) -> dict:
     """JSON-safe form of an explanation (for ``repro explain --json``)."""
     return {
+        "schema": EXPLANATION_SCHEMA,
         "entry": expl.entry,
         "machine": expl.machine,
         "direction": expl.direction,

@@ -32,21 +32,28 @@ from pathlib import Path
 #: wall seconds and iteration counts.
 DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
 
+#: Snapshot schema version stamped into dumps; absent means 1.
+SNAPSHOT_SCHEMA = 1
+
 
 class Counter:
     """A monotonically increasing value."""
 
     kind = "counter"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_bus")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._bus = None
 
     def inc(self, amount: float = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name} cannot decrease")
         self.value += amount
+        if self._bus is not None:
+            self._bus.publish("counter", name=self.name, delta=amount,
+                              value=self.value)
 
     def to_dict(self) -> dict:
         return {"type": self.kind, "value": self.value}
@@ -56,17 +63,22 @@ class Gauge:
     """A value that can be set or moved in either direction."""
 
     kind = "gauge"
-    __slots__ = ("name", "value")
+    __slots__ = ("name", "value", "_bus")
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0
+        self._bus = None
 
     def set(self, value: float) -> None:
         self.value = value
+        if self._bus is not None:
+            self._bus.publish("gauge", name=self.name, value=value)
 
     def inc(self, amount: float = 1) -> None:
         self.value += amount
+        if self._bus is not None:
+            self._bus.publish("gauge", name=self.name, value=self.value)
 
     def to_dict(self) -> dict:
         return {"type": self.kind, "value": self.value}
@@ -80,7 +92,7 @@ class Histogram:
     """
 
     kind = "histogram"
-    __slots__ = ("name", "buckets", "counts", "sum", "count")
+    __slots__ = ("name", "buckets", "counts", "sum", "count", "_bus")
 
     def __init__(self, name: str, buckets=DEFAULT_BUCKETS):
         self.name = name
@@ -88,10 +100,13 @@ class Histogram:
         self.counts = [0] * (len(self.buckets) + 1)
         self.sum = 0.0
         self.count = 0
+        self._bus = None
 
     def observe(self, value: float) -> None:
         self.sum += value
         self.count += 1
+        if self._bus is not None:
+            self._bus.publish("observe", name=self.name, value=value)
         for i, upper in enumerate(self.buckets):
             if value <= upper:
                 self.counts[i] += 1
@@ -138,6 +153,7 @@ class MetricsRegistry:
 
     def __init__(self):
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._bus = None
 
     # -- creation / lookup --------------------------------------------
     def counter(self, name: str) -> Counter:
@@ -150,6 +166,7 @@ class MetricsRegistry:
         metric = self._metrics.get(name)
         if metric is None:
             metric = self._metrics[name] = Histogram(name, buckets)
+            metric._bus = self._bus
         elif not isinstance(metric, Histogram):
             raise TypeError(f"metric {name!r} is a {metric.kind}, "
                             "not a histogram")
@@ -159,10 +176,20 @@ class MetricsRegistry:
         metric = self._metrics.get(name)
         if metric is None:
             metric = self._metrics[name] = cls(name)
+            metric._bus = self._bus
         elif not isinstance(metric, cls):
             raise TypeError(f"metric {name!r} is a {metric.kind}, "
                             f"not a {cls.kind}")
         return metric
+
+    def attach_stream(self, bus) -> None:
+        """Publish metric updates into `bus` (None detaches).
+
+        Applies to existing metrics and to any created afterwards.
+        """
+        self._bus = bus
+        for metric in self._metrics.values():
+            metric._bus = bus
 
     def names(self, prefix: str = "") -> list[str]:
         return sorted(n for n in self._metrics if n.startswith(prefix))
@@ -188,6 +215,8 @@ class MetricsRegistry:
     def from_snapshot(cls, data: dict) -> "MetricsRegistry":
         registry = cls()
         for name, payload in data.items():
+            if not isinstance(payload, dict):
+                continue            # top-level "schema" marker etc.
             kind = payload.get("type", "counter")
             if kind == "histogram":
                 metric = Histogram(name, payload.get("buckets",
@@ -203,7 +232,8 @@ class MetricsRegistry:
         return registry
 
     def dump(self, path) -> None:
-        Path(path).write_text(json.dumps(self.snapshot(), indent=2,
+        payload = {"schema": SNAPSHOT_SCHEMA, **self.snapshot()}
+        Path(path).write_text(json.dumps(payload, indent=2,
                                          sort_keys=True) + "\n")
 
     @classmethod
@@ -223,6 +253,8 @@ class MetricsRegistry:
         for name in sorted(set(before) | set(after)):
             a = before.get(name, {})
             b = after.get(name, {})
+            if not isinstance(a, dict) or not isinstance(b, dict):
+                continue            # top-level "schema" marker etc.
             kind = b.get("type", a.get("type", "counter"))
             if kind == "histogram":
                 delta = {

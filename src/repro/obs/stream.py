@@ -1,0 +1,281 @@
+"""Live telemetry streaming: the event bus and its wire format.
+
+The tracer (:mod:`repro.obs.trace`) and the metrics registry
+(:mod:`repro.obs.registry`) record evidence you can export *after* a
+run.  This module adds the missing primitive for consuming telemetry
+*while* the run is happening: a dependency-free, thread-safe
+**event bus** that instrumented code publishes into incrementally —
+span open/close, counter deltas, job and constraint-set lifecycle —
+and that any number of consumers subscribe to without ever being able
+to stall a solve.
+
+Design points
+-------------
+* **Publishers never block.**  ``publish`` appends to a bounded ring
+  buffer and to each subscriber's bounded queue under one short lock.
+  A slow consumer overflows its own queue — the oldest events are
+  dropped and counted (:attr:`Subscription.dropped`), the publisher
+  carries on at full speed.
+* **Near-zero cost unattached.**  Instrumented code holds no bus by
+  default (``tracer.bus is None`` is the whole disabled path), and a
+  bus with no subscribers costs one lock + one ring append per event
+  (guarded < 5% on a traced Table-I run by
+  ``benchmarks/bench_obs.py``).
+* **Replayable.**  Every event gets a monotonically increasing
+  ``seq``; the ring buffer serves :meth:`EventBus.replay` so a late or
+  reconnecting consumer (SSE ``Last-Event-ID``) can catch up on recent
+  history.
+* **Process-safe by merging.**  Pool workers don't publish across the
+  process boundary; their span records travel home in picklable
+  results and the parent's :meth:`~repro.obs.trace.Tracer.absorb`
+  republishes them, so multiprocess runs stream through the same bus.
+
+Event schema
+------------
+Events are plain JSON-safe dicts.  Every event carries ``seq`` (bus
+sequence number), ``ts`` (wall-clock seconds) and ``type``; the rest
+is per-type payload:
+
+==============  ======================================================
+``span_open``   ``name``, ``cat`` — a tracer span started
+``span``        ``name``, ``cat``, ``dur``, ``depth``, ``pid``,
+                ``args`` — a span finished (workers' spans arrive when
+                the parent absorbs them)
+``counter``     ``name``, ``delta``, ``value`` — a registry counter
+                moved
+``gauge``       ``name``, ``value`` — a registry gauge moved
+``observe``     ``name``, ``value`` — a histogram observation
+``run_start`` / ``run_done``        engine batch lifecycle
+``job_start`` / ``job_done``        one job's lifecycle (engine or
+                                    service; service events carry the
+                                    job id in ``job``)
+``job_queued`` / ``job_running`` / ``job_failed``   service lifecycle
+``set_done``    per-constraint-set progress: ``set``, ``pivots``,
+                ``nodes``, ``wall``, plus ``job`` in the service
+==============  ======================================================
+
+The SSE helpers at the bottom (:func:`sse_format`,
+:func:`parse_sse_stream`) define the wire framing the analysis
+service's ``/v1/events`` endpoints and ``ServiceClient.watch`` share.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+
+#: Default ring-buffer capacity (events kept for replay).
+RING_SIZE = 4096
+
+#: Default per-subscriber queue bound.
+SUBSCRIBER_QUEUE = 1024
+
+
+class Subscription:
+    """One consumer's bounded view of the bus.
+
+    Obtain via :meth:`EventBus.subscribe`; use as a context manager or
+    call :meth:`close` so the bus forgets the queue.  Events overflow
+    oldest-first: the queue always holds the *most recent* ``maxlen``
+    events and :attr:`dropped` counts what was lost.
+    """
+
+    def __init__(self, bus: "EventBus", maxlen: int,
+                 wakeup=None):
+        self._bus = bus
+        self._queue: deque = deque(maxlen=maxlen)
+        self._cond = threading.Condition()
+        self._wakeup = wakeup
+        self.dropped = 0
+        self.closed = False
+
+    # Called by the bus under its lock; must never block.
+    def _offer(self, event: dict) -> None:
+        with self._cond:
+            if len(self._queue) == self._queue.maxlen:
+                self._queue.popleft()
+                self.dropped += 1
+            self._queue.append(event)
+            self._cond.notify()
+        if self._wakeup is not None:
+            try:
+                self._wakeup()
+            except Exception:      # a consumer's bug must not stall us
+                pass
+
+    def get(self, timeout: float | None = None) -> dict | None:
+        """Next event, blocking up to `timeout`; None on timeout."""
+        with self._cond:
+            if not self._queue:
+                self._cond.wait(timeout)
+            if self._queue:
+                return self._queue.popleft()
+            return None
+
+    def pop_all(self) -> list[dict]:
+        """Drain everything buffered right now (non-blocking)."""
+        with self._cond:
+            events = list(self._queue)
+            self._queue.clear()
+            return events
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self._bus._forget(self)
+
+    def __enter__(self) -> "Subscription":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class EventBus:
+    """Thread-safe fan-out of telemetry events with bounded buffers.
+
+    >>> bus = EventBus()
+    >>> with bus.subscribe() as sub:
+    ...     _ = bus.publish("job_done", job="j1", status="ok")
+    ...     sub.get(timeout=1)["type"]
+    'job_done'
+    """
+
+    def __init__(self, ring_size: int = RING_SIZE):
+        self._lock = threading.Lock()
+        self._ring: deque = deque(maxlen=ring_size)
+        self._subs: list[Subscription] = []
+        self._seq = 0
+        self._dropped_closed = 0
+
+    # ------------------------------------------------------------------
+    def publish(self, type: str, **payload) -> dict:
+        """Emit one event; never blocks on consumers."""
+        payload["type"] = type
+        payload["ts"] = time.time()
+        with self._lock:
+            self._seq += 1
+            payload["seq"] = self._seq
+            self._ring.append(payload)
+            subs = self._subs
+            if subs:
+                for sub in subs:
+                    sub._offer(payload)
+        return payload
+
+    def subscribe(self, maxlen: int = SUBSCRIBER_QUEUE,
+                  wakeup=None) -> Subscription:
+        """Attach a consumer.
+
+        ``wakeup``, if given, is called (from the publisher's thread)
+        after each delivery — the hook an asyncio consumer uses to poke
+        its event loop via ``call_soon_threadsafe``.
+        """
+        sub = Subscription(self, maxlen, wakeup=wakeup)
+        with self._lock:
+            self._subs = self._subs + [sub]
+        return sub
+
+    def _forget(self, sub: Subscription) -> None:
+        with self._lock:
+            self._dropped_closed += sub.dropped
+            self._subs = [s for s in self._subs if s is not sub]
+
+    # ------------------------------------------------------------------
+    @property
+    def seq(self) -> int:
+        """Sequence number of the most recent event."""
+        with self._lock:
+            return self._seq
+
+    @property
+    def subscribers(self) -> int:
+        return len(self._subs)
+
+    @property
+    def dropped(self) -> int:
+        """Total events dropped across all (live and past) consumers."""
+        with self._lock:
+            return self._dropped_closed + sum(s.dropped
+                                              for s in self._subs)
+
+    def replay(self, since: int = 0) -> list[dict]:
+        """Ring-buffered events with ``seq > since``, oldest first.
+
+        The ring is bounded, so a consumer that fell more than
+        ``ring_size`` events behind gets what is left; the gap shows as
+        a jump in ``seq``.
+        """
+        with self._lock:
+            return [event for event in self._ring
+                    if event["seq"] > since]
+
+
+# ----------------------------------------------------------------------
+# Server-sent-event framing (shared by the service and its client)
+# ----------------------------------------------------------------------
+def sse_format(event: dict) -> bytes:
+    """Frame one bus event as an SSE message.
+
+    ``seq`` becomes the SSE ``id`` (so ``Last-Event-ID`` reconnects
+    resume from the ring buffer), ``type`` the SSE ``event`` name, and
+    the whole dict travels as one-line JSON ``data``.
+    """
+    data = json.dumps(event, separators=(",", ":"))
+    return (f"id: {event.get('seq', 0)}\n"
+            f"event: {event.get('type', 'message')}\n"
+            f"data: {data}\n\n").encode()
+
+
+def sse_comment(text: str = "keepalive") -> bytes:
+    """An SSE comment line — the heartbeat that keeps proxies open."""
+    return f": {text}\n\n".encode()
+
+
+def parse_sse_stream(stream):
+    """Yield parsed events from a byte-line stream of SSE frames.
+
+    `stream` needs only ``readline()`` returning bytes (an
+    ``http.client.HTTPResponse``, a socket file, a ``BytesIO``).
+    Yields dicts: the JSON ``data`` payload with the SSE ``id`` merged
+    in as ``seq`` and the SSE ``event`` name as ``type`` when the
+    payload does not already carry them.  Comment lines (heartbeats)
+    are skipped.  Ends at EOF.
+    """
+    event_id, event_type, data_lines = None, None, []
+    while True:
+        raw = stream.readline()
+        if not raw:
+            return
+        line = raw.decode("utf-8", errors="replace").rstrip("\r\n")
+        if not line:                       # dispatch on blank line
+            if data_lines:
+                text = "\n".join(data_lines)
+                try:
+                    payload = json.loads(text)
+                except json.JSONDecodeError:
+                    payload = {"data": text}
+                if not isinstance(payload, dict):
+                    payload = {"data": payload}
+                if event_type and "type" not in payload:
+                    payload["type"] = event_type
+                if event_id is not None and "seq" not in payload:
+                    try:
+                        payload["seq"] = int(event_id)
+                    except ValueError:
+                        pass
+                yield payload
+            event_id, event_type, data_lines = None, None, []
+            continue
+        if line.startswith(":"):           # comment / heartbeat
+            continue
+        field, _, value = line.partition(":")
+        value = value[1:] if value.startswith(" ") else value
+        if field == "id":
+            event_id = value
+        elif field == "event":
+            event_type = value
+        elif field == "data":
+            data_lines.append(value)

@@ -74,6 +74,9 @@ class _Span:
         stack = self._tracer._stack()
         self._depth = len(stack)
         stack.append(self)
+        bus = self._tracer.bus
+        if bus is not None:
+            bus.publish("span_open", name=self.name, cat=self.cat)
         self._ts = self._tracer._now()
         self._start = time.perf_counter()
         return self
@@ -119,10 +122,14 @@ class NullTracer:
     """The disabled tracer: every operation is a cheap no-op."""
 
     enabled = False
+    bus = None
     _NULL_SPAN = _NullSpan()
 
     def span(self, name: str, cat: str = "pipeline", **attrs) -> _NullSpan:
         return self._NULL_SPAN
+
+    def attach_stream(self, bus) -> None:
+        pass
 
     def absorb(self, records) -> None:
         pass
@@ -147,6 +154,9 @@ class Tracer:
         self._records: list[dict] = []
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: Optional :class:`~repro.obs.stream.EventBus`; when set,
+        #: spans are also published live as they open and close.
+        self.bus = None
         # Anchor: wall-clock epoch + a monotonic reference, so every
         # span start is epoch-based (cross-process mergeable) while
         # still measured with perf_counter resolution.
@@ -166,6 +176,11 @@ class Tracer:
     def _emit(self, record: dict) -> None:
         with self._lock:
             self._records.append(record)
+        bus = self.bus
+        if bus is not None:
+            bus.publish("span", name=record["name"], cat=record["cat"],
+                        dur=record["dur"], depth=record["depth"],
+                        pid=record["pid"], args=record["args"])
 
     # -- public --------------------------------------------------------
     def span(self, name: str, cat: str = "pipeline", **attrs) -> _Span:
@@ -175,12 +190,29 @@ class Tracer:
         """
         return _Span(self, name, cat, dict(attrs))
 
+    def attach_stream(self, bus) -> None:
+        """Publish span events into `bus` from now on (None detaches)."""
+        self.bus = bus
+
     def absorb(self, records) -> None:
-        """Merge records captured elsewhere (another thread/process)."""
+        """Merge records captured elsewhere (another thread/process).
+
+        When a bus is attached the absorbed records are re-published as
+        ``span`` events — this is how pool workers' solver effort
+        reaches live consumers: the worker ships picklable records
+        home, the parent absorbs and streams them.
+        """
         if not records:
             return
         with self._lock:
             self._records.extend(records)
+        bus = self.bus
+        if bus is not None:
+            for record in records:
+                bus.publish("span", name=record["name"],
+                            cat=record["cat"], dur=record["dur"],
+                            depth=record["depth"], pid=record["pid"],
+                            args=record["args"])
 
     def records(self) -> list[dict]:
         """All finished span records, in completion order."""

@@ -1,0 +1,187 @@
+"""Trace diffing: localize solver-effort regressions between runs.
+
+``repro obs diff`` compares metric totals; this module compares two
+Chrome-trace exports **span by span**, so a wall-time or pivot-count
+regression is pinned to the specific constraint set and solver phase
+that caused it instead of disappearing into a total.
+
+Spans from the two traces are aligned by a *skeleton key* — the same
+timing-free identity :func:`repro.obs.export.trace_skeleton` pins in
+golden tests: ``cat:name`` plus the distinguishing ``set`` argument
+when present (``solver:set.worst[set=3]``).  Multiple spans sharing a
+key (phase2 pivots across sets, repeated LP calls) aggregate into one
+row: occurrence count, total wall time, total pivots / nodes.
+
+>>> a = load_trace_events("before.json")     # doctest: +SKIP
+>>> b = load_trace_events("after.json")      # doctest: +SKIP
+>>> print(render_trace_diff(diff_traces(a, b)))   # doctest: +SKIP
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ..errors import SchemaMismatchError
+
+#: Effort counters aggregated per span key when present in ``args``.
+EFFORT_KEYS = ("pivots", "nodes", "lp_calls")
+
+
+@dataclass
+class SpanAggregate:
+    """All spans sharing one skeleton key, folded together."""
+
+    key: str
+    count: int = 0
+    wall_us: float = 0.0
+    effort: dict = field(default_factory=dict)
+
+    def add(self, event: dict) -> None:
+        self.count += 1
+        self.wall_us += event.get("dur", 0.0)
+        args = event.get("args") or {}
+        for name in EFFORT_KEYS:
+            value = args.get(name)
+            if isinstance(value, (int, float)):
+                self.effort[name] = self.effort.get(name, 0) + value
+
+
+def span_key(event: dict) -> str:
+    """Skeleton identity of one trace event.
+
+    ``cat:name``, qualified by the ``set`` argument when the span
+    belongs to a specific DNF constraint set — that is what lets the
+    diff say *which* set regressed.
+    """
+    key = f"{event.get('cat', '?')}:{event.get('name', '?')}"
+    args = event.get("args") or {}
+    if "set" in args:
+        key += f"[set={args['set']}]"
+    return key
+
+
+def load_trace_events(path) -> list[dict]:
+    """Load the ``"X"`` (complete-span) events of a Chrome trace.
+
+    Raises :class:`~repro.errors.SchemaMismatchError` when the file is
+    not a Chrome ``trace_event`` document, so the CLI reports a clear
+    message instead of a ``KeyError``.
+    """
+    path = Path(path)
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise SchemaMismatchError(f"{path}: not readable as JSON "
+                                  f"({exc})") from exc
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        raise SchemaMismatchError(
+            f"{path}: not a Chrome trace_event document "
+            "(missing 'traceEvents'; did you pass a metrics dump? "
+            "use `repro obs diff` for those)")
+    events = [e for e in data["traceEvents"]
+              if isinstance(e, dict) and e.get("ph") == "X"]
+    if not events:
+        raise SchemaMismatchError(f"{path}: trace contains no span "
+                                  "events")
+    return events
+
+
+def aggregate_trace(events: list[dict]) -> dict[str, SpanAggregate]:
+    """Fold span events into per-key aggregates."""
+    out: dict[str, SpanAggregate] = {}
+    for event in events:
+        key = span_key(event)
+        agg = out.get(key)
+        if agg is None:
+            agg = out[key] = SpanAggregate(key)
+        agg.add(event)
+    return out
+
+
+@dataclass
+class TraceDelta:
+    """One aligned span key's change between two traces."""
+
+    key: str
+    count_before: int
+    count_after: int
+    wall_before_ms: float
+    wall_after_ms: float
+    effort_before: dict
+    effort_after: dict
+
+    @property
+    def wall_delta_ms(self) -> float:
+        return self.wall_after_ms - self.wall_before_ms
+
+    def effort_delta(self, name: str) -> float:
+        return (self.effort_after.get(name, 0)
+                - self.effort_before.get(name, 0))
+
+    @property
+    def changed(self) -> bool:
+        """Structurally changed: occurrence count or effort counters.
+
+        Wall time alone does not count — it jitters run to run; the
+        interesting regressions move pivots, nodes or span counts.
+        """
+        if self.count_before != self.count_after:
+            return True
+        return any(self.effort_delta(name) for name in EFFORT_KEYS)
+
+
+def diff_traces(before: list[dict],
+                after: list[dict]) -> list[TraceDelta]:
+    """Align two traces by span key and compute per-key deltas.
+
+    Rows are ordered by descending absolute pivot delta, then wall
+    delta, so the regression's locus is the first line.
+    """
+    a, b = aggregate_trace(before), aggregate_trace(after)
+    deltas = []
+    for key in sorted(set(a) | set(b)):
+        x = a.get(key) or SpanAggregate(key)
+        y = b.get(key) or SpanAggregate(key)
+        deltas.append(TraceDelta(
+            key=key,
+            count_before=x.count, count_after=y.count,
+            wall_before_ms=x.wall_us / 1000.0,
+            wall_after_ms=y.wall_us / 1000.0,
+            effort_before=x.effort, effort_after=y.effort))
+    deltas.sort(key=lambda d: (-abs(d.effort_delta("pivots")),
+                               -abs(d.wall_delta_ms), d.key))
+    return deltas
+
+
+def render_trace_diff(deltas: list[TraceDelta],
+                      show_all: bool = False) -> str:
+    """Human-readable table of :func:`diff_traces` output.
+
+    By default only structurally changed rows (count / pivot / node
+    deltas) appear; ``show_all`` includes every aligned key with its
+    wall-time drift.
+    """
+    rows = [d for d in deltas if show_all or d.changed]
+    lines = [f"{'span':<42} {'count':>11} {'pivots':>11} "
+             f"{'nodes':>11} {'wall ms':>12}",
+             "-" * 90]
+    for d in rows:
+        count = f"{d.count_before}->{d.count_after}" \
+            if d.count_before != d.count_after else f"{d.count_after}"
+        lines.append(
+            f"{d.key:<42} {count:>11} "
+            f"{d.effort_delta('pivots'):>+11,.0f} "
+            f"{d.effort_delta('nodes'):>+11,.0f} "
+            f"{d.wall_delta_ms:>+12.3f}")
+    if not rows:
+        lines.append("(no structural differences; rerun with --all "
+                     "for wall-time drift)")
+    else:
+        total_wall = sum(d.wall_delta_ms for d in deltas)
+        total_pivots = sum(d.effort_delta("pivots") for d in deltas)
+        lines.append("-" * 90)
+        lines.append(f"{'total':<42} {'':>11} {total_pivots:>+11,.0f} "
+                     f"{'':>11} {total_wall:>+12.3f}")
+    return "\n".join(lines)

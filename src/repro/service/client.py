@@ -1,8 +1,14 @@
 """A small blocking client for the analysis service.
 
 Used by the ``repro submit`` CLI verb, the load-generator benchmark
-and the service tests.  Stdlib only (:mod:`http.client`); one
-connection per request, matching the server's ``Connection: close``.
+and the service tests.  Stdlib only (:mod:`http.client`), with
+HTTP/1.1 **keep-alive**: each thread keeps one persistent connection
+and reuses it across requests, matching the server's keep-alive loop;
+a stale reused socket (server idle-timed it out between requests) is
+retried once on a fresh connection.  :meth:`ServiceClient.watch`
+consumes the server-sent-events endpoints on a dedicated streaming
+connection, reconnecting with ``Last-Event-ID`` so no events are lost
+across a dropped connection.
 
 Backpressure shows up as typed exceptions: a saturated queue raises
 :class:`ServiceSaturated` carrying the server's ``Retry-After`` hint,
@@ -15,9 +21,11 @@ from __future__ import annotations
 
 import http.client
 import json
+import threading
 import time
 
 from ..errors import ReproError
+from ..obs.stream import parse_sse_stream
 
 
 class ClientError(ReproError):
@@ -47,40 +55,88 @@ class JobFailed(ClientError):
 
 
 class ServiceClient:
-    """Blocking HTTP client for one analysis service."""
+    """Blocking HTTP client for one analysis service.
+
+    Connections are persistent and per-thread (a shared client is
+    safe to use from several threads — each gets its own socket).
+    Use as a context manager, or call :meth:`close` when done, to
+    release the calling thread's connection eagerly; sockets are
+    otherwise reclaimed with the threads that own them.
+    """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
                  timeout: float = 30.0):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self._local = threading.local()
 
     # ------------------------------------------------------------------
     # Transport
     # ------------------------------------------------------------------
+    def _connection(self):
+        connection = getattr(self._local, "connection", None)
+        if connection is None:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+            self._local.connection = connection
+            self._local.used = False
+        return connection
+
+    def _drop_connection(self) -> None:
+        connection = getattr(self._local, "connection", None)
+        if connection is not None:
+            connection.close()
+        self._local.connection = None
+        self._local.used = False
+
+    def close(self) -> None:
+        """Close the calling thread's persistent connection."""
+        self._drop_connection()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
     def _request(self, method: str, path: str, body: dict | None = None):
         payload = json.dumps(body).encode() if body is not None else None
-        connection = http.client.HTTPConnection(
-            self.host, self.port, timeout=self.timeout)
-        try:
-            connection.request(
-                method, path, body=payload,
-                headers={"Content-Type": "application/json"}
-                if payload else {})
-            response = connection.getresponse()
-            raw = response.read()
-            headers = {k.lower(): v for k, v in response.getheaders()}
+        headers = {"Connection": "keep-alive"}
+        if payload:
+            headers["Content-Type"] = "application/json"
+        for attempt in (0, 1):
+            connection = self._connection()
+            reused = getattr(self._local, "used", False)
             try:
-                data = json.loads(raw) if raw else {}
-            except json.JSONDecodeError:
-                data = {"error": raw.decode(errors="replace")}
-            return response.status, headers, data
-        except (ConnectionError, OSError) as error:
-            raise ServiceUnavailable(
-                f"cannot reach service at {self.host}:{self.port}: "
-                f"{error}")
-        finally:
-            connection.close()
+                connection.request(method, path, body=payload,
+                                   headers=headers)
+                response = connection.getresponse()
+                raw = response.read()
+                response_headers = {k.lower(): v for k, v
+                                    in response.getheaders()}
+                if response.will_close:
+                    self._drop_connection()
+                else:
+                    self._local.used = True
+                try:
+                    data = json.loads(raw) if raw else {}
+                except json.JSONDecodeError:
+                    data = {"error": raw.decode(errors="replace")}
+                return response.status, response_headers, data
+            except (ConnectionError, OSError,
+                    http.client.HTTPException) as error:
+                self._drop_connection()
+                # A reused socket may have been idle-closed by the
+                # server between requests; retry once on a fresh
+                # connection.  A fresh connection failing means the
+                # service really is unreachable.
+                if reused and attempt == 0:
+                    continue
+                raise ServiceUnavailable(
+                    f"cannot reach service at {self.host}:{self.port}: "
+                    f"{error}")
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def _raise_for(self, status: int, headers: dict, data: dict):
         if status == 429:
@@ -148,6 +204,76 @@ class ServiceClient:
                     f"{timeout}s")
             time.sleep(poll)
 
+    def watch(self, job_id: str | None = None, since: int = 0,
+              reconnects: int = 3):
+        """Yield live events from the service's SSE endpoints.
+
+        With `job_id`, follows ``/v1/jobs/{id}/events`` and returns
+        after the job's terminal event (``job_done`` / ``job_failed``
+        / a final ``state``); without, tails the ``/v1/events``
+        firehose until the server goes away.  Runs on its own
+        streaming connection (the per-thread request connection stays
+        usable).  A dropped connection reconnects up to `reconnects`
+        times with ``Last-Event-ID`` so ring-buffered events missed
+        during the gap are replayed.
+        """
+        path = (f"/v1/jobs/{job_id}/events" if job_id is not None
+                else "/v1/events")
+        last_seq = since
+        failures = 0
+        while True:
+            connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout)
+            ended = False
+            try:
+                headers = {"Accept": "text/event-stream"}
+                if last_seq:
+                    headers["Last-Event-ID"] = str(last_seq)
+                connection.request("GET", path, headers=headers)
+                response = connection.getresponse()
+                if response.status != 200:
+                    raw = response.read()
+                    try:
+                        data = json.loads(raw) if raw else {}
+                    except json.JSONDecodeError:
+                        data = {"error": raw.decode(errors="replace")}
+                    self._raise_for(response.status,
+                                    {k.lower(): v for k, v
+                                     in response.getheaders()}, data)
+                    raise ClientError(f"HTTP {response.status} from "
+                                      f"{path}")
+                failures = 0
+                for event in parse_sse_stream(response):
+                    last_seq = max(last_seq, event.get("seq", 0))
+                    yield event
+                    if job_id is not None and event.get("type") in (
+                            "job_done", "job_failed"):
+                        return
+                    if (job_id is not None
+                            and event.get("type") == "state"
+                            and event.get("state") in ("done",
+                                                       "failed")):
+                        return
+                ended = True        # server closed the stream cleanly
+            except (ConnectionError, OSError,
+                    http.client.HTTPException) as error:
+                failures += 1
+                if failures > reconnects:
+                    raise ServiceUnavailable(
+                        f"event stream to {self.host}:{self.port} "
+                        f"lost: {error}")
+            finally:
+                connection.close()
+            if ended:
+                if job_id is not None:
+                    return          # job stream over (e.g. drain)
+                time.sleep(0.2)     # firehose: server restarting?
+                failures += 1
+                if failures > reconnects:
+                    return
+            else:
+                time.sleep(0.2)
+
     def explain(self, job_id: str, direction: str = "worst") -> dict:
         status, headers, data = self._request(
             "GET", f"/v1/jobs/{job_id}/explain?direction={direction}")
@@ -159,8 +285,9 @@ class ServiceClient:
         self._raise_for(status, headers, data)
         return data
 
-    def metricz(self) -> dict:
-        status, headers, data = self._request("GET", "/metricz")
+    def metricz(self, merge_peers: bool = False) -> dict:
+        path = "/metricz?merge=peers" if merge_peers else "/metricz"
+        status, headers, data = self._request("GET", path)
         self._raise_for(status, headers, data)
         return data
 

@@ -70,6 +70,14 @@ class Scheduler:
         The service's :class:`~repro.obs.MetricsRegistry`; engine
         evidence (stage timings, solver effort, cache traffic) is
         folded into the same registry under ``engine.*`` names.
+    bus:
+        An optional :class:`repro.obs.EventBus`; job lifecycle
+        (``job_running``, per-set ``set_done``, ``job_done`` /
+        ``job_failed``) is published into it for the SSE endpoints.
+        Per-set events are synthesized from the finished report (the
+        executor boundary hides live solver progress), always *before*
+        the terminal job event, so followers see per-set effort ahead
+        of the final bound.
     """
 
     def __init__(self, queue, workers: int = 2, cache=None,
@@ -77,7 +85,8 @@ class Scheduler:
                  retries: int = 2, backoff: float = 0.25,
                  default_set_timeout: float | None = None,
                  max_iterations: int | None = None,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 bus=None):
         if executor not in ("process", "thread"):
             raise ValueError(f"unknown executor kind {executor!r}")
         self.queue = queue
@@ -91,6 +100,7 @@ class Scheduler:
         self.max_iterations = max_iterations
         self.registry = registry if registry is not None \
             else MetricsRegistry()
+        self.bus = bus
         self.engine_metrics = EngineMetrics(self.registry)
         for status in ("ok", "partial", "failed"):
             self.registry.counter(f"service.jobs.done.{status}")
@@ -182,11 +192,16 @@ class Scheduler:
         self.registry.histogram(
             "service.queue_seconds",
             buckets=LATENCY_BUCKETS).observe(record.queue_seconds)
+        if self.bus is not None:
+            self.bus.publish("job_running", job=record.id,
+                             name=record.spec.name,
+                             queue_seconds=record.queue_seconds)
         self.running += 1
         self.note_depth()
         started = time.monotonic()
         try:
             await self._execute(loop, record)
+            self._publish_done(record)
         finally:
             record.run_seconds = time.monotonic() - started
             self.registry.histogram(
@@ -201,6 +216,39 @@ class Scheduler:
             self.registry.counter(
                 f"service.jobs.done.{record.status or 'failed'}").inc()
             self.note_depth()
+
+    def _publish_done(self, record) -> None:
+        """Per-set progress then the terminal event for one record.
+
+        The per-set ``set_done`` events come from the finished
+        report's (canonically ordered) set results; publishing them
+        ahead of ``job_done`` guarantees followers see solver effort
+        per constraint set before the final bound, even for cache
+        hits and process executors.
+        """
+        if self.bus is None:
+            return
+        report = record.report
+        if report is not None:
+            for result in report.set_results:
+                self.bus.publish(
+                    "set_done", job=record.id, name=record.spec.name,
+                    set=result.index, feasible=result.feasible,
+                    pivots=result.stats.simplex_iterations,
+                    nodes=result.stats.nodes, wall=result.wall_time,
+                    worst=result.worst, best=result.best)
+        payload = {"job": record.id, "name": record.spec.name,
+                   "status": record.status,
+                   "cache_hit": record.cache_hit}
+        if report is not None:
+            payload["sets"] = report.sets_solved
+            payload["worst"] = report.worst
+            payload["best"] = report.best
+        if record.state == "failed":
+            payload["error"] = record.error
+            self.bus.publish("job_failed", **payload)
+        else:
+            self.bus.publish("job_done", **payload)
 
     async def _execute(self, loop, record) -> None:
         spec = record.spec

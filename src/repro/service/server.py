@@ -1,8 +1,9 @@
 """The asyncio HTTP front end of the analysis service.
 
 Dependency-free: a minimal HTTP/1.1 request parser over
-``asyncio.start_server`` streams (one request per connection,
-``Connection: close``), JSON in and out.  Endpoints:
+``asyncio.start_server`` streams with **keep-alive** (requests loop on
+one connection until the client sends ``Connection: close`` or the
+idle timeout lapses), JSON in and out.  Endpoints:
 
 ================================  =====================================
 ``POST /v1/jobs``                 submit a :class:`~.protocol.JobSpec`;
@@ -14,17 +15,32 @@ Dependency-free: a minimal HTTP/1.1 request parser over
 ``GET /v1/jobs/{id}/explain``     bound provenance (winning set,
                                   witness, binding constraints); takes
                                   ``?direction=worst|best``
+``GET /v1/jobs/{id}/events``      **server-sent events** for one job:
+                                  current state immediately, then
+                                  queued/running/per-set/done events
+                                  live; ends after the terminal event
+``GET /v1/events``                SSE firehose of the whole bus (every
+                                  job, metric deltas, spans)
 ``GET /healthz``                  liveness + queue depth (``draining``
                                   while shutting down)
 ``GET /metricz``                  the service's ``repro.obs`` registry
                                   snapshot — mergeable JSON, same
-                                  schema as ``repro obs dump/diff``
+                                  schema as ``repro obs dump/diff``;
+                                  ``?merge=peers`` folds in configured
+                                  peers' snapshots
 ================================  =====================================
+
+Both SSE endpoints honour ``Last-Event-ID`` (or ``?since=N``): events
+newer than that sequence number are replayed from the bus ring buffer
+before the live tail begins, so a dropped connection resumes without a
+gap (up to the ring's capacity).  A comment heartbeat keeps idle
+streams alive through proxies.
 
 Graceful drain: ``SIGTERM``/``SIGINT`` (or :meth:`AnalysisService.drain`)
 closes admission (new submissions get ``503``), lets in-flight and
 queued jobs finish, flushes the metrics snapshot to ``metrics_path``
-if configured, stops the listener and exits 0.
+if configured, ends open SSE streams and keep-alive loops, stops the
+listener and exits 0.
 """
 
 from __future__ import annotations
@@ -33,15 +49,24 @@ import asyncio
 import json
 import signal
 import threading
+import time
 
 from ..engine.cache import ResultCache
 from ..obs.registry import MetricsRegistry
+from ..obs.stream import EventBus, sse_comment, sse_format
 from .protocol import BadRequest, JobRecord, JobSpec
 from .queue import JobQueue, QueueClosed, QueueSaturated
 from .scheduler import Scheduler
 
 #: Largest accepted request body (a job spec with inline source).
 MAX_BODY_BYTES = 4 * 1024 * 1024
+
+#: Default keep-alive idle timeout (seconds a connection may sit
+#: between requests before the server closes it).
+KEEPALIVE_TIMEOUT = 5.0
+
+#: SSE comment-heartbeat period (seconds).
+HEARTBEAT_SECONDS = 15.0
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             404: "Not Found", 405: "Method Not Allowed",
@@ -67,12 +92,21 @@ class AnalysisService:
                  max_iterations: int | None = None,
                  retries: int = 2, backoff: float = 0.25,
                  metrics_path=None,
-                 registry: MetricsRegistry | None = None):
+                 registry: MetricsRegistry | None = None,
+                 keepalive_timeout: float = KEEPALIVE_TIMEOUT,
+                 peers: list | None = None,
+                 bus: EventBus | None = None):
         self.host = host
         self.port = port
         self.metrics_path = metrics_path
+        self.keepalive_timeout = keepalive_timeout
+        #: "host:port" strings whose /metricz snapshots
+        #: ``/metricz?merge=peers`` folds into this one's.
+        self.peers = list(peers or ())
+        self.bus = bus if bus is not None else EventBus()
         self.registry = registry if registry is not None \
             else MetricsRegistry()
+        self.registry.attach_stream(self.bus)
         for name in ("service.jobs.submitted", "service.jobs.rejected"):
             self.registry.counter(name)
         max_entries, max_bytes = cache_limits or (None, None)
@@ -83,7 +117,8 @@ class AnalysisService:
             self.queue, workers=workers, cache=cache,
             executor=executor, runner=runner, retries=retries,
             backoff=backoff, default_set_timeout=set_timeout,
-            max_iterations=max_iterations, registry=self.registry)
+            max_iterations=max_iterations, registry=self.registry,
+            bus=self.bus)
         self.records: dict[str, JobRecord] = {}
         self._seq = 0
         self._server: asyncio.AbstractServer | None = None
@@ -145,46 +180,108 @@ class AnalysisService:
     # HTTP plumbing
     # ------------------------------------------------------------------
     async def _handle(self, reader, writer) -> None:
+        """Serve requests on one connection until it goes quiet.
+
+        HTTP/1.1 keep-alive: the loop keeps answering requests on the
+        same socket until the client asks for ``Connection: close``,
+        the idle timeout lapses, the request is malformed, or the
+        service drains.  SSE requests take over the connection and end
+        it when the stream finishes.
+        """
         try:
-            status, payload, headers = await self._respond(reader)
-            body = json.dumps(payload).encode()
-            reason = _REASONS.get(status, "")
-            head = [f"HTTP/1.1 {status} {reason}",
-                    "Content-Type: application/json",
-                    f"Content-Length: {len(body)}",
-                    "Connection: close"]
-            head += [f"{k}: {v}" for k, v in (headers or {}).items()]
-            writer.write(("\r\n".join(head) + "\r\n\r\n").encode()
-                         + body)
-            await writer.drain()
+            while True:
+                request = await self._next_request(reader)
+                if request is None:          # idle timeout / EOF / drain
+                    break
+                if isinstance(request, tuple) and request[0] == "error":
+                    await self._write_response(writer, request[1],
+                                               request[2], None,
+                                               keep=False)
+                    break
+                method, path, query, body, headers = request
+                if method == "GET" and (
+                        path == "/v1/events"
+                        or (path.startswith("/v1/jobs/")
+                            and path.endswith("/events"))):
+                    await self._serve_sse(writer, path, query, headers)
+                    break
+                try:
+                    status, payload, extra = await self._route(
+                        method, path, query, body)
+                except BadRequest as error:
+                    status, payload, extra = 400, {"error": str(error)}, \
+                        None
+                except Exception as error:  # pragma: no cover - defense
+                    status, payload, extra = 500, {
+                        "error": f"internal error: {error!r}"}, None
+                keep = (headers.get("connection", "").lower() != "close"
+                        and not self._draining)
+                await self._write_response(writer, status, payload,
+                                           extra, keep=keep)
+                if not keep:
+                    break
         except (ConnectionError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Event-loop teardown while this connection idled in its
+            # keep-alive wait; close the socket and end the task
+            # cleanly rather than letting the cancellation escape into
+            # asyncio's connection-made callback.
             pass
         finally:
             writer.close()
             try:
                 await writer.wait_closed()
-            except (ConnectionError, OSError):  # pragma: no cover
+            except (ConnectionError, OSError,  # pragma: no cover
+                    asyncio.CancelledError):
                 pass
 
-    async def _respond(self, reader):
-        """Parse one request and route it; returns
-        ``(status, json_payload, extra_headers)``."""
+    async def _write_response(self, writer, status, payload, headers,
+                              keep: bool) -> None:
+        body = json.dumps(payload).encode()
+        reason = _REASONS.get(status, "")
+        head = [f"HTTP/1.1 {status} {reason}",
+                "Content-Type: application/json",
+                f"Content-Length: {len(body)}"]
+        if keep:
+            head.append("Connection: keep-alive")
+            head.append("Keep-Alive: timeout="
+                        f"{int(self.keepalive_timeout)}")
+        else:
+            head.append("Connection: close")
+        head += [f"{k}: {v}" for k, v in (headers or {}).items()]
+        writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
+        await writer.drain()
+
+    async def _next_request(self, reader):
+        """One parsed request, or None when the connection should end.
+
+        The keep-alive idle wait is sliced so an in-progress drain
+        closes idle connections promptly instead of after the full
+        idle timeout.
+        """
+        deadline = time.monotonic() + self.keepalive_timeout
+        task = asyncio.ensure_future(self._read_request(reader))
         try:
-            request = await self._read_request(reader)
+            while True:
+                try:
+                    request = await asyncio.wait_for(
+                        asyncio.shield(task), timeout=0.25)
+                    break
+                except asyncio.TimeoutError:
+                    if self._draining or time.monotonic() >= deadline:
+                        task.cancel()
+                        try:
+                            await task
+                        except (asyncio.CancelledError, Exception):
+                            pass
+                        return None
         except _RequestTooLarge:
-            return 413, {"error": "request body too large"}, None
+            return ("error", 413, {"error": "request body too large"})
         except (ValueError, UnicodeDecodeError,
                 asyncio.IncompleteReadError):
-            return 400, {"error": "malformed HTTP request"}, None
-        if request is None:
-            return 400, {"error": "empty request"}, None
-        method, path, query, body = request
-        try:
-            return await self._route(method, path, query, body)
-        except BadRequest as error:
-            return 400, {"error": str(error)}, None
-        except Exception as error:  # pragma: no cover - defense
-            return 500, {"error": f"internal error: {error!r}"}, None
+            return ("error", 400, {"error": "malformed HTTP request"})
+        return request
 
     async def _read_request(self, reader):
         line = await reader.readline()
@@ -211,7 +308,148 @@ class AnalysisService:
             if "=" in pair:
                 key, _, value = pair.partition("=")
                 query[key] = value
-        return method.upper(), path, query, body
+        return method.upper(), path, query, body, headers
+
+    # ------------------------------------------------------------------
+    # Server-sent events
+    # ------------------------------------------------------------------
+    async def _serve_sse(self, writer, path, query, headers) -> None:
+        """Stream bus events over one connection until terminal/drain.
+
+        ``/v1/events`` streams everything; ``/v1/jobs/{id}/events``
+        filters to one job (events carrying ``job == id``), opens with
+        a synthetic ``state`` event, and ends after the job's terminal
+        event.  ``Last-Event-ID`` / ``?since`` replays newer ring-
+        buffered events first.
+        """
+        job_id = None
+        record = None
+        if path != "/v1/events":
+            job_id = path[len("/v1/jobs/"):-len("/events")]
+            record = self.records.get(job_id)
+            if record is None:
+                await self._write_response(
+                    writer, 404, {"error": f"unknown job {job_id!r}"},
+                    None, keep=False)
+                return
+        since_text = headers.get("last-event-id", query.get("since"))
+        try:
+            since = int(since_text)
+        except (TypeError, ValueError):
+            # Job streams default to a full ring replay so a follower
+            # that attaches late still sees the job's per-set history;
+            # the firehose defaults to live tail only.
+            since = 0 if job_id is not None else None
+
+        loop = asyncio.get_running_loop()
+        wake = asyncio.Event()
+        sub = self.bus.subscribe(
+            maxlen=4096,
+            wakeup=lambda: loop.call_soon_threadsafe(wake.set))
+        try:
+            writer.write(b"HTTP/1.1 200 OK\r\n"
+                         b"Content-Type: text/event-stream\r\n"
+                         b"Cache-Control: no-cache\r\n"
+                         b"Connection: close\r\n\r\n")
+            if since is not None:
+                for event in self.bus.replay(since):
+                    if self._sse_match(event, job_id):
+                        writer.write(sse_format(event))
+            terminal = False
+            if record is not None:
+                state = {"type": "state", "seq": self.bus.seq,
+                         "job": record.id,
+                         **record.to_dict(include_report=False)}
+                writer.write(sse_format(state))
+                terminal = record.state in ("done", "failed")
+            await writer.drain()
+            heartbeat_at = time.monotonic() + HEARTBEAT_SECONDS
+            while not terminal:
+                for event in sub.pop_all():
+                    if not self._sse_match(event, job_id):
+                        continue
+                    writer.write(sse_format(event))
+                    if job_id is not None and event.get("type") in (
+                            "job_done", "job_failed"):
+                        terminal = True
+                if terminal or self._draining:
+                    break
+                # Belt and braces: a record that finished while its
+                # lifecycle events overflowed the queue still ends the
+                # stream with a final state event.
+                if record is not None and record.state in ("done",
+                                                           "failed"):
+                    writer.write(sse_format(
+                        {"type": "state", "seq": self.bus.seq,
+                         "job": record.id,
+                         **record.to_dict(include_report=False)}))
+                    terminal = True
+                    break
+                if time.monotonic() >= heartbeat_at:
+                    writer.write(sse_comment())
+                    heartbeat_at = time.monotonic() + HEARTBEAT_SECONDS
+                await writer.drain()
+                try:
+                    await asyncio.wait_for(wake.wait(), timeout=1.0)
+                except asyncio.TimeoutError:
+                    pass
+                wake.clear()
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            sub.close()
+
+    @staticmethod
+    def _sse_match(event: dict, job_id: str | None) -> bool:
+        if job_id is None:
+            return True
+        return event.get("job") == job_id
+
+    # ------------------------------------------------------------------
+    # Metrics federation
+    # ------------------------------------------------------------------
+    def _fetch_peer(self, peer: str):
+        """Blocking /metricz fetch from one peer (run off the loop)."""
+        import http.client
+
+        host, _, port_text = peer.rpartition(":")
+        try:
+            connection = http.client.HTTPConnection(
+                host or "127.0.0.1", int(port_text), timeout=2.0)
+            try:
+                connection.request("GET", "/metricz")
+                response = connection.getresponse()
+                if response.status != 200:
+                    return None
+                return json.loads(response.read())
+            finally:
+                connection.close()
+        except (OSError, ValueError, json.JSONDecodeError):
+            return None
+
+    async def _merged_metricz(self) -> dict:
+        """This registry's snapshot plus every reachable peer's.
+
+        Peers are fetched concurrently off the event loop and folded in
+        with :meth:`MetricsRegistry.merge`; a
+        ``federation.origin.{addr}`` gauge tags each origin with 1
+        (merged) or 0 (unreachable), so the merged snapshot says whose
+        numbers it contains.
+        """
+        merged = MetricsRegistry.from_snapshot(self.registry.snapshot())
+        merged.gauge(f"federation.origin.{self.host}:{self.port}").set(1)
+        snapshots = await asyncio.gather(
+            *(asyncio.to_thread(self._fetch_peer, peer)
+              for peer in self.peers))
+        for peer, snapshot in zip(self.peers, snapshots):
+            origin = merged.gauge(f"federation.origin.{peer}")
+            if snapshot is None:
+                origin.set(0)
+                continue
+            merged.merge(MetricsRegistry.from_snapshot(snapshot))
+            origin.set(1)
+        return merged.snapshot()
 
     # ------------------------------------------------------------------
     # Routing
@@ -225,6 +463,11 @@ class AnalysisService:
             if method != "GET":
                 return 405, {"error": "GET only"}, None
             self.scheduler.note_depth()
+            self.registry.gauge("stream.dropped").set(self.bus.dropped)
+            self.registry.gauge("stream.subscribers").set(
+                self.bus.subscribers)
+            if query.get("merge") == "peers":
+                return 200, await self._merged_metricz(), None
             return 200, self.registry.snapshot(), None
         if path == "/v1/jobs":
             if method != "POST":
@@ -279,6 +522,9 @@ class AnalysisService:
             return 503, {"error": "service is draining"}, None
         self.records[record.id] = record
         self.registry.counter("service.jobs.submitted").inc()
+        self.bus.publish("job_queued", job=record.id,
+                         name=record.spec.name,
+                         queue_depth=self.queue.depth)
         self.scheduler.note_depth()
         return (202,
                 {"id": record.id, "state": record.state,
