@@ -233,9 +233,28 @@ def build_parser() -> argparse.ArgumentParser:
                        help="flush the metrics registry snapshot here "
                             "on graceful drain")
     serve.add_argument("--peers", metavar="HOST:PORT[,HOST:PORT...]",
-                       help="sibling services whose /metricz this one "
-                            "merges when asked with "
-                            "/metricz?merge=peers")
+                       help="sibling replicas: /metricz?merge=peers "
+                            "federates their metrics, and (unless "
+                            "--no-share) this replica steals their "
+                            "queued jobs when idle")
+    serve.add_argument("--journal", metavar="DIR",
+                       help="append every job transition to a "
+                            "write-ahead log under DIR; on restart, "
+                            "queued and in-flight jobs are recovered "
+                            "and re-dispatched")
+    serve.add_argument("--tenants", metavar="FILE",
+                       help="TOML/JSON tenant file: API keys, "
+                            "admission quotas, submit-rate limits and "
+                            "fair-share weights (see "
+                            "docs/durability.md)")
+    serve.add_argument("--no-share", action="store_true",
+                       help="disable job-level work sharing (serve no "
+                            "/v1/peer/claim leases, steal nothing)")
+    serve.add_argument("--lease-seconds", type=float, default=30.0,
+                       metavar="SECONDS",
+                       help="peer lease duration; an unreturned "
+                            "stolen job re-queues here after this "
+                            "long (default 30)")
 
     submit = sub.add_parser(
         "submit", help="submit benchmark jobs to a running service")
@@ -264,6 +283,11 @@ def build_parser() -> argparse.ArgumentParser:
                              "service's SSE endpoint while waiting")
     submit.add_argument("--json", action="store_true",
                         help="emit the final job records as JSON")
+    submit.add_argument("--api-key", metavar="KEY",
+                        default=os.environ.get("REPRO_API_KEY"),
+                        help="tenant API key (default: $REPRO_API_KEY)"
+                             "; required when the service enforces "
+                             "tenancy")
     return parser
 
 
@@ -529,7 +553,9 @@ def _cmd_serve(args) -> int:
         cache_dir=cache_dir, cache_limits=_cache_limits(args),
         set_timeout=args.set_timeout,
         max_iterations=args.max_iterations,
-        metrics_path=args.metrics, peers=peers)
+        metrics_path=args.metrics, peers=peers,
+        journal_dir=args.journal, tenants=args.tenants,
+        share=not args.no_share, lease_seconds=args.lease_seconds)
     return service.run()
 
 
@@ -575,7 +601,8 @@ def _cmd_submit(args) -> int:
         from .programs import all_benchmarks
 
         names = list(all_benchmarks())
-    client = ServiceClient(host=args.host, port=args.port)
+    client = ServiceClient(host=args.host, port=args.port,
+                           api_key=args.api_key)
     submitted = []
     for name in names:
         spec = {"benchmark": name, "machine": args.machine,

@@ -22,12 +22,22 @@ CLI: ``repro serve`` / ``repro submit``.  See ``docs/service.md``.
 
 from .client import (ClientError, JobFailed, ServiceClient,
                      ServiceSaturated, ServiceUnavailable)
+from .durable import (JobJournal, JournalError, JournalState,
+                      PeerBalancer, Tenant, TenantConfigError,
+                      TenantRegistry)
 from .protocol import BadRequest, JobRecord, JobSpec, STATES
 from .queue import JobQueue, QueueClosed, QueueSaturated
 from .scheduler import LATENCY_BUCKETS, Scheduler
 from .server import MAX_BODY_BYTES, AnalysisService, ServiceThread
 
 __all__ = [
+    "JobJournal",
+    "JournalError",
+    "JournalState",
+    "PeerBalancer",
+    "Tenant",
+    "TenantConfigError",
+    "TenantRegistry",
     "AnalysisService",
     "ServiceThread",
     "ServiceClient",

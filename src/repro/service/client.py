@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import threading
 import time
 
@@ -65,10 +66,12 @@ class ServiceClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 timeout: float = 30.0):
+                 timeout: float = 30.0, api_key: str | None = None):
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Sent as ``X-API-Key`` when the service enforces tenancy.
+        self.api_key = api_key
         self._local = threading.local()
 
     # ------------------------------------------------------------------
@@ -105,6 +108,8 @@ class ServiceClient:
         headers = {"Connection": "keep-alive"}
         if payload:
             headers["Content-Type"] = "application/json"
+        if self.api_key:
+            headers["X-API-Key"] = self.api_key
         for attempt in (0, 1):
             connection = self._connection()
             reused = getattr(self._local, "used", False)
@@ -169,15 +174,28 @@ class ServiceClient:
         return data
 
     def submit_retry(self, spec, attempts: int = 8,
-                     max_sleep: float = 10.0) -> dict:
-        """Submit, honouring 429 ``Retry-After`` up to `attempts`."""
+                     max_sleep: float = 10.0,
+                     _sleep=time.sleep, _random=random.uniform) -> dict:
+        """Submit with **full-jitter** backoff on 429 responses.
+
+        The server-sent ``Retry-After`` hint seeds the backoff window:
+        attempt *n* sleeps a uniform random duration in
+        ``[0, min(retry_after * 2**n, max_sleep)]`` (AWS full jitter).
+        Randomising the whole window — rather than sleeping the hint
+        verbatim — de-synchronises a fleet of clients that were all
+        rejected in the same instant, so they do not stampede the
+        queue again together.  ``_sleep``/``_random`` are injectable
+        for tests.
+        """
         for attempt in range(attempts):
             try:
                 return self.submit(spec)
             except ServiceSaturated as error:
                 if attempt == attempts - 1:
                     raise
-                time.sleep(min(max(error.retry_after, 0.05), max_sleep))
+                window = min(max(error.retry_after, 0.05)
+                             * (2 ** attempt), max_sleep)
+                _sleep(_random(0.0, window))
         raise AssertionError("unreachable")  # pragma: no cover
 
     def job(self, job_id: str) -> dict:
@@ -277,6 +295,25 @@ class ServiceClient:
     def explain(self, job_id: str, direction: str = "worst") -> dict:
         status, headers, data = self._request(
             "GET", f"/v1/jobs/{job_id}/explain?direction={direction}")
+        self._raise_for(status, headers, data)
+        return data
+
+    def peer_claim(self, limit: int = 1, peer: str = "") -> list[dict]:
+        """Steal up to `limit` queued jobs from this (peer) service.
+
+        Returns ``[{"id", "spec", "lease_seconds"}, ...]`` — possibly
+        empty.  Used by the work-sharing balancer; `peer` names the
+        claiming replica for the owner's lease bookkeeping.
+        """
+        status, headers, data = self._request(
+            "POST", "/v1/peer/claim", {"max": limit, "peer": peer})
+        self._raise_for(status, headers, data)
+        return data.get("jobs", [])
+
+    def peer_complete(self, payload: dict) -> dict:
+        """Hand a stolen job's result back to its owner."""
+        status, headers, data = self._request(
+            "POST", "/v1/peer/complete", payload)
         self._raise_for(status, headers, data)
         return data
 

@@ -1,0 +1,34 @@
+"""Durability layer of the analysis service.
+
+Three pieces, composing with the queue/scheduler/server stack:
+
+* :mod:`~repro.service.durable.journal` — the append-only job journal
+  (WAL) behind ``repro serve --journal DIR``: crash recovery replays
+  queued and in-flight jobs, compaction folds history into a snapshot.
+* :mod:`~repro.service.durable.tenants` — API keys, per-tenant
+  admission quotas (queue/running caps, token-bucket submit rate) and
+  weighted fair scheduling (``repro serve --tenants FILE``).
+* :mod:`~repro.service.durable.peers` — job-level work sharing across
+  ``--peers`` replicas: idle replicas steal queued jobs under a lease
+  that expires back to the owner.
+
+See ``docs/durability.md``.
+"""
+
+from .journal import (JobJournal, JournalError, JournalState,
+                      apply_record)
+from .peers import PeerBalancer
+from .tenants import (Admission, Tenant, TenantConfigError,
+                      TenantRegistry)
+
+__all__ = [
+    "JobJournal",
+    "JournalError",
+    "JournalState",
+    "apply_record",
+    "PeerBalancer",
+    "Admission",
+    "Tenant",
+    "TenantConfigError",
+    "TenantRegistry",
+]

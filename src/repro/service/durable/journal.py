@@ -1,0 +1,349 @@
+"""The job journal: an append-only write-ahead log for the service.
+
+Every admission-changing step of a job's life — ``submit``, ``start``,
+per-set ``set_done`` progress, ``complete``, ``fail``, and the peer
+lease handoffs ``lease``/``release`` — is appended as one framed JSON
+record before the service acts on it.  On startup the service replays
+the journal: terminal jobs come back queryable, queued jobs re-enter
+the queue in their original order, and jobs that were *running* when
+the process died are re-dispatched — re-execution is idempotent
+because the engine payload is pure and the content-addressed
+``ResultCache`` answers repeats with bit-identical reports.
+
+Frame format (schema-versioned)
+-------------------------------
+The file opens with an 8-byte magic carrying the schema version
+(``b"RPROJNL1"``); every frame is::
+
+    <u32 payload length> <u32 crc32(payload)> <payload: UTF-8 JSON>
+
+little-endian.  A torn tail — the crash happened mid-append — shows up
+as a short read or a CRC mismatch; replay stops at the first bad frame
+and reports it (``JournalState.tail_dropped``), keeping every record
+before it.  Replay is idempotent: records are folded by job id with
+monotonic state transitions, so duplicated frames (e.g. a re-played
+WAL after a crash mid-compaction) cannot corrupt the restored state.
+
+Durability is **tiered**, because the engine makes re-execution free
+of side effects.  ``submit`` frames are flushed to the OS before the
+client sees the ``202`` — a killed process cannot lose an
+acknowledged admission.  Progress and terminal frames stay in the
+writer's buffer (losing one to a crash merely re-runs an idempotent
+job), and ``fsync`` is group-committed off the hot path: the
+service's housekeeping loop calls :meth:`JobJournal.maybe_sync`,
+which syncs at most every ``fsync_interval`` seconds, so a power
+loss can drop at most the last batch — the classic WAL throughput
+trade.  Set ``fsync_interval=0`` to flush *and* fsync every record
+inline.
+
+Compaction folds the journal into ``snapshot.json`` (written to a temp
+file, fsynced, atomically renamed) and then truncates the WAL.  A
+crash between the rename and the truncate leaves a snapshot *plus* a
+WAL whose records are already folded in — harmless, because replay
+applies the WAL on top of the snapshot idempotently.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import time
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from ...errors import ReproError
+
+#: File magic; the trailing digit is the frame-schema version.
+MAGIC = b"RPROJNL1"
+
+#: Snapshot schema version (``snapshot.json``).
+SNAPSHOT_SCHEMA = 1
+
+_FRAME_HEADER = struct.Struct("<II")
+
+#: Refuse to trust frames claiming to be larger than this; a length
+#: this big is torn-write garbage, not a record.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+#: Record types replay understands.  ``set_done`` frames are progress
+#: breadcrumbs (counted, not state-changing).
+RECORD_TYPES = ("submit", "start", "set_done", "complete", "fail",
+                "lease", "release")
+
+#: Job states that no later record may leave.
+_TERMINAL = ("done", "failed")
+
+
+class JournalError(ReproError):
+    """The journal directory holds something this version cannot read."""
+
+
+@dataclass
+class JournalState:
+    """What replay recovered: per-job folded state plus diagnostics."""
+
+    #: job id -> plain-dict job state (spec, state, status, error,
+    #: tenant, cache_hit, report).
+    jobs: dict = field(default_factory=dict)
+    #: Frames applied (snapshot jobs count as one each).
+    records: int = 0
+    #: Progress frames seen (``set_done``).
+    set_records: int = 0
+    #: True when replay stopped at a torn/corrupt tail frame.
+    tail_dropped: bool = False
+
+    def by_state(self, *states) -> list:
+        """(id, job) pairs in the given states, in id order."""
+        return sorted((i, j) for i, j in self.jobs.items()
+                      if j.get("state") in states)
+
+
+def apply_record(jobs: dict, record: dict) -> bool:
+    """Fold one journal record into ``jobs``; True if it applied.
+
+    Idempotent and monotonic: a ``submit`` for a known id is a no-op,
+    nothing un-does a terminal state, and re-applying any record
+    yields the state it already produced.
+    """
+    kind = record.get("type")
+    job_id = record.get("id")
+    if kind == "submit":
+        jobs.setdefault(job_id, {
+            "spec": record.get("spec"),
+            "tenant": record.get("tenant"),
+            "state": "queued",
+        })
+        return True
+    job = jobs.get(job_id)
+    if job is None or kind == "set_done":
+        return job is not None
+    if job.get("state") in _TERMINAL and kind not in ("complete",
+                                                      "fail"):
+        return True
+    if kind == "start":
+        job["state"] = "running"
+    elif kind == "lease":
+        job["state"] = "leased"
+        job["lease_peer"] = record.get("peer")
+    elif kind == "release":
+        job["state"] = "queued"
+        job.pop("lease_peer", None)
+    elif kind == "complete":
+        job["state"] = "done"
+        job["status"] = record.get("status", "ok")
+        job["cache_hit"] = bool(record.get("cache_hit", False))
+        if record.get("report") is not None:
+            job["report"] = record["report"]
+        job.pop("lease_peer", None)
+    elif kind == "fail":
+        job["state"] = "failed"
+        job["status"] = record.get("status", "failed")
+        job["error"] = record.get("error")
+        job.pop("lease_peer", None)
+    else:
+        return False
+    return True
+
+
+class JobJournal:
+    """Append-only journal + snapshot pair under one directory.
+
+    ``open()`` replays whatever is there and readies the WAL for
+    appends; ``append()`` adds one frame (group-committed fsync);
+    ``compact()`` folds everything into ``snapshot.json`` and resets
+    the WAL.  Single-writer: the service event loop owns it.
+    """
+
+    def __init__(self, root, fsync_interval: float = 0.05,
+                 compact_records: int = 2048,
+                 compact_bytes: int = 1 << 20):
+        self.root = Path(root).expanduser()
+        self.wal_path = self.root / "journal.wal"
+        self.snapshot_path = self.root / "snapshot.json"
+        self.fsync_interval = fsync_interval
+        self.compact_records = compact_records
+        self.compact_bytes = compact_bytes
+        self._file = None
+        self._last_sync = 0.0
+        self._unsynced = 0
+        #: Counters mirrored into /metricz by the service.
+        self.appended = 0
+        self.synced = 0
+        self.compactions = 0
+        #: Wall seconds spent writing/syncing frames, for the
+        #: bench_service overhead guard (journal share of throughput).
+        self.write_seconds = 0.0
+        self._since_compact = 0
+
+    # ------------------------------------------------------------------
+    # Replay
+    # ------------------------------------------------------------------
+    def open(self) -> JournalState:
+        """Replay snapshot + WAL, then open the WAL for appending."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        state = JournalState()
+        self._load_snapshot(state)
+        self._replay_wal(state)
+        # Open for append, stamping the magic on a fresh file.
+        fresh = not self.wal_path.exists() \
+            or self.wal_path.stat().st_size == 0
+        self._file = open(self.wal_path, "ab")
+        if fresh:
+            self._file.write(MAGIC)
+            self._file.flush()
+            os.fsync(self._file.fileno())
+        self._last_sync = time.monotonic()
+        return state
+
+    def _load_snapshot(self, state: JournalState) -> None:
+        if not self.snapshot_path.exists():
+            return
+        try:
+            data = json.loads(self.snapshot_path.read_text())
+        except (OSError, json.JSONDecodeError) as error:
+            raise JournalError(
+                f"unreadable snapshot {self.snapshot_path}: {error}")
+        if data.get("schema") != SNAPSHOT_SCHEMA:
+            raise JournalError(
+                f"snapshot schema {data.get('schema')!r} is not "
+                f"{SNAPSHOT_SCHEMA} (migrate or remove "
+                f"{self.snapshot_path})")
+        state.jobs.update(data.get("jobs", {}))
+        state.records += len(state.jobs)
+
+    def _replay_wal(self, state: JournalState) -> None:
+        if not self.wal_path.exists():
+            return
+        with open(self.wal_path, "rb") as handle:
+            magic = handle.read(len(MAGIC))
+            if not magic:
+                return
+            if magic != MAGIC:
+                raise JournalError(
+                    f"{self.wal_path} is not a schema-"
+                    f"{MAGIC[-1:].decode()} job journal "
+                    f"(magic {magic!r})")
+            while True:
+                header = handle.read(_FRAME_HEADER.size)
+                if len(header) < _FRAME_HEADER.size:
+                    state.tail_dropped = bool(header)
+                    return
+                length, crc = _FRAME_HEADER.unpack(header)
+                if length > MAX_FRAME_BYTES:
+                    state.tail_dropped = True
+                    return
+                payload = handle.read(length)
+                if len(payload) < length \
+                        or zlib.crc32(payload) != crc:
+                    state.tail_dropped = True
+                    return
+                try:
+                    record = json.loads(payload)
+                except json.JSONDecodeError:
+                    state.tail_dropped = True
+                    return
+                if record.get("type") == "set_done":
+                    state.set_records += 1
+                apply_record(state.jobs, record)
+                state.records += 1
+
+    # ------------------------------------------------------------------
+    # Append path
+    # ------------------------------------------------------------------
+    def append(self, type: str, durable: bool = False,
+               **payload) -> dict:
+        """Frame and append one record.
+
+        ``durable=True`` (submit frames: the caller is about to
+        acknowledge the admission) pushes the buffer to the OS so a
+        killed process cannot lose the record; other frames stay
+        buffered until the next durable append or :meth:`maybe_sync`
+        — losing one to a crash only re-runs an idempotent job.
+        """
+        clock = time.perf_counter()
+        record = {"type": type, "t": time.time(), **payload}
+        data = json.dumps(record, separators=(",", ":")).encode()
+        self._file.write(
+            _FRAME_HEADER.pack(len(data), zlib.crc32(data)) + data)
+        self.appended += 1
+        self._since_compact += 1
+        self._unsynced += 1
+        if self.fsync_interval <= 0:
+            self.sync()
+        elif durable:
+            self._file.flush()
+        self.write_seconds += time.perf_counter() - clock
+        return record
+
+    def maybe_sync(self) -> None:
+        """Group commit: fsync when ``fsync_interval`` has elapsed.
+
+        Called from the service's housekeeping loop, keeping the
+        fsync stall off the submit hot path."""
+        if self._unsynced and time.monotonic() - self._last_sync \
+                >= self.fsync_interval:
+            self.sync()
+
+    def sync(self) -> None:
+        """Force the unsynced batch to stable storage now."""
+        if self._file is not None and self._unsynced:
+            clock = time.perf_counter()
+            self._file.flush()
+            os.fsync(self._file.fileno())
+            self.synced += 1
+            self._unsynced = 0
+            self.write_seconds += time.perf_counter() - clock
+        self._last_sync = time.monotonic()
+
+    @property
+    def wal_bytes(self) -> int:
+        try:
+            return self.wal_path.stat().st_size
+        except OSError:
+            return 0
+
+    # ------------------------------------------------------------------
+    # Compaction
+    # ------------------------------------------------------------------
+    def should_compact(self) -> bool:
+        return (self._since_compact >= self.compact_records
+                or self.wal_bytes >= self.compact_bytes)
+
+    def compact(self, jobs: dict) -> None:
+        """Fold ``jobs`` into the snapshot and reset the WAL.
+
+        Crash-safe: the snapshot lands via write-temp + fsync + atomic
+        rename *before* the WAL is truncated, and replay tolerates the
+        in-between state (snapshot plus already-folded WAL records).
+        """
+        self._write_snapshot(jobs)
+        self._reset_wal()
+        self.compactions += 1
+        self._since_compact = 0
+
+    def _write_snapshot(self, jobs: dict) -> None:
+        tmp = self.snapshot_path.with_suffix(".json.tmp")
+        with open(tmp, "w") as handle:
+            json.dump({"schema": SNAPSHOT_SCHEMA, "jobs": jobs},
+                      handle, separators=(",", ":"))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.snapshot_path)
+
+    def _reset_wal(self) -> None:
+        if self._file is not None:
+            self._file.close()
+        self._file = open(self.wal_path, "wb")
+        self._file.write(MAGIC)
+        self._file.flush()
+        os.fsync(self._file.fileno())
+        self._unsynced = 0
+        self._last_sync = time.monotonic()
+
+    def close(self) -> None:
+        if self._file is not None:
+            self.sync()
+            self._file.close()
+            self._file = None

@@ -1,0 +1,152 @@
+"""Cross-replica work sharing: steal queued jobs from loaded peers.
+
+``repro serve --peers`` replicas already federate metrics; this module
+grows that into job-level balancing.  Each replica runs a
+:class:`PeerBalancer` loop: whenever its own queue is empty and it has
+idle worker capacity, it asks each peer in turn for work via ``POST
+/v1/peer/claim``.  The owner pops up to ``max`` jobs off its queue,
+marks the records **leased** (journaled, so a crash recovers them),
+and hands back the job ids + specs with a lease duration.
+
+The stealer runs each claimed job through its *own* scheduler —
+same executor, budgets, retry and cache path as local work — and
+reports the outcome with ``POST /v1/peer/complete``: the owner folds
+the result into its record (journal handoff: a ``complete``/``fail``
+frame), publishes the usual SSE lifecycle events, and keeps serving
+``GET /v1/jobs/{id}`` as if it had run the job itself.
+
+Leases expire back to the owner: if the stealer dies (or the complete
+never arrives), the owner's housekeeping loop re-queues the job at its
+original position once ``lease_seconds`` lapse.  Both sides may then
+compute the same job — harmless, because engine payloads are
+idempotent and the content-addressed cache makes the second execution
+return the bit-identical report the first produced.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import random
+
+from ..protocol import BadRequest, JobRecord, JobSpec
+
+
+class PeerBalancer:
+    """The stealer side of work sharing; one per replica.
+
+    Runs on the service event loop; the blocking peer HTTP calls are
+    pushed off-loop with ``asyncio.to_thread``.  Stealing is gated on
+    genuine idleness — an empty local queue *and* spare workers — so a
+    loaded replica never steals, and the number of stolen jobs in
+    flight never exceeds the idle capacity.
+    """
+
+    def __init__(self, service, peers, interval: float = 0.5,
+                 max_claim: int = 2):
+        self.service = service
+        self.peers = list(peers)
+        self.interval = interval
+        self.max_claim = max_claim
+        self._task: asyncio.Task | None = None
+        self._stolen_running = 0
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self.peers:
+            self._task = asyncio.create_task(self._loop(),
+                                             name="peer-balancer")
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            try:
+                await self._task
+            except asyncio.CancelledError:
+                pass
+            self._task = None
+
+    # ------------------------------------------------------------------
+    def _idle_capacity(self) -> int:
+        scheduler = self.service.scheduler
+        if self.service.queue.depth > 0:
+            return 0
+        return max(0, scheduler.workers - scheduler.running)
+
+    async def _loop(self) -> None:
+        registry = self.service.registry
+        registry.counter("service.peer.stolen")
+        registry.counter("service.peer.returned")
+        # Spread replicas' polls so peers don't claim in lockstep.
+        await asyncio.sleep(random.uniform(0, self.interval))
+        while not self.service.draining:
+            spare = min(self._idle_capacity() - self._stolen_running,
+                        self.max_claim)
+            if spare > 0:
+                peers = list(self.peers)
+                random.shuffle(peers)
+                for peer in peers:
+                    claimed = await asyncio.to_thread(
+                        self._claim, peer, spare)
+                    if claimed:
+                        for payload in claimed:
+                            asyncio.ensure_future(
+                                self._run_stolen(peer, payload))
+                        break
+            await asyncio.sleep(self.interval)
+
+    def _claim(self, peer: str, limit: int) -> list:
+        """Blocking ``/v1/peer/claim`` against one peer; [] on any
+        failure (an unreachable peer degrades balancing, never the
+        replica)."""
+        from ..client import ClientError, ServiceClient
+
+        host, _, port_text = peer.rpartition(":")
+        try:
+            with ServiceClient(host=host or "127.0.0.1",
+                               port=int(port_text),
+                               timeout=2.0) as client:
+                return client.peer_claim(
+                    limit=limit, peer=self.service.advertise)
+        except (ClientError, OSError, ValueError):
+            return []
+
+    async def _run_stolen(self, peer: str, payload: dict) -> None:
+        """Run one claimed job locally, then hand the result back."""
+        service = self.service
+        try:
+            spec = JobSpec.from_dict(payload["spec"])
+        except (BadRequest, KeyError, TypeError):
+            return
+        record = JobRecord(id=payload["id"], spec=spec, foreign=True)
+        service.registry.counter("service.peer.stolen").inc()
+        self._stolen_running += 1
+        try:
+            await service.scheduler._run_record(record)
+        finally:
+            self._stolen_running -= 1
+        delivered = await asyncio.to_thread(
+            self._complete, peer, record)
+        if delivered:
+            service.registry.counter("service.peer.returned").inc()
+        # An undeliverable result is dropped: the owner's lease
+        # expires and it re-runs the job against the shared cache.
+
+    def _complete(self, peer: str, record) -> bool:
+        from ..client import ClientError, ServiceClient
+        from ...engine.cache import report_to_dict
+
+        payload = {"id": record.id, "state": record.state,
+                   "status": record.status, "error": record.error,
+                   "cache_hit": record.cache_hit,
+                   "peer": self.service.advertise}
+        if record.report is not None:
+            payload["report"] = report_to_dict(record.report)
+        host, _, port_text = peer.rpartition(":")
+        try:
+            with ServiceClient(host=host or "127.0.0.1",
+                               port=int(port_text),
+                               timeout=5.0) as client:
+                client.peer_complete(payload)
+            return True
+        except (ClientError, OSError, ValueError):
+            return False

@@ -1,0 +1,225 @@
+"""Tenancy: API keys, admission quotas and weighted fair scheduling.
+
+A tenants file (TOML or JSON) names each tenant, its API key and its
+limits::
+
+    # tenants.toml
+    [ci]
+    key = "ci-secret"
+    max_queued = 32        # jobs waiting at once        (0 = unlimited)
+    max_running = 4        # jobs on workers at once     (0 = unlimited)
+    rate = 10.0            # submits per second (token bucket)
+    burst = 20             # bucket capacity   (default max(rate, 1))
+    weight = 2.0           # fair-share weight (default 1.0)
+
+    [adhoc]
+    key = "adhoc-secret"
+    rate = 1.0
+
+With tenancy enabled, ``POST /v1/jobs`` requires ``X-API-Key`` (or
+``Authorization: Bearer``); unknown keys get ``401``.  Admission
+enforces, per tenant, the queued/running caps and the token-bucket
+submit rate — violations are ``429`` with a ``Retry-After`` telling
+the client when a token (or a slot, estimated) frees up.
+
+Fair scheduling is **stride scheduling** layered inside the existing
+priority classes: each admitted job carries its tenant's current
+*pass* value, advanced by ``1/weight`` per submission, and the queue
+orders ``(-priority, pass, seq)``.  A weight-2 tenant's pass grows
+half as fast, so under contention it drains twice as many jobs per
+round — while a single-tenant (or tenantless) service degrades to the
+plain FIFO-within-priority order.
+
+The registry is event-loop-confined like the queue: counts mutate only
+from the server/scheduler coroutines, so there is no locking.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from collections import defaultdict
+from dataclasses import dataclass
+from pathlib import Path
+
+from ...errors import ReproError
+
+
+class TenantConfigError(ReproError):
+    """The tenants file cannot be parsed or validated."""
+
+
+@dataclass(frozen=True)
+class Tenant:
+    """One tenant's identity and admission limits (0/None = unlimited)."""
+
+    name: str
+    key: str
+    max_queued: int = 0
+    max_running: int = 0
+    rate: float = 0.0
+    burst: float = 0.0
+    weight: float = 1.0
+
+
+@dataclass
+class Admission:
+    """Outcome of an admission check."""
+
+    ok: bool
+    reason: str | None = None
+    retry_after: float = 1.0
+
+
+class _TokenBucket:
+    """Classic token bucket; ``take`` returns seconds until a token."""
+
+    def __init__(self, rate: float, burst: float):
+        self.rate = rate
+        self.burst = burst
+        self.tokens = burst
+        self.stamp = time.monotonic()
+
+    def take(self) -> float:
+        now = time.monotonic()
+        self.tokens = min(self.burst,
+                          self.tokens + (now - self.stamp) * self.rate)
+        self.stamp = now
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return 0.0
+        return (1.0 - self.tokens) / self.rate
+
+
+class TenantRegistry:
+    """Key lookup, per-tenant admission state and fair-share passes."""
+
+    def __init__(self, tenants):
+        self.tenants = {tenant.name: tenant for tenant in tenants}
+        if len(self.tenants) != len(tenants):
+            raise TenantConfigError("duplicate tenant names")
+        self._by_key = {tenant.key: tenant for tenant in tenants}
+        if len(self._by_key) != len(tenants):
+            raise TenantConfigError("duplicate tenant API keys")
+        self._buckets = {
+            tenant.name: _TokenBucket(tenant.rate,
+                                      tenant.burst or max(tenant.rate,
+                                                          1.0))
+            for tenant in tenants if tenant.rate > 0}
+        self.queued = defaultdict(int)
+        self.running = defaultdict(int)
+        self._pass = defaultdict(float)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path) -> "TenantRegistry":
+        """Parse a ``.toml`` or ``.json`` tenants file."""
+        path = Path(path).expanduser()
+        try:
+            if path.suffix == ".toml":
+                import tomllib
+
+                data = tomllib.loads(path.read_text())
+            else:
+                data = json.loads(path.read_text())
+        except FileNotFoundError:
+            raise TenantConfigError(f"tenants file {path} not found")
+        except (OSError, ValueError) as error:
+            raise TenantConfigError(
+                f"cannot parse tenants file {path}: {error}")
+        if not isinstance(data, dict) or not data:
+            raise TenantConfigError(
+                f"{path} must map tenant names to settings tables")
+        tenants = []
+        for name, settings in data.items():
+            if not isinstance(settings, dict) \
+                    or not settings.get("key"):
+                raise TenantConfigError(
+                    f"tenant {name!r} needs at least a 'key'")
+            unknown = set(settings) - {"key", "max_queued",
+                                       "max_running", "rate", "burst",
+                                       "weight"}
+            if unknown:
+                raise TenantConfigError(
+                    f"tenant {name!r}: unknown settings "
+                    f"{sorted(unknown)}")
+            try:
+                tenants.append(Tenant(
+                    name=str(name), key=str(settings["key"]),
+                    max_queued=int(settings.get("max_queued", 0)),
+                    max_running=int(settings.get("max_running", 0)),
+                    rate=float(settings.get("rate", 0.0)),
+                    burst=float(settings.get("burst", 0.0)),
+                    weight=float(settings.get("weight", 1.0))))
+            except (TypeError, ValueError) as error:
+                raise TenantConfigError(
+                    f"tenant {name!r}: bad setting value: {error}")
+            if tenants[-1].weight <= 0:
+                raise TenantConfigError(
+                    f"tenant {name!r}: weight must be positive")
+        return cls(tenants)
+
+    # ------------------------------------------------------------------
+    # Authentication and admission
+    # ------------------------------------------------------------------
+    def authenticate(self, key: str | None) -> Tenant | None:
+        if not key:
+            return None
+        return self._by_key.get(key)
+
+    def admit(self, tenant: Tenant, slot_hint: float = 1.0) -> Admission:
+        """Check rate and quota caps for one submission.
+
+        ``slot_hint`` is the server's backlog-drain estimate, used as
+        the ``Retry-After`` for quota (not rate) rejections.
+        """
+        bucket = self._buckets.get(tenant.name)
+        if bucket is not None:
+            wait = bucket.take()
+            if wait > 0:
+                return Admission(
+                    False, f"tenant {tenant.name!r} over submit rate "
+                    f"({tenant.rate:g}/s)", retry_after=wait)
+        if tenant.max_queued and \
+                self.queued[tenant.name] >= tenant.max_queued:
+            return Admission(
+                False, f"tenant {tenant.name!r} has "
+                f"{self.queued[tenant.name]} jobs queued "
+                f"(cap {tenant.max_queued})", retry_after=slot_hint)
+        if tenant.max_running and \
+                self.running[tenant.name] >= tenant.max_running:
+            return Admission(
+                False, f"tenant {tenant.name!r} has "
+                f"{self.running[tenant.name]} jobs running "
+                f"(cap {tenant.max_running})", retry_after=slot_hint)
+        return Admission(True)
+
+    # ------------------------------------------------------------------
+    # Fair-share pass and occupancy accounting
+    # ------------------------------------------------------------------
+    def next_pass(self, name: str | None) -> float:
+        """Advance and return the tenant's stride-scheduling pass."""
+        if name is None:
+            return 0.0
+        weight = self.tenants[name].weight if name in self.tenants \
+            else 1.0
+        self._pass[name] += 1.0 / weight
+        return self._pass[name]
+
+    def note_queued(self, name: str | None) -> None:
+        if name is not None:
+            self.queued[name] += 1
+
+    def note_dequeued(self, name: str | None) -> None:
+        if name is not None and self.queued[name] > 0:
+            self.queued[name] -= 1
+
+    def note_running(self, name: str | None) -> None:
+        if name is not None:
+            self.running[name] += 1
+
+    def note_done(self, name: str | None) -> None:
+        if name is not None and self.running[name] > 0:
+            self.running[name] -= 1

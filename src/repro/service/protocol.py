@@ -20,7 +20,7 @@ from __future__ import annotations
 import time
 from dataclasses import dataclass, field
 
-from ..engine.cache import report_to_dict
+from ..engine.cache import report_from_dict, report_to_dict
 from ..engine.jobs import AnalysisJob, JobResult
 from ..errors import ReproError
 from ..hw import MACHINES
@@ -30,8 +30,9 @@ class BadRequest(ReproError):
     """A job submission that cannot be parsed or validated (HTTP 400)."""
 
 
-#: Lifecycle states of a job record.
-STATES = ("queued", "running", "done", "failed")
+#: Lifecycle states of a job record.  ``leased`` is a queued job
+#: currently claimed by a peer replica (see ``durable/peers.py``).
+STATES = ("queued", "running", "leased", "done", "failed")
 
 
 @dataclass(frozen=True)
@@ -172,6 +173,22 @@ class JobRecord:
     cache_hit: bool = False
     #: The finished :class:`~repro.analysis.BoundReport`, if any.
     report: object = field(default=None, repr=False)
+    #: Owning tenant name (None when tenancy is disabled).
+    tenant: str | None = None
+    #: Queue ordering state: the admission sequence number and the
+    #: tenant's fair-share pass, both preserved across re-queues (and
+    #: journal recovery) so a job never loses its place.
+    queue_seq: int | None = None
+    fair_pass: float = 0.0
+    #: Peer lease while a replica works this job: (peer, expiry in
+    #: ``time.monotonic`` terms).
+    lease: dict | None = field(default=None, repr=False)
+    #: True when this record was restored from the journal.
+    recovered: bool = False
+    #: True for a record claimed from a peer and run here on its
+    #: behalf: excluded from the local journal, tenant accounting and
+    #: the local records map (the owner keeps all of those).
+    foreign: bool = False
 
     def deadline_remaining(self) -> float | None:
         """Seconds left of the submission deadline (None: no deadline)."""
@@ -208,10 +225,55 @@ class JobRecord:
             "cache_hit": self.cache_hit,
             "priority": self.spec.priority,
             "deadline_seconds": self.spec.deadline_seconds,
+            "tenant": self.tenant,
+            "recovered": self.recovered,
         }
+        if self.lease is not None:
+            payload["leased_to"] = self.lease.get("peer")
         if self.report is not None:
             payload["best"] = self.report.best
             payload["worst"] = self.report.worst
             if include_report:
                 payload["report"] = report_to_dict(self.report)
         return payload
+
+    # ------------------------------------------------------------------
+    # Journal round trip
+    # ------------------------------------------------------------------
+    def to_journal_dict(self) -> dict:
+        """The compaction-snapshot form of this record."""
+        data = {
+            "spec": self.spec.to_dict(),
+            "state": self.state,
+            "tenant": self.tenant,
+        }
+        if self.state in ("done", "failed"):
+            data["status"] = self.status
+            data["error"] = self.error
+            data["cache_hit"] = self.cache_hit
+            if self.report is not None:
+                data["report"] = report_to_dict(self.report)
+        return data
+
+    @classmethod
+    def from_journal(cls, job_id: str, data: dict) -> "JobRecord":
+        """Rebuild a record from replayed journal state.
+
+        Non-terminal states (queued / running / leased) all come back
+        ``queued`` — a recovered job re-enters the queue and is
+        re-dispatched; idempotent engine payloads plus the
+        content-addressed cache make the re-execution yield the
+        bit-identical report.  Deadlines restart from recovery (the
+        original monotonic admission instant did not survive).
+        """
+        record = cls(id=job_id, spec=JobSpec.from_dict(data["spec"]),
+                     tenant=data.get("tenant"), recovered=True)
+        state = data.get("state", "queued")
+        if state in ("done", "failed"):
+            record.state = state
+            record.status = data.get("status")
+            record.error = data.get("error")
+            record.cache_hit = bool(data.get("cache_hit", False))
+            if data.get("report") is not None:
+                record.report = report_from_dict(data["report"])
+        return record

@@ -8,9 +8,15 @@ with a ``Retry-After`` estimate instead of buffering unboundedly.
 Draining closes admission (:class:`QueueClosed` -> ``503``) while
 workers continue popping until the queue is empty.
 
-Ordering: higher ``priority`` pops first; within a priority, strict
-submission order (a monotonically increasing sequence number breaks
-ties, so the heap never compares records).
+Ordering: higher ``priority`` pops first; within a priority, records
+order by their tenant's fair-share *pass* (0.0 when tenancy is off —
+see ``durable/tenants.py``), and ties break on a monotonically
+increasing sequence number, so dispatch is FIFO-stable in submission
+order and the heap never compares records.  The sequence number is
+assigned once at first admission and stored on the record
+(``queue_seq``): a job re-queued later — an expired peer lease,
+journal recovery — keeps its original place instead of going to the
+back of its class.
 """
 
 from __future__ import annotations
@@ -41,13 +47,14 @@ class QueueClosed(ReproError):
 class JobQueue:
     """Priority queue bridging the HTTP handlers and the scheduler.
 
-    Single-event-loop object: ``push``/``close`` are plain calls from
-    coroutines, ``pop`` awaits work.  ``maxsize`` <= 0 means unbounded.
+    Single-event-loop object: ``push``/``close``/``pop_nowait`` are
+    plain calls from coroutines, ``pop`` awaits work.  ``maxsize`` <= 0
+    means unbounded.
     """
 
     def __init__(self, maxsize: int = 0):
         self.maxsize = maxsize
-        self._heap: list = []            # (-priority, seq, record)
+        self._heap: list = []     # (-priority, fair_pass, seq, record)
         self._seq = 0
         self._closed = False
         self._waiters: list[asyncio.Future] = []
@@ -62,26 +69,47 @@ class JobQueue:
         return self._closed
 
     def push(self, record) -> None:
-        """Admit a record or raise QueueSaturated/QueueClosed."""
+        """Admit a record or raise QueueSaturated/QueueClosed.
+
+        First admission stamps ``record.queue_seq``; a re-push (lease
+        expiry, journal recovery) reuses it, preserving the record's
+        original FIFO position within its priority/fair-share class.
+        """
         if self._closed:
             raise QueueClosed()
         if self.maxsize > 0 and len(self._heap) >= self.maxsize:
             raise QueueSaturated(len(self._heap), self.maxsize)
-        heapq.heappush(self._heap,
-                       (-record.spec.priority, self._seq, record))
+        seq = getattr(record, "queue_seq", None)
+        if seq is None:
+            seq = self._seq
+            record.queue_seq = seq
+        else:
+            # Keep new admissions strictly after every restored seq.
+            self._seq = max(self._seq, seq)
         self._seq += 1
+        heapq.heappush(self._heap,
+                       (-record.spec.priority,
+                        getattr(record, "fair_pass", 0.0),
+                        seq, record))
         self._wake_one()
 
     async def pop(self):
         """Next record by priority, or None once closed and empty."""
         while True:
-            if self._heap:
-                return heapq.heappop(self._heap)[2]
+            record = self.pop_nowait()
+            if record is not None:
+                return record
             if self._closed:
                 return None
             waiter = asyncio.get_running_loop().create_future()
             self._waiters.append(waiter)
             await waiter
+
+    def pop_nowait(self):
+        """Next record if one is waiting, else None (peer claims)."""
+        if self._heap:
+            return heapq.heappop(self._heap)[3]
+        return None
 
     def close(self) -> None:
         """Stop admitting; pending pops return once the heap empties."""

@@ -34,6 +34,7 @@ from __future__ import annotations
 import asyncio
 import math
 import time
+import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
 from ..engine.core import execute_job
@@ -86,7 +87,7 @@ class Scheduler:
                  default_set_timeout: float | None = None,
                  max_iterations: int | None = None,
                  registry: MetricsRegistry | None = None,
-                 bus=None):
+                 bus=None, journal=None, tenants=None):
         if executor not in ("process", "thread"):
             raise ValueError(f"unknown executor kind {executor!r}")
         self.queue = queue
@@ -101,6 +102,13 @@ class Scheduler:
         self.registry = registry if registry is not None \
             else MetricsRegistry()
         self.bus = bus
+        #: Optional :class:`~.durable.JobJournal`: start and terminal
+        #: records are logged before events are published, so a crash
+        #: at any point replays to a consistent queue.
+        self.journal = journal
+        #: Optional :class:`~.durable.TenantRegistry` for per-tenant
+        #: queued/running occupancy accounting.
+        self.tenants = tenants
         self.engine_metrics = EngineMetrics(self.registry)
         for status in ("ok", "partial", "failed"):
             self.registry.counter(f"service.jobs.done.{status}")
@@ -139,7 +147,14 @@ class Scheduler:
     def _make_executor(self):
         if self.executor_kind == "thread":
             return ThreadPoolExecutor(max_workers=self.workers)
-        return ProcessPoolExecutor(max_workers=self.workers)
+        # Spawned (not forked) workers: fork children inherit the
+        # service's listening socket and journal WAL descriptors, so
+        # pool processes orphaned by a SIGKILLed parent would keep
+        # the port bound and the WAL open — exactly what a crash
+        # recovery restart needs them not to do.
+        return ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=multiprocessing.get_context("spawn"))
 
     def _reset_executor(self) -> None:
         """Replace a (possibly broken) pool before a retry."""
@@ -181,7 +196,13 @@ class Scheduler:
             record = await self.queue.pop()
             if record is None:
                 return
+            if self.tenants is not None:
+                self.tenants.note_dequeued(record.tenant)
             self.note_depth()
+            if record.state in ("done", "failed"):
+                # A re-queued lease was completed by the peer after
+                # all; nothing left to run.
+                continue
             await self._run_record(record)
 
     async def _run_record(self, record) -> None:
@@ -192,6 +213,10 @@ class Scheduler:
         self.registry.histogram(
             "service.queue_seconds",
             buckets=LATENCY_BUCKETS).observe(record.queue_seconds)
+        if self.journal is not None and not record.foreign:
+            self.journal.append("start", id=record.id)
+        if self.tenants is not None and not record.foreign:
+            self.tenants.note_running(record.tenant)
         if self.bus is not None:
             self.bus.publish("job_running", job=record.id,
                              name=record.spec.name,
@@ -201,8 +226,11 @@ class Scheduler:
         started = time.monotonic()
         try:
             await self._execute(loop, record)
+            self._journal_terminal(record)
             self._publish_done(record)
         finally:
+            if self.tenants is not None and not record.foreign:
+                self.tenants.note_done(record.tenant)
             record.run_seconds = time.monotonic() - started
             self.registry.histogram(
                 "service.run_seconds",
@@ -216,6 +244,35 @@ class Scheduler:
             self.registry.counter(
                 f"service.jobs.done.{record.status or 'failed'}").inc()
             self.note_depth()
+
+    def _journal_terminal(self, record) -> None:
+        """Log per-set progress then the terminal frame for a record.
+
+        The ``complete`` frame carries the serialized report, so a
+        restarted service serves finished bounds straight from the
+        journal without re-running anything.
+        """
+        if self.journal is None or record.foreign:
+            return
+        from ..engine.cache import report_to_dict
+
+        report = record.report
+        if report is not None:
+            for result in report.set_results:
+                self.journal.append(
+                    "set_done", id=record.id, set=result.index,
+                    worst=result.worst, best=result.best,
+                    feasible=result.feasible)
+        if record.state == "failed":
+            self.journal.append("fail", id=record.id,
+                                status=record.status,
+                                error=record.error)
+        else:
+            self.journal.append(
+                "complete", id=record.id, status=record.status,
+                cache_hit=record.cache_hit,
+                report=report_to_dict(report) if report is not None
+                else None)
 
     def _publish_done(self, record) -> None:
         """Per-set progress then the terminal event for one record.

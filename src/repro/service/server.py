@@ -47,13 +47,15 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import signal
 import threading
 import time
 
-from ..engine.cache import ResultCache
+from ..engine.cache import ResultCache, report_from_dict
 from ..obs.registry import MetricsRegistry
 from ..obs.stream import EventBus, sse_comment, sse_format
+from .durable import JobJournal, PeerBalancer, TenantRegistry
 from .protocol import BadRequest, JobRecord, JobSpec
 from .queue import JobQueue, QueueClosed, QueueSaturated
 from .scheduler import Scheduler
@@ -68,11 +70,15 @@ KEEPALIVE_TIMEOUT = 5.0
 #: SSE comment-heartbeat period (seconds).
 HEARTBEAT_SECONDS = 15.0
 
+#: How often the housekeeping task sweeps expired peer leases and
+#: checks journal-compaction thresholds.
+HOUSEKEEPING_SECONDS = 0.25
+
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
-            404: "Not Found", 405: "Method Not Allowed",
-            409: "Conflict", 413: "Payload Too Large",
-            429: "Too Many Requests", 500: "Internal Server Error",
-            503: "Service Unavailable"}
+            401: "Unauthorized", 404: "Not Found",
+            405: "Method Not Allowed", 409: "Conflict",
+            413: "Payload Too Large", 429: "Too Many Requests",
+            500: "Internal Server Error", 503: "Service Unavailable"}
 
 
 class AnalysisService:
@@ -95,20 +101,43 @@ class AnalysisService:
                  registry: MetricsRegistry | None = None,
                  keepalive_timeout: float = KEEPALIVE_TIMEOUT,
                  peers: list | None = None,
-                 bus: EventBus | None = None):
+                 bus: EventBus | None = None,
+                 journal_dir=None, tenants=None, share: bool = True,
+                 lease_seconds: float = 30.0,
+                 balance_interval: float = 0.5, max_claim: int = 2):
         self.host = host
         self.port = port
         self.metrics_path = metrics_path
         self.keepalive_timeout = keepalive_timeout
-        #: "host:port" strings whose /metricz snapshots
-        #: ``/metricz?merge=peers`` folds into this one's.
+        #: "host:port" strings of sibling replicas: their /metricz
+        #: snapshots feed ``/metricz?merge=peers``, and with ``share``
+        #: on, their queues are stolen from when this replica idles.
         self.peers = list(peers or ())
+        #: Serve ``/v1/peer/claim`` (give work away) and steal from
+        #: ``peers`` when idle.
+        self.share = share
+        self.lease_seconds = lease_seconds
+        self.balance_interval = balance_interval
+        self.max_claim = max_claim
+        #: This replica's address as peers should see it (rewritten
+        #: with the bound port at :meth:`start`).
+        self.advertise = f"{host}:{port}"
         self.bus = bus if bus is not None else EventBus()
         self.registry = registry if registry is not None \
             else MetricsRegistry()
         self.registry.attach_stream(self.bus)
-        for name in ("service.jobs.submitted", "service.jobs.rejected"):
+        for name in ("service.jobs.submitted", "service.jobs.rejected",
+                     "service.jobs.throttled", "service.jobs.recovered",
+                     "service.peer.claimed", "service.peer.completed",
+                     "service.peer.lease_expired"):
             self.registry.counter(name)
+        #: The job journal (WAL); None runs the service ephemerally.
+        self.journal = JobJournal(journal_dir) if journal_dir else None
+        #: Tenant registry: a path (loaded), a TenantRegistry, or None.
+        if tenants is not None and not isinstance(tenants,
+                                                 TenantRegistry):
+            tenants = TenantRegistry.load(tenants)
+        self.tenants = tenants
         max_entries, max_bytes = cache_limits or (None, None)
         cache = ResultCache(cache_dir, max_entries=max_entries,
                             max_bytes=max_bytes) if cache_dir else None
@@ -118,23 +147,117 @@ class AnalysisService:
             executor=executor, runner=runner, retries=retries,
             backoff=backoff, default_set_timeout=set_timeout,
             max_iterations=max_iterations, registry=self.registry,
-            bus=self.bus)
+            bus=self.bus, journal=self.journal, tenants=self.tenants)
         self.records: dict[str, JobRecord] = {}
         self._seq = 0
         self._server: asyncio.AbstractServer | None = None
+        self._balancer: PeerBalancer | None = None
+        self._housekeeper: asyncio.Task | None = None
         self._draining = False
         self._drained: asyncio.Event | None = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
     async def start(self) -> None:
-        """Bind the listener and start the scheduler workers."""
+        """Replay the journal, bind the listener, start the workers."""
         self._drained = asyncio.Event()
+        if self.journal is not None:
+            self._recover(self.journal.open())
         self.scheduler.start()
         self._server = await asyncio.start_server(
             self._handle, self.host, self.port)
         self.port = self._server.sockets[0].getsockname()[1]
+        self.advertise = f"{self.host}:{self.port}"
+        if self.share and self.peers:
+            self._balancer = PeerBalancer(
+                self, self.peers, interval=self.balance_interval,
+                max_claim=self.max_claim)
+            self._balancer.start()
+        self._housekeeper = asyncio.create_task(
+            self._housekeeping(), name="service-housekeeping")
+
+    def _recover(self, state) -> None:
+        """Restore records from replayed journal state.
+
+        Terminal jobs come back queryable; queued / running / leased
+        jobs re-enter the queue in original admission order and are
+        re-dispatched (idempotent: the content-addressed cache answers
+        repeats with the bit-identical report).
+        """
+        requeue = []
+        for job_id, data in sorted(state.jobs.items()):
+            try:
+                record = JobRecord.from_journal(job_id, data)
+            except Exception as error:
+                print(f"journal: dropping unreadable job "
+                      f"{job_id!r}: {error}", flush=True)
+                continue
+            self.records[job_id] = record
+            if job_id.startswith("j"):
+                try:
+                    self._seq = max(self._seq, int(job_id[1:]))
+                except ValueError:
+                    pass
+            if record.state == "queued":
+                requeue.append(record)
+        for record in requeue:
+            if self.tenants is not None:
+                record.fair_pass = self.tenants.next_pass(
+                    record.tenant)
+                self.tenants.note_queued(record.tenant)
+            self.queue.push(record)
+            self.registry.counter("service.jobs.recovered").inc()
+            self.bus.publish("job_recovered", job=record.id,
+                             name=record.spec.name,
+                             queue_depth=self.queue.depth)
+        if state.jobs or state.tail_dropped:
+            torn = ", torn tail frame dropped" if state.tail_dropped \
+                else ""
+            print(f"journal: restored {len(state.jobs)} jobs "
+                  f"({len(requeue)} re-queued{torn})", flush=True)
+
+    async def _housekeeping(self) -> None:
+        """Expire peer leases back to the queue; compact the journal."""
+        while not self._draining:
+            await asyncio.sleep(HOUSEKEEPING_SECONDS)
+            self._expire_leases()
+            if self.journal is not None:
+                self.journal.maybe_sync()
+                if self.journal.should_compact():
+                    self.journal.compact(self._journal_jobs())
+
+    def _expire_leases(self) -> None:
+        now = time.monotonic()
+        for record in list(self.records.values()):
+            if record.state != "leased" or record.lease is None \
+                    or record.lease["expires"] > now:
+                continue
+            try:
+                self.queue.push(record)     # original seq preserved
+            except (QueueSaturated, QueueClosed):
+                continue                    # retried next sweep
+            peer = record.lease.get("peer")
+            record.lease = None
+            record.state = "queued"
+            if self.journal is not None:
+                self.journal.append("release", id=record.id,
+                                    peer=peer)
+            if self.tenants is not None:
+                self.tenants.note_queued(record.tenant)
+            self.registry.counter("service.peer.lease_expired").inc()
+            self.bus.publish("job_requeued", job=record.id,
+                             name=record.spec.name, peer=peer)
+        self.scheduler.note_depth()
+
+    def _journal_jobs(self) -> dict:
+        """Every record's compaction-snapshot form."""
+        return {job_id: record.to_journal_dict()
+                for job_id, record in self.records.items()}
 
     async def drain(self) -> None:
         """Stop admitting, finish in-flight jobs, flush, stop."""
@@ -143,7 +266,18 @@ class AnalysisService:
             return
         self._draining = True
         self.queue.close()
+        if self._balancer is not None:
+            await self._balancer.stop()
+        if self._housekeeper is not None:
+            self._housekeeper.cancel()
+            try:
+                await self._housekeeper
+            except asyncio.CancelledError:
+                pass
         await self.scheduler.join()
+        if self.journal is not None:
+            self.journal.compact(self._journal_jobs())
+            self.journal.close()
         if self.metrics_path:
             self.registry.dump(self.metrics_path)
         if self._server is not None:
@@ -207,7 +341,7 @@ class AnalysisService:
                     break
                 try:
                     status, payload, extra = await self._route(
-                        method, path, query, body)
+                        method, path, query, body, headers)
                 except BadRequest as error:
                     status, payload, extra = 400, {"error": str(error)}, \
                         None
@@ -454,7 +588,7 @@ class AnalysisService:
     # ------------------------------------------------------------------
     # Routing
     # ------------------------------------------------------------------
-    async def _route(self, method, path, query, body):
+    async def _route(self, method, path, query, body, headers):
         if path == "/healthz":
             if method != "GET":
                 return 405, {"error": "GET only"}, None
@@ -466,13 +600,31 @@ class AnalysisService:
             self.registry.gauge("stream.dropped").set(self.bus.dropped)
             self.registry.gauge("stream.subscribers").set(
                 self.bus.subscribers)
+            if self.journal is not None:
+                self.registry.gauge("service.journal.wal_bytes").set(
+                    self.journal.wal_bytes)
+                self.registry.gauge("service.journal.records").set(
+                    self.journal.appended)
+                self.registry.gauge("service.journal.compactions").set(
+                    self.journal.compactions)
+                self.registry.gauge(
+                    "service.journal.write_seconds").set(
+                    self.journal.write_seconds)
             if query.get("merge") == "peers":
                 return 200, await self._merged_metricz(), None
             return 200, self.registry.snapshot(), None
         if path == "/v1/jobs":
             if method != "POST":
                 return 405, {"error": "POST only"}, None
-            return self._submit(body)
+            return self._submit(body, headers)
+        if path == "/v1/peer/claim":
+            if method != "POST":
+                return 405, {"error": "POST only"}, None
+            return self._peer_claim(body)
+        if path == "/v1/peer/complete":
+            if method != "POST":
+                return 405, {"error": "POST only"}, None
+            return self._peer_complete(body)
         prefix = "/v1/jobs/"
         if path.startswith(prefix):
             rest = path[len(prefix):]
@@ -496,19 +648,54 @@ class AnalysisService:
             "running": self.scheduler.running,
             "completed": self.scheduler.completed,
             "workers": self.scheduler.workers,
+            "leased": sum(1 for record in self.records.values()
+                          if record.state == "leased"),
+            "journal": self.journal is not None,
         }
 
-    def _submit(self, body: bytes):
+    def _authenticate(self, headers):
+        """(tenant, error response) for one submission's headers."""
+        key = headers.get("x-api-key")
+        if not key:
+            auth = headers.get("authorization", "")
+            if auth.lower().startswith("bearer "):
+                key = auth[len("bearer "):].strip()
+        tenant = self.tenants.authenticate(key)
+        if tenant is None:
+            self.registry.counter("service.jobs.rejected").inc()
+            return None, (401, {"error": "missing or unknown API key"},
+                          None)
+        admission = self.tenants.admit(
+            tenant, slot_hint=self.scheduler.retry_after())
+        if not admission.ok:
+            self.registry.counter("service.jobs.rejected").inc()
+            self.registry.counter("service.jobs.throttled").inc()
+            header = max(1, math.ceil(admission.retry_after))
+            return None, (429,
+                          {"error": admission.reason,
+                           "retry_after": admission.retry_after},
+                          {"Retry-After": str(header)})
+        return tenant, None
+
+    def _submit(self, body: bytes, headers: dict):
         if self._draining:
             self.registry.counter("service.jobs.rejected").inc()
             return 503, {"error": "service is draining"}, None
+        tenant = None
+        if self.tenants is not None:
+            tenant, error = self._authenticate(headers)
+            if error is not None:
+                return error
         try:
             data = json.loads(body or b"{}")
         except json.JSONDecodeError as error:
             raise BadRequest(f"body is not valid JSON: {error}")
         spec = JobSpec.from_dict(data)
         self._seq += 1
-        record = JobRecord(id=f"j{self._seq:06d}", spec=spec)
+        record = JobRecord(id=f"j{self._seq:06d}", spec=spec,
+                           tenant=tenant.name if tenant else None)
+        if tenant is not None:
+            record.fair_pass = self.tenants.next_pass(tenant.name)
         try:
             self.queue.push(record)
         except QueueSaturated as error:
@@ -521,6 +708,15 @@ class AnalysisService:
             self.registry.counter("service.jobs.rejected").inc()
             return 503, {"error": "service is draining"}, None
         self.records[record.id] = record
+        if self.tenants is not None:
+            self.tenants.note_queued(record.tenant)
+        if self.journal is not None:
+            # WAL before the 202: once acked, the job survives a
+            # killed process (and a power loss, within the journal's
+            # group-commit fsync window).
+            self.journal.append("submit", durable=True, id=record.id,
+                                spec=spec.to_dict(),
+                                tenant=record.tenant)
         self.registry.counter("service.jobs.submitted").inc()
         self.bus.publish("job_queued", job=record.id,
                          name=record.spec.name,
@@ -530,6 +726,83 @@ class AnalysisService:
                 {"id": record.id, "state": record.state,
                  "queue_depth": self.queue.depth},
                 None)
+
+    # ------------------------------------------------------------------
+    # Peer work sharing (owner side)
+    # ------------------------------------------------------------------
+    def _peer_claim(self, body: bytes):
+        """Lease up to ``max`` queued jobs to an idle peer replica."""
+        if self._draining:
+            return 503, {"error": "service is draining"}, None
+        try:
+            data = json.loads(body or b"{}")
+        except json.JSONDecodeError as error:
+            raise BadRequest(f"body is not valid JSON: {error}")
+        if not self.share:
+            return 200, {"jobs": []}, None
+        peer = str(data.get("peer") or "unknown")
+        try:
+            limit = max(1, min(int(data.get("max", 1)), 16))
+        except (TypeError, ValueError):
+            raise BadRequest("'max' must be an integer")
+        jobs = []
+        while len(jobs) < limit:
+            record = self.queue.pop_nowait()
+            if record is None:
+                break
+            record.state = "leased"
+            record.lease = {"peer": peer,
+                            "expires": (time.monotonic()
+                                        + self.lease_seconds)}
+            if self.tenants is not None:
+                self.tenants.note_dequeued(record.tenant)
+            if self.journal is not None:
+                self.journal.append("lease", id=record.id, peer=peer)
+            self.registry.counter("service.peer.claimed").inc()
+            self.bus.publish("job_leased", job=record.id,
+                             name=record.spec.name, peer=peer)
+            jobs.append({"id": record.id,
+                         "spec": record.spec.to_dict(),
+                         "lease_seconds": self.lease_seconds})
+        self.scheduler.note_depth()
+        return 200, {"jobs": jobs}, None
+
+    def _peer_complete(self, body: bytes):
+        """Fold a stolen job's result back into the owner's record.
+
+        Idempotent: a record already terminal (the lease expired and
+        the owner re-ran it, or the complete was retried) answers
+        ``duplicate: true`` and changes nothing — both executions of
+        an engine payload produce the bit-identical report, so there
+        is no conflicting side effect to reconcile.
+        """
+        try:
+            data = json.loads(body or b"{}")
+        except json.JSONDecodeError as error:
+            raise BadRequest(f"body is not valid JSON: {error}")
+        job_id = data.get("id")
+        record = self.records.get(job_id)
+        if record is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, None
+        if record.state in ("done", "failed"):
+            return 200, {"state": record.state, "duplicate": True}, \
+                None
+        record.lease = None
+        if data.get("state") == "failed":
+            record.fail(data.get("error") or "peer execution failed",
+                        status=data.get("status") or "failed")
+        else:
+            record.state = "done"
+            record.status = data.get("status") or "ok"
+            record.cache_hit = bool(data.get("cache_hit", False))
+            if data.get("report") is not None:
+                record.report = report_from_dict(data["report"])
+        self.scheduler._journal_terminal(record)
+        self.registry.counter("service.peer.completed").inc()
+        self.registry.counter(
+            f"service.jobs.done.{record.status or 'failed'}").inc()
+        self.scheduler._publish_done(record)
+        return 200, {"state": record.state, "duplicate": False}, None
 
     async def _explain(self, job_id: str, query):
         record = self.records.get(job_id)

@@ -110,6 +110,36 @@ class TestJobQueue:
 
         assert asyncio.run(scenario()) == ["b", "d", "a", "c"]
 
+    def test_priority_ties_are_fifo_stable(self):
+        """Submission-order fairness: equal-priority records must pop
+        in exactly the order they were pushed, at any scale."""
+        async def scenario():
+            queue = JobQueue()
+            for n in range(50):
+                queue.push(_Record(f"job{n:02d}", priority=3))
+            return [(await queue.pop()).spec.name for _ in range(50)]
+
+        assert asyncio.run(scenario()) \
+            == [f"job{n:02d}" for n in range(50)]
+
+    def test_repush_keeps_original_fifo_position(self):
+        """A record re-queued later (expired peer lease, journal
+        recovery) keeps its first-admission slot instead of going to
+        the back of its priority class."""
+        async def scenario():
+            queue = JobQueue()
+            first, second, third = (_Record("first"), _Record("second"),
+                                    _Record("third"))
+            queue.push(first)
+            queue.push(second)
+            popped = await queue.pop()          # "first" gets leased...
+            assert popped is first
+            queue.push(third)
+            queue.push(first)                   # ...and expires back
+            return [(await queue.pop()).spec.name for _ in range(3)]
+
+        assert asyncio.run(scenario()) == ["first", "second", "third"]
+
     def test_saturation_and_close(self):
         async def scenario():
             queue = JobQueue(maxsize=1)
