@@ -250,6 +250,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--no-share", action="store_true",
                        help="disable job-level work sharing (serve no "
                             "/v1/peer/claim leases, steal nothing)")
+    serve.add_argument("--cluster-key", metavar="KEY",
+                       default=os.environ.get("REPRO_CLUSTER_KEY"),
+                       help="shared secret replicas present on the "
+                            "peer endpoints (X-Cluster-Key; default "
+                            "$REPRO_CLUSTER_KEY); required for work "
+                            "sharing when --tenants is set")
     serve.add_argument("--lease-seconds", type=float, default=30.0,
                        metavar="SECONDS",
                        help="peer lease duration; an unreturned "
@@ -555,7 +561,8 @@ def _cmd_serve(args) -> int:
         max_iterations=args.max_iterations,
         metrics_path=args.metrics, peers=peers,
         journal_dir=args.journal, tenants=args.tenants,
-        share=not args.no_share, lease_seconds=args.lease_seconds)
+        share=not args.no_share, cluster_key=args.cluster_key,
+        lease_seconds=args.lease_seconds)
     return service.run()
 
 

@@ -66,12 +66,16 @@ class ServiceClient:
     """
 
     def __init__(self, host: str = "127.0.0.1", port: int = 8787,
-                 timeout: float = 30.0, api_key: str | None = None):
+                 timeout: float = 30.0, api_key: str | None = None,
+                 cluster_key: str | None = None):
         self.host = host
         self.port = port
         self.timeout = timeout
         #: Sent as ``X-API-Key`` when the service enforces tenancy.
         self.api_key = api_key
+        #: Sent as ``X-Cluster-Key`` on peer endpoints; required by
+        #: replicas started with ``serve --cluster-key``.
+        self.cluster_key = cluster_key
         self._local = threading.local()
 
     # ------------------------------------------------------------------
@@ -110,6 +114,8 @@ class ServiceClient:
             headers["Content-Type"] = "application/json"
         if self.api_key:
             headers["X-API-Key"] = self.api_key
+        if self.cluster_key:
+            headers["X-Cluster-Key"] = self.cluster_key
         for attempt in (0, 1):
             connection = self._connection()
             reused = getattr(self._local, "used", False)

@@ -103,8 +103,9 @@ class PeerBalancer:
         host, _, port_text = peer.rpartition(":")
         try:
             with ServiceClient(host=host or "127.0.0.1",
-                               port=int(port_text),
-                               timeout=2.0) as client:
+                               port=int(port_text), timeout=2.0,
+                               cluster_key=self.service.cluster_key) \
+                    as client:
                 return client.peer_claim(
                     limit=limit, peer=self.service.advertise)
         except (ClientError, OSError, ValueError):
@@ -144,8 +145,9 @@ class PeerBalancer:
         host, _, port_text = peer.rpartition(":")
         try:
             with ServiceClient(host=host or "127.0.0.1",
-                               port=int(port_text),
-                               timeout=5.0) as client:
+                               port=int(port_text), timeout=5.0,
+                               cluster_key=self.service.cluster_key) \
+                    as client:
                 client.peer_complete(payload)
             return True
         except (ClientError, OSError, ValueError):

@@ -174,14 +174,13 @@ class TenantRegistry:
 
         ``slot_hint`` is the server's backlog-drain estimate, used as
         the ``Retry-After`` for quota (not rate) rejections.
+
+        Quota caps are checked *before* the rate bucket, so a
+        submission bounced for occupancy does not also burn a token —
+        a client politely retrying at its queue cap would otherwise
+        drain its bucket on rejections and get rate-throttled the
+        moment a slot finally freed up.
         """
-        bucket = self._buckets.get(tenant.name)
-        if bucket is not None:
-            wait = bucket.take()
-            if wait > 0:
-                return Admission(
-                    False, f"tenant {tenant.name!r} over submit rate "
-                    f"({tenant.rate:g}/s)", retry_after=wait)
         if tenant.max_queued and \
                 self.queued[tenant.name] >= tenant.max_queued:
             return Admission(
@@ -194,6 +193,13 @@ class TenantRegistry:
                 False, f"tenant {tenant.name!r} has "
                 f"{self.running[tenant.name]} jobs running "
                 f"(cap {tenant.max_running})", retry_after=slot_hint)
+        bucket = self._buckets.get(tenant.name)
+        if bucket is not None:
+            wait = bucket.take()
+            if wait > 0:
+                return Admission(
+                    False, f"tenant {tenant.name!r} over submit rate "
+                    f"({tenant.rate:g}/s)", retry_after=wait)
         return Admission(True)
 
     # ------------------------------------------------------------------

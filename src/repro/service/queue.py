@@ -68,16 +68,22 @@ class JobQueue:
     def closed(self) -> bool:
         return self._closed
 
-    def push(self, record) -> None:
+    def push(self, record, force: bool = False) -> None:
         """Admit a record or raise QueueSaturated/QueueClosed.
 
         First admission stamps ``record.queue_seq``; a re-push (lease
         expiry, journal recovery) reuses it, preserving the record's
         original FIFO position within its priority/fair-share class.
+        ``force`` bypasses the depth cap for records that were already
+        admitted once — journal recovery can restore more jobs than
+        ``maxsize`` (a full queue plus whatever was running or leased
+        at crash time), and refusing them would turn every restart on
+        that journal into the same boot failure.
         """
         if self._closed:
             raise QueueClosed()
-        if self.maxsize > 0 and len(self._heap) >= self.maxsize:
+        if not force and self.maxsize > 0 \
+                and len(self._heap) >= self.maxsize:
             raise QueueSaturated(len(self._heap), self.maxsize)
         seq = getattr(record, "queue_seq", None)
         if seq is None:

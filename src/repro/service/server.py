@@ -75,7 +75,7 @@ HEARTBEAT_SECONDS = 15.0
 HOUSEKEEPING_SECONDS = 0.25
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
-            401: "Unauthorized", 404: "Not Found",
+            401: "Unauthorized", 403: "Forbidden", 404: "Not Found",
             405: "Method Not Allowed", 409: "Conflict",
             413: "Payload Too Large", 429: "Too Many Requests",
             500: "Internal Server Error", 503: "Service Unavailable"}
@@ -103,6 +103,7 @@ class AnalysisService:
                  peers: list | None = None,
                  bus: EventBus | None = None,
                  journal_dir=None, tenants=None, share: bool = True,
+                 cluster_key: str | None = None,
                  lease_seconds: float = 30.0,
                  balance_interval: float = 0.5, max_claim: int = 2):
         self.host = host
@@ -116,6 +117,12 @@ class AnalysisService:
         #: Serve ``/v1/peer/claim`` (give work away) and steal from
         #: ``peers`` when idle.
         self.share = share
+        #: Shared secret authenticating the peer endpoints
+        #: (``X-Cluster-Key``).  Required on every replica when set;
+        #: with tenancy enforced it is mandatory — otherwise the peer
+        #: endpoints would let any client read tenant job specs or
+        #: forge completions around the API keys on ``/v1/jobs``.
+        self.cluster_key = cluster_key
         self.lease_seconds = lease_seconds
         self.balance_interval = balance_interval
         self.max_claim = max_claim
@@ -210,7 +217,12 @@ class AnalysisService:
                 record.fair_pass = self.tenants.next_pass(
                     record.tenant)
                 self.tenants.note_queued(record.tenant)
-            self.queue.push(record)
+            # force: recovered jobs were all admitted under the cap in
+            # their first life, but running/leased ones fold back to
+            # queued, so the restored set can exceed queue_depth — and
+            # a QueueSaturated here would fail *every* restart on this
+            # journal.
+            self.queue.push(record, force=True)
             self.registry.counter("service.jobs.recovered").inc()
             self.bus.publish("job_recovered", job=record.id,
                              name=record.spec.name,
@@ -238,9 +250,12 @@ class AnalysisService:
                     or record.lease["expires"] > now:
                 continue
             try:
-                self.queue.push(record)     # original seq preserved
-            except (QueueSaturated, QueueClosed):
-                continue                    # retried next sweep
+                # force: the job held a queue slot before it was
+                # leased out; reclaiming that slot must not depend on
+                # the current depth.
+                self.queue.push(record, force=True)
+            except QueueClosed:
+                continue                    # draining; scheduler owns it
             peer = record.lease.get("peer")
             record.lease = None
             record.state = "queued"
@@ -248,6 +263,7 @@ class AnalysisService:
                 self.journal.append("release", id=record.id,
                                     peer=peer)
             if self.tenants is not None:
+                self.tenants.note_done(record.tenant)
                 self.tenants.note_queued(record.tenant)
             self.registry.counter("service.peer.lease_expired").inc()
             self.bus.publish("job_requeued", job=record.id,
@@ -620,11 +636,11 @@ class AnalysisService:
         if path == "/v1/peer/claim":
             if method != "POST":
                 return 405, {"error": "POST only"}, None
-            return self._peer_claim(body)
+            return self._peer_claim(body, headers)
         if path == "/v1/peer/complete":
             if method != "POST":
                 return 405, {"error": "POST only"}, None
-            return self._peer_complete(body)
+            return self._peer_complete(body, headers)
         prefix = "/v1/jobs/"
         if path.startswith(prefix):
             rest = path[len(prefix):]
@@ -730,8 +746,37 @@ class AnalysisService:
     # ------------------------------------------------------------------
     # Peer work sharing (owner side)
     # ------------------------------------------------------------------
-    def _peer_claim(self, body: bytes):
+    def _peer_auth(self, headers):
+        """Authorize a peer-endpoint request; an error triple or None.
+
+        With ``cluster_key`` set, the caller must present it in
+        ``X-Cluster-Key``.  Without one, the endpoints stay open only
+        on a replica that also runs without tenancy (the pre-tenancy
+        trusted-network posture): once ``--tenants`` guards
+        ``/v1/jobs`` with API keys, unauthenticated peer endpoints
+        would hand out tenant job specs and accept forged results, so
+        they refuse until a cluster key is configured.
+        """
+        import hmac
+
+        if self.cluster_key:
+            presented = headers.get("x-cluster-key", "")
+            if hmac.compare_digest(presented, self.cluster_key):
+                return None
+            return 401, {"error": "missing or bad cluster key"}, None
+        if self.tenants is not None:
+            return (401,
+                    {"error": "peer endpoints need a cluster key "
+                              "when tenancy is enforced (serve "
+                              "--cluster-key)"},
+                    None)
+        return None
+
+    def _peer_claim(self, body: bytes, headers: dict):
         """Lease up to ``max`` queued jobs to an idle peer replica."""
+        error = self._peer_auth(headers)
+        if error is not None:
+            return error
         if self._draining:
             return 503, {"error": "service is draining"}, None
         try:
@@ -755,7 +800,11 @@ class AnalysisService:
                             "expires": (time.monotonic()
                                         + self.lease_seconds)}
             if self.tenants is not None:
+                # A leased job occupies the owner tenant's running
+                # quota, wherever it executes; released on complete
+                # or lease expiry.
                 self.tenants.note_dequeued(record.tenant)
+                self.tenants.note_running(record.tenant)
             if self.journal is not None:
                 self.journal.append("lease", id=record.id, peer=peer)
             self.registry.counter("service.peer.claimed").inc()
@@ -767,15 +816,25 @@ class AnalysisService:
         self.scheduler.note_depth()
         return 200, {"jobs": jobs}, None
 
-    def _peer_complete(self, body: bytes):
+    def _peer_complete(self, body: bytes, headers: dict):
         """Fold a stolen job's result back into the owner's record.
 
-        Idempotent: a record already terminal (the lease expired and
-        the owner re-ran it, or the complete was retried) answers
-        ``duplicate: true`` and changes nothing — both executions of
-        an engine payload produce the bit-identical report, so there
-        is no conflicting side effect to reconcile.
+        Only an active leaseholder may complete a job: the record must
+        be in state ``leased`` and the reported ``peer`` must match
+        the lease — a complete for a job that is queued or running
+        here (the lease expired and the owner took it back) is a
+        ``409``, so the local execution stays the single source of the
+        terminal journal frame, events and counters.  A record already
+        terminal answers ``duplicate: true`` and changes nothing —
+        both executions of an engine payload produce the bit-identical
+        report, so there is no conflicting side effect to reconcile.
         """
+        error = self._peer_auth(headers)
+        if error is not None:
+            return error
+        if not self.share:
+            return 403, {"error": "work sharing is disabled "
+                                  "(--no-share)"}, None
         try:
             data = json.loads(body or b"{}")
         except json.JSONDecodeError as error:
@@ -787,7 +846,21 @@ class AnalysisService:
         if record.state in ("done", "failed"):
             return 200, {"state": record.state, "duplicate": True}, \
                 None
+        if record.state != "leased" or record.lease is None:
+            return (409,
+                    {"error": f"job {job_id} is {record.state}, not "
+                              "leased; its lease expired and the "
+                              "owner reclaimed it"},
+                    None)
+        if data.get("peer") != record.lease.get("peer"):
+            return (409,
+                    {"error": f"job {job_id} is leased to "
+                              f"{record.lease.get('peer')!r}, not "
+                              f"{data.get('peer')!r}"},
+                    None)
         record.lease = None
+        if self.tenants is not None:
+            self.tenants.note_done(record.tenant)
         if data.get("state") == "failed":
             record.fail(data.get("error") or "peer execution failed",
                         status=data.get("status") or "failed")

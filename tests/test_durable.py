@@ -277,6 +277,26 @@ class TestRecovery:
                 client.wait(f"j{n:06d}", timeout=30)
         assert runner.names == ["job1", "job2", "job3"]
 
+    def test_recovery_exceeding_queue_depth_still_boots(self, tmp_path):
+        """A journal can hold more live jobs than the queue cap (a full
+        queue plus in-flight work at crash time); recovery must admit
+        them all instead of failing every restart with 429's error."""
+        journal = JobJournal(tmp_path)
+        journal.open()
+        for n in range(5):
+            journal.append("submit", id=f"j{n:06d}",
+                           spec=_spec_dict(f"job{n}"), tenant=None)
+        journal.append("start", id="j000004")   # running at crash
+        journal.close()
+        runner = GatedRunner()
+        runner.gate.set()
+        with _thread_service(workers=1, runner=runner, queue_depth=2,
+                             journal_dir=tmp_path) as handle:
+            client = ServiceClient(port=handle.port)
+            for n in range(5):
+                record = client.wait(f"j{n:06d}", timeout=30)
+                assert record["state"] == "done" and record["recovered"]
+
     def test_drain_compacts_for_a_fast_restart(self, tmp_path):
         runner = GatedRunner()
         runner.gate.set()
@@ -370,7 +390,22 @@ class TestTenants:
                 client.submit(_src("rate-limited"))
             assert excinfo.value.retry_after >= 1
 
-    def test_weighted_fair_share_interleaves_by_weight(self):
+    def test_quota_rejection_does_not_burn_a_rate_token(self):
+        from repro.service.durable.tenants import Tenant
+
+        registry = TenantRegistry([Tenant(
+            name="ci", key="k", max_queued=1, rate=0.001, burst=1.0)])
+        tenant = registry.tenants["ci"]
+        registry.note_queued("ci")              # at the queue cap
+        rejected = registry.admit(tenant)
+        assert not rejected.ok and "queued" in rejected.reason
+        registry.note_dequeued("ci")            # a slot frees up
+        # The quota bounce above must not have consumed the single
+        # token: this admission still succeeds on it...
+        assert registry.admit(tenant).ok
+        # ...and only now is the bucket empty.
+        throttled = registry.admit(tenant)
+        assert not throttled.ok and "rate" in throttled.reason
         import asyncio
 
         registry = TenantRegistry([
@@ -425,18 +460,21 @@ class TestWorkSharing:
 
             # Journal handoff: completing folds the result in once.
             first = client.peer_complete(
-                {"id": jobs[0]["id"], "state": "done", "status": "ok"})
+                {"id": jobs[0]["id"], "state": "done", "status": "ok",
+                 "peer": "test-peer"})
             assert first == {"state": "done", "duplicate": False}
             again = client.peer_complete(
-                {"id": jobs[0]["id"], "state": "done", "status": "ok"})
+                {"id": jobs[0]["id"], "state": "done", "status": "ok",
+                 "peer": "test-peer"})
             assert again == {"state": "done", "duplicate": True}
             failed = client.peer_complete(
                 {"id": jobs[1]["id"], "state": "failed",
-                 "error": "peer exploded"})
+                 "error": "peer exploded", "peer": "test-peer"})
             assert failed["state"] == "failed"
             with pytest.raises(ClientError, match="HTTP 404"):
                 client.peer_complete({"id": "j999999",
-                                      "state": "done"})
+                                      "state": "done",
+                                      "peer": "test-peer"})
 
             assert client.job(jobs[0]["id"])["state"] == "done"
             assert client.job(jobs[1]["id"])["error"] == "peer exploded"
@@ -471,11 +509,15 @@ class TestWorkSharing:
         owner_runner.gate.set()
         stealer_runner = GatedRunner()
         stealer_runner.gate.set()
+        # Both replicas hold the cluster key, so the whole balancer
+        # path (claim + complete) runs authenticated.
         with _thread_service(workers=1, runner=owner_runner,
+                             cluster_key="fleet-secret",
                              lease_seconds=30.0) as owner:
             with _thread_service(
                     workers=2, runner=stealer_runner,
                     peers=[f"127.0.0.1:{owner.port}"],
+                    cluster_key="fleet-secret",
                     balance_interval=0.1) as stealer:
                 client = ServiceClient(port=owner.port)
                 tickets = [client.submit(_src(f"job-{n}"))
@@ -496,6 +538,127 @@ class TestWorkSharing:
         # Every job ran exactly once, somewhere.
         assert sorted(owner_runner.names + stealer_runner.names) \
             == sorted(f"job-{n}" for n in range(5))
+
+
+class TestPeerEndpointSecurity:
+    def test_cluster_key_guards_claim_and_complete(self):
+        runner = GatedRunner()
+        with _thread_service(workers=1, runner=runner,
+                             cluster_key="swordfish") as handle:
+            anon = ServiceClient(port=handle.port)
+            wrong = ServiceClient(port=handle.port, cluster_key="nope")
+            peer = ServiceClient(port=handle.port,
+                                 cluster_key="swordfish")
+            anon.submit(_src("inflight"))   # /v1/jobs stays open
+            assert runner.started.wait(timeout=10)
+            anon.submit(_src("stealme"))
+            with pytest.raises(ClientError, match="HTTP 401"):
+                anon.peer_claim(limit=1, peer="p")
+            with pytest.raises(ClientError, match="HTTP 401"):
+                wrong.peer_claim(limit=1, peer="p")
+            jobs = peer.peer_claim(limit=1, peer="p")
+            assert [job["spec"]["name"] for job in jobs] == ["stealme"]
+            with pytest.raises(ClientError, match="HTTP 401"):
+                anon.peer_complete({"id": jobs[0]["id"],
+                                    "state": "done", "status": "ok",
+                                    "peer": "p"})
+            done = peer.peer_complete({"id": jobs[0]["id"],
+                                       "state": "done", "status": "ok",
+                                       "peer": "p"})
+            assert done == {"state": "done", "duplicate": False}
+            runner.gate.set()
+
+    def test_tenancy_without_cluster_key_closes_peer_endpoints(
+            self, tmp_path):
+        """--tenants guards /v1/jobs with API keys; the peer endpoints
+        must not stay an unauthenticated side door into tenant job
+        specs and forged completions."""
+        tenants = _tenants_file(tmp_path, '[ci]\nkey = "secret"\n')
+        runner = GatedRunner()
+        with _thread_service(workers=1, runner=runner,
+                             tenants=tenants) as handle:
+            client = ServiceClient(port=handle.port, api_key="secret")
+            client.submit(_src("inflight"))
+            assert runner.started.wait(timeout=10)
+            ticket = client.submit(_src("queued"))
+            with pytest.raises(ClientError, match="HTTP 401"):
+                client.peer_claim(limit=1, peer="p")
+            with pytest.raises(ClientError, match="HTTP 401"):
+                client.peer_complete({"id": ticket["id"],
+                                      "state": "done", "status": "ok",
+                                      "peer": "p"})
+            runner.gate.set()
+
+    def test_complete_requires_an_active_matching_lease(self):
+        runner = GatedRunner()
+        with _thread_service(workers=1, runner=runner) as handle:
+            client = ServiceClient(port=handle.port)
+            blocker = client.submit(_src("blocker"))
+            assert runner.started.wait(timeout=10)
+            queued = client.submit(_src("queued"))
+            # Never leased: a queued job cannot be completed from
+            # outside...
+            with pytest.raises(ClientError, match="HTTP 409"):
+                client.peer_complete({"id": queued["id"],
+                                      "state": "done", "status": "ok",
+                                      "peer": "x"})
+            # ...nor can a job running locally (a late complete after
+            # lease expiry must not race the local execution).
+            with pytest.raises(ClientError, match="HTTP 409"):
+                client.peer_complete({"id": blocker["id"],
+                                      "state": "done", "status": "ok",
+                                      "peer": "x"})
+            jobs = client.peer_claim(limit=1, peer="replica-a")
+            assert jobs[0]["id"] == queued["id"]
+            # Leased to replica-a; replica-b may not complete it.
+            with pytest.raises(ClientError, match="HTTP 409"):
+                client.peer_complete({"id": queued["id"],
+                                      "state": "done", "status": "ok",
+                                      "peer": "replica-b"})
+            done = client.peer_complete({"id": queued["id"],
+                                         "state": "done",
+                                         "status": "ok",
+                                         "peer": "replica-a"})
+            assert done == {"state": "done", "duplicate": False}
+            runner.gate.set()
+
+    def test_no_share_rejects_peer_complete(self):
+        runner = GatedRunner()
+        runner.gate.set()
+        with _thread_service(workers=1, runner=runner,
+                             share=False) as handle:
+            client = ServiceClient(port=handle.port)
+            ticket = client.submit(_src("mine"))
+            assert client.peer_claim(limit=1, peer="p") == []
+            with pytest.raises(ClientError, match="HTTP 403"):
+                client.peer_complete({"id": ticket["id"],
+                                      "state": "done", "status": "ok",
+                                      "peer": "p"})
+            client.wait(ticket["id"], timeout=30)
+
+    def test_leased_jobs_occupy_tenant_running_quota(self, tmp_path):
+        tenants = _tenants_file(
+            tmp_path, '[ci]\nkey = "ci-key"\nmax_running = 1\n'
+                      '[other]\nkey = "other-key"\n')
+        runner = GatedRunner()
+        with _thread_service(workers=1, runner=runner, tenants=tenants,
+                             cluster_key="ck") as handle:
+            other = ServiceClient(port=handle.port,
+                                  api_key="other-key")
+            ci = ServiceClient(port=handle.port, api_key="ci-key")
+            peer = ServiceClient(port=handle.port, cluster_key="ck")
+            other.submit(_src("filler"))    # occupies the only worker
+            assert runner.started.wait(timeout=10)
+            victim = ci.submit(_src("victim"))
+            jobs = peer.peer_claim(limit=1, peer="replica-a")
+            assert jobs[0]["id"] == victim["id"]
+            # The lease counts against ci's cluster-wide running cap.
+            with pytest.raises(ServiceSaturated):
+                ci.submit(_src("over-cap"))
+            peer.peer_complete({"id": victim["id"], "state": "done",
+                                "status": "ok", "peer": "replica-a"})
+            ci.submit(_src("after"))        # the complete freed a slot
+            runner.gate.set()
 
 
 # ======================================================================
