@@ -66,6 +66,49 @@ def test_tracing_overhead_under_five_percent(benchmark):
     assert overhead < MAX_OVERHEAD
 
 
+def test_profiling_overhead_under_five_percent(benchmark):
+    """The flight-recorder arm: tracing *plus* the continuous
+    statistical profiler sampling every thread may cost at most 5%
+    over the plain NULL_TRACER run, and the profiler's own
+    self-accounting must agree it stayed under the bound."""
+    from repro.obs import SamplingProfiler
+
+    tracer = Tracer()
+    # 50 Hz is the continuous-profiling rate CI serves at
+    # (`--profile-sample-hz 50`); the guard measures that deployment.
+    profiler = SamplingProfiler(hz=50.0)
+    _estimate_seconds(NULL_TRACER)  # warm compile/import caches
+
+    # Interleave the two measurements round by round so CPU-frequency
+    # drift and scheduler noise hit both arms equally.
+    def interleaved() -> tuple[float, float]:
+        plain = flight = float("inf")
+        # Twice the usual rounds: the sampler thread adds scheduler
+        # noise of its own, so the minima need longer to converge.
+        for _ in range(_ROUNDS * 2):
+            plain = min(plain, _one_round(NULL_TRACER))
+            profiler.start()
+            try:
+                flight = min(flight, _one_round(tracer))
+            finally:
+                profiler.stop()
+        return plain, flight
+
+    plain, flight = one_shot(benchmark, interleaved)
+
+    # The profiler actually sampled the solver and kept its own
+    # overhead accounting under the same bound.
+    assert profiler.samples > 0
+    assert profiler.overhead_fraction < MAX_OVERHEAD
+
+    overhead = flight / plain - 1.0
+    print(f"\nplain {plain * 1e3:.2f}ms, traced+profiled "
+          f"{flight * 1e3:.2f}ms -> overhead {overhead:+.1%} "
+          f"(profiler: {profiler.samples} samples, self "
+          f"{profiler.overhead_fraction:.2%})")
+    assert overhead < MAX_OVERHEAD
+
+
 def test_streaming_overhead_under_five_percent(benchmark):
     """A bus attached to the tracer but with no subscribers may add at
     most 5% over the plain traced run: publish degenerates to a lock,

@@ -1,0 +1,69 @@
+"""Perf-trajectory recording for the benchmark harness.
+
+Every benchmark session becomes data: the conftest hooks in this
+directory accumulate wall time per ``bench_*`` module and, at session
+end, append one point per module to ``BENCH_<module>.json`` via
+:class:`repro.obs.flight.TrajectoryStore` — append-only,
+schema-versioned and host-fingerprinted, so a directory of trajectory
+files is a perf history CI can gate on (``repro bench gate``).
+
+Environment knobs:
+
+``REPRO_TRAJECTORY``
+    Set to ``0`` to skip recording (e.g. exploratory local runs).
+``REPRO_TRAJECTORY_DIR``
+    Where the ``BENCH_<name>.json`` files live; defaults to the
+    current working directory.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.obs.flight import TrajectoryStore
+
+
+def enabled() -> bool:
+    return os.environ.get("REPRO_TRAJECTORY", "1") != "0"
+
+
+def store(root: str | None = None) -> TrajectoryStore:
+    return TrajectoryStore(root
+                           or os.environ.get("REPRO_TRAJECTORY_DIR")
+                           or ".")
+
+
+def record_run(name: str, wall_seconds: float,
+               bounds: dict | None = None, meta: dict | None = None,
+               root: str | None = None) -> dict:
+    """Append one trajectory point; returns the stored run dict."""
+    return store(root).append(name, wall_seconds, bounds=bounds,
+                              meta=meta)
+
+
+class SessionRecorder:
+    """Accumulates per-module wall seconds across a pytest session.
+
+    One instance lives on the session (see ``conftest.py``); each
+    finished benchmark test folds its duration into its module's
+    bucket, and :meth:`flush` writes one trajectory point per module.
+    """
+
+    def __init__(self):
+        self.walls: dict[str, float] = {}
+        self.tests: dict[str, int] = {}
+
+    def add(self, module: str, seconds: float) -> None:
+        self.walls[module] = self.walls.get(module, 0.0) + seconds
+        self.tests[module] = self.tests.get(module, 0) + 1
+
+    def flush(self, root: str | None = None) -> list[str]:
+        """Record every module's total; returns the recorded names."""
+        if not enabled():
+            return []
+        recorded = []
+        for module in sorted(self.walls):
+            record_run(module, self.walls[module],
+                       meta={"tests": self.tests[module]}, root=root)
+            recorded.append(module)
+        return recorded

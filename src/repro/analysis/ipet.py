@@ -427,7 +427,9 @@ class Analysis:
             degrades that direction to its LP relaxation, like a
             timeout.
         """
-        tracing = self.tracer.enabled
+        context = getattr(self.tracer, "context", None)
+        tracing = (context.to_dict() if context is not None
+                   else self.tracer.enabled)
         clock = time.perf_counter()
         tasks = self.set_tasks(set_timeout, max_iterations,
                                trace=tracing)

@@ -50,8 +50,11 @@ class SetTask:
     max_iterations: int | None = None
     #: Capture solver spans while solving; they come back in
     #: :attr:`SetResult.spans` (picklable, so this survives the trip
-    #: through a process-pool worker).
-    trace: bool = False
+    #: through a process-pool worker).  Polymorphic like the engine
+    #: payload: falsy disables tracing, ``True`` traces anonymously,
+    #: and a :class:`~repro.obs.context.TraceContext` dict stamps
+    #: every span with the job's distributed trace id.
+    trace: object = False
 
     def problems(self) -> tuple[Problem, Problem]:
         worst = Problem(f"set{self.index}:worst")
@@ -93,7 +96,14 @@ def solve_set(task: SetTask) -> SetResult:
     """
     from ..obs.trace import NULL_TRACER, Tracer, counters_from_stats
 
-    tracer = Tracer() if task.trace else NULL_TRACER
+    tracer = NULL_TRACER
+    if task.trace:
+        context = None
+        if isinstance(task.trace, dict):
+            from ..obs.context import TraceContext
+
+            context = TraceContext.from_dict(task.trace)
+        tracer = Tracer(context=context)
     started = time.monotonic()
     deadline = None if task.timeout is None else started + task.timeout
     result = SetResult(task.index, Status.OPTIMAL)

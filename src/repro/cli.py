@@ -74,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
     analyze.add_argument("--trace", metavar="PATH",
                          help="write a Chrome trace_event JSON of the "
                               "analysis (chrome://tracing / Perfetto)")
+    analyze.add_argument("--profile", metavar="PATH",
+                         help="sample the analysis with the statistical "
+                              "profiler and write the result here "
+                              "(.txt: collapsed stacks; otherwise "
+                              "speedscope JSON)")
 
     explain = sub.add_parser(
         "explain", help="explain where a routine's bound comes from: "
@@ -203,6 +208,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="render a metrics JSON from engine run")
     estats.add_argument("--clear", action="store_true",
                         help="empty the cache")
+    estats.add_argument("--journal", metavar="DIR",
+                        help="inspect a service job journal instead: "
+                             "WAL size, replayed frames, duplicates "
+                             "folded, torn-tail drops, jobs by state")
 
     serve = sub.add_parser(
         "serve", help="run the analysis service (async HTTP job queue)")
@@ -261,6 +270,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="peer lease duration; an unreturned "
                             "stolen job re-queues here after this "
                             "long (default 30)")
+    serve.add_argument("--profile-sample-hz", type=float, default=None,
+                       metavar="HZ",
+                       help="run the continuous statistical profiler "
+                            "at HZ samples/second and serve the "
+                            "aggregate at GET /v1/profilez "
+                            "(speedscope or ?format=collapsed)")
 
     submit = sub.add_parser(
         "submit", help="submit benchmark jobs to a running service")
@@ -294,6 +309,62 @@ def build_parser() -> argparse.ArgumentParser:
                         help="tenant API key (default: $REPRO_API_KEY)"
                              "; required when the service enforces "
                              "tenancy")
+    submit.add_argument("--trace-out", metavar="PATH",
+                        help="after the jobs finish, fetch each job's "
+                             "reassembled span tree from GET "
+                             "/v1/jobs/{id}/trace and write the Chrome "
+                             "trace JSON here (several jobs: the name "
+                             "is suffixed per benchmark)")
+    submit.add_argument("--profile", metavar="PATH", nargs="?",
+                        const="-",
+                        help="after the jobs finish, fetch the "
+                             "server's continuous-profiler snapshot "
+                             "from GET /v1/profilez; with PATH write "
+                             "the speedscope JSON there, without it "
+                             "print the hottest collapsed stacks "
+                             "(needs serve --profile-sample-hz)")
+
+    bench = sub.add_parser(
+        "bench", help="record benchmark perf trajectories and gate "
+                      "regressions against them")
+    bsub = bench.add_subparsers(dest="bench_command", required=True)
+    brecord = bsub.add_parser(
+        "record", help="run Table-I benchmarks serially and append "
+                       "one trajectory point to BENCH_<name>.json")
+    brecord.add_argument("benchmarks", nargs="*", metavar="NAME",
+                         help="Table-I benchmark names (default: the "
+                              "whole suite)")
+    brecord.add_argument("--dir", default=".", metavar="DIR",
+                         help="trajectory directory (default: .)")
+    brecord.add_argument("--name", default="table1", metavar="NAME",
+                         help="trajectory name: BENCH_<name>.json "
+                              "(default: table1)")
+    brecord.add_argument("--machine", choices=sorted(MACHINES),
+                         default="i960kb")
+    brecord.add_argument("--rounds", type=int, default=3, metavar="N",
+                         help="timed rounds; the minimum wall is "
+                              "recorded (default 3)")
+    brecord.add_argument("--handicap", type=float, default=0.0,
+                         metavar="SECONDS",
+                         help="sleep this long inside the timed "
+                              "region (CI uses it to seed a known "
+                              "regression the gate must catch)")
+    bgate = bsub.add_parser(
+        "gate", help="fail (exit 1) when the latest recorded run "
+                     "regressed: wall beyond --max-regress, or any "
+                     "bounds differing bit-wise")
+    bgate.add_argument("--dir", default=".", metavar="DIR",
+                       help="trajectory directory (default: .)")
+    bgate.add_argument("--name", default="table1", metavar="NAME",
+                       help="trajectory name (default: table1)")
+    bgate.add_argument("--baseline", metavar="PATH",
+                       help="gate against the latest run of this "
+                            "trajectory file instead of the previous "
+                            "run in the same file")
+    bgate.add_argument("--max-regress", type=float, default=None,
+                       metavar="FRACTION",
+                       help="allowed fractional wall-time regression "
+                            "(default 0.5 = +50%%)")
     return parser
 
 
@@ -355,6 +426,32 @@ def _make_tracer(path: str | None):
         print(f"trace written to {path}")
 
     return tracer, finish
+
+
+def _make_profiler(path: str | None):
+    """(profiler or None, finish callback writing the profile)."""
+    if not path:
+        return None, lambda: None
+    import json
+
+    from .obs import SamplingProfiler
+
+    profiler = SamplingProfiler().start()
+
+    def finish():
+        profiler.stop()
+        if path.endswith(".txt"):
+            payload = "\n".join(profiler.collapsed()) + "\n"
+        else:
+            payload = json.dumps(
+                profiler.to_speedscope(name=os.path.basename(path)),
+                indent=2) + "\n"
+        with open(path, "w") as handle:
+            handle.write(payload)
+        print(f"profile written to {path} ({profiler.samples} "
+              f"samples, {len(profiler.folds())} distinct stacks)")
+
+    return profiler, finish
 
 
 def _cmd_obs(args) -> int:
@@ -482,6 +579,8 @@ def _cmd_engine(args) -> int:
                          ResultCache, default_cache_dir)
 
     if args.engine_command == "stats":
+        if args.journal:
+            return _journal_stats(args.journal)
         if args.metrics:
             print(EngineMetrics.load(args.metrics).render())
             return 0
@@ -544,6 +643,28 @@ def _cmd_engine(args) -> int:
     return 0 if all(result.ok for result in results) else 1
 
 
+def _journal_stats(journal_dir: str) -> int:
+    """``engine stats --journal DIR``: read-only journal health."""
+    from .service.durable.journal import JobJournal
+
+    journal = JobJournal(journal_dir)
+    state = journal.inspect()
+    by_state: dict = {}
+    for data in state.jobs.values():
+        key = data.get("state", "?")
+        by_state[key] = by_state.get(key, 0) + 1
+    print(f"journal: {journal.root}")
+    print(f"wal bytes: {journal.wal_bytes:,}")
+    print(f"frames replayed: {state.records} "
+          f"({state.set_records} set_done)")
+    print(f"duplicates folded: {state.duplicates}")
+    print(f"torn tail dropped: {'yes' if state.tail_dropped else 'no'}")
+    jobs = ", ".join(f"{name}={count}" for name, count
+                     in sorted(by_state.items())) or "none"
+    print(f"jobs: {len(state.jobs)} ({jobs})")
+    return 0
+
+
 def _cmd_serve(args) -> int:
     from .engine import default_cache_dir
     from .service import AnalysisService
@@ -562,7 +683,8 @@ def _cmd_serve(args) -> int:
         metrics_path=args.metrics, peers=peers,
         journal_dir=args.journal, tenants=args.tenants,
         share=not args.no_share, cluster_key=args.cluster_key,
-        lease_seconds=args.lease_seconds)
+        lease_seconds=args.lease_seconds,
+        profile_hz=args.profile_sample_hz)
     return service.run()
 
 
@@ -601,6 +723,7 @@ def _follow_job(client, name: str, job_id: str) -> None:
 def _cmd_submit(args) -> int:
     import json
 
+    from .obs.context import TraceContext
     from .service import JobFailed, ServiceClient
 
     names = args.benchmarks
@@ -615,14 +738,20 @@ def _cmd_submit(args) -> int:
         spec = {"benchmark": name, "machine": args.machine,
                 "backend": args.backend, "priority": args.priority,
                 "deadline_seconds": args.deadline}
-        response = client.submit_retry(spec)
-        submitted.append((name, response["id"]))
+        # Mint the distributed trace identity client-side so every
+        # span — scheduler, pool worker, even a thief replica's — is
+        # joinable back to this submission.
+        context = TraceContext.new(benchmark=name)
+        response = client.submit_retry(spec, trace=context)
+        submitted.append((name, response["id"],
+                          response.get("trace_id")
+                          or context.trace_id))
     if args.no_wait:
-        for name, job_id in submitted:
-            print(f"{name}: submitted as {job_id}")
+        for name, job_id, trace_id in submitted:
+            print(f"{name}: submitted as {job_id} (trace {trace_id})")
         return 0
     records, failures = [], 0
-    for name, job_id in submitted:
+    for name, job_id, _trace_id in submitted:
         if args.follow:
             _follow_job(client, name, job_id)
         try:
@@ -631,6 +760,7 @@ def _cmd_submit(args) -> int:
             record = error.record
             failures += 1
         records.append(record)
+    _submit_flight_outputs(args, client, submitted)
     if args.json:
         print(json.dumps(records, indent=2))
     else:
@@ -647,7 +777,133 @@ def _cmd_submit(args) -> int:
     return 0 if not failures else 1
 
 
+def _submit_flight_outputs(args, client, submitted) -> None:
+    """``submit --trace-out`` / ``--profile``: fetch the flight
+    recorder's view of the finished jobs."""
+    import json
+
+    from .service import ClientError
+
+    if args.trace_out:
+        for name, job_id, _trace_id in submitted:
+            path = args.trace_out
+            if len(submitted) > 1:
+                stem, dot, ext = path.rpartition(".")
+                path = f"{stem}.{name}.{ext}" if dot \
+                    else f"{path}.{name}"
+            try:
+                doc = client.trace(job_id)
+            except ClientError as error:
+                print(f"{name}: trace unavailable ({error})",
+                      file=sys.stderr)
+                continue
+            with open(path, "w") as handle:
+                json.dump(doc, handle, indent=2)
+            spans = doc.get("repro", {}).get("spans", 0)
+            print(f"{name}: trace written to {path} ({spans} spans)",
+                  file=sys.stderr)
+    if args.profile:
+        try:
+            if args.profile == "-":
+                doc = client.profilez(format="collapsed")
+                print(f"profiler: {doc.get('samples', 0)} samples, "
+                      f"{doc.get('distinct_stacks', 0)} distinct "
+                      "stacks")
+                for line in (doc.get("folds") or [])[:10]:
+                    print(f"  {line}")
+            else:
+                doc = client.profilez()
+                with open(args.profile, "w") as handle:
+                    json.dump(doc, handle, indent=2)
+                print(f"profile written to {args.profile}",
+                      file=sys.stderr)
+        except ClientError as error:
+            print(f"profiler unavailable ({error})", file=sys.stderr)
+
+
+def _cmd_bench(args) -> int:
+    import json
+    import time
+
+    from .obs.flight import (DEFAULT_MAX_REGRESS, TrajectoryStore,
+                             gate_runs)
+
+    store = TrajectoryStore(args.dir)
+    if args.bench_command == "record":
+        from .programs import all_benchmarks, get_benchmark
+
+        names = args.benchmarks or list(all_benchmarks())
+        try:
+            benches = [get_benchmark(name) for name in names]
+        except KeyError as error:
+            raise ReproError(str(error.args[0]))
+        wall = None
+        bounds = {}
+        for _ in range(max(1, args.rounds)):
+            start = time.perf_counter()
+            for name, bench in zip(names, benches):
+                analysis = bench.make_analysis(
+                    machine=MACHINES[args.machine]())
+                report = analysis.estimate()
+                bounds[name] = [report.best, report.worst]
+            if args.handicap > 0:
+                # CI's seeded regression: sleeping inside the timed
+                # region must trip the gate on the next comparison.
+                time.sleep(args.handicap)
+            elapsed = time.perf_counter() - start
+            wall = elapsed if wall is None else min(wall, elapsed)
+        meta = {"benchmarks": names, "rounds": args.rounds,
+                "machine": args.machine}
+        if args.handicap:
+            meta["handicap"] = args.handicap
+        store.append(args.name, wall, bounds=bounds, meta=meta)
+        print(f"recorded {args.name}: wall {wall:.3f}s over "
+              f"{len(names)} benchmarks -> {store.path(args.name)}")
+        return 0
+
+    assert args.bench_command == "gate"
+    runs = store.runs(args.name)
+    if not runs:
+        raise ReproError(
+            f"no runs recorded in {store.path(args.name)}; run "
+            "`repro bench record` first")
+    current = runs[-1]
+    if args.baseline:
+        try:
+            with open(args.baseline) as handle:
+                doc = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            raise ReproError(f"unreadable baseline {args.baseline}: "
+                             f"{error}")
+        base_runs = doc.get("runs") if isinstance(doc, dict) else None
+        if not base_runs:
+            raise ReproError(f"{args.baseline} holds no recorded runs")
+        baseline = base_runs[-1]
+    elif len(runs) < 2:
+        raise ReproError(
+            f"{store.path(args.name)} holds a single run; record a "
+            "second or pass --baseline")
+    else:
+        baseline = runs[-2]
+    max_regress = (args.max_regress if args.max_regress is not None
+                   else DEFAULT_MAX_REGRESS)
+    problems, notes = gate_runs(baseline, current,
+                                max_regress=max_regress)
+    for note in notes:
+        print(f"note: {note}")
+    if problems:
+        for problem in problems:
+            print(f"FAIL: {problem}")
+        return 1
+    print(f"gate ok: {args.name} "
+          f"(wall {current['wall_seconds']:.3f}s, "
+          f"{len(current.get('bounds') or {})} bounds bit-identical)")
+    return 0
+
+
 def _dispatch(args) -> int:
+    if args.command == "bench":
+        return _cmd_bench(args)
     if args.command == "engine":
         return _cmd_engine(args)
     if args.command == "serve":
@@ -714,6 +970,7 @@ def _dispatch(args) -> int:
     assert args.command == "analyze"
     machine = MACHINES[args.machine]()
     tracer, finish_trace = _make_tracer(args.trace)
+    _profiler, finish_profile = _make_profiler(args.profile)
     program = compile_source(source, optimize=args.optimize)
     analysis = Analysis(program, entry=args.entry, machine=machine,
                         context_sensitive=args.context,
@@ -751,6 +1008,7 @@ def _dispatch(args) -> int:
             if value and "::x" in name:
                 print(f"  {name} = {value:g}")
     finish_trace(report.trace or None)
+    finish_profile()
     return 0
 
 

@@ -55,6 +55,13 @@ def execute_job(payload) -> JobResult:
     ``payload`` is ``(job, cache_dir, set_timeout, max_iterations,
     trace)``.  Also the unit of work the analysis service dispatches —
     one HTTP job request becomes exactly one of these payloads.
+
+    ``trace`` is polymorphic: falsy disables tracing, ``True`` traces
+    anonymously, and a :class:`~repro.obs.context.TraceContext` dict
+    traces with every span stamped by that distributed context — the
+    service ships the submitter's context here so pool-worker spans
+    reassemble under the job's trace id (see
+    :mod:`repro.obs.flight`).
     """
     job, cache_dir, set_timeout, max_iterations, trace = payload
     started = time.monotonic()
@@ -63,7 +70,12 @@ def execute_job(payload) -> JobResult:
     if trace:
         from ..obs.trace import Tracer
 
-        tracer = Tracer()
+        context = None
+        if isinstance(trace, dict):
+            from ..obs.context import TraceContext
+
+            context = TraceContext.from_dict(trace)
+        tracer = Tracer(context=context)
     try:
         analysis = job.build_analysis(tracer=tracer)
         report = analysis.estimate(set_timeout=set_timeout, cache=cache,
@@ -223,8 +235,11 @@ class AnalysisEngine:
     # ------------------------------------------------------------------
     def _run_job_grain(self, pending):
         cache_dir = str(self.cache.root) if self.cache is not None else None
+        context = getattr(self.tracer, "context", None)
+        trace = context.to_dict() if context is not None \
+            else self.tracer.enabled
         payloads = {index: (job, cache_dir, self.set_timeout,
-                            self.max_iterations, self.tracer.enabled)
+                            self.max_iterations, trace)
                     for index, job in pending}
         if self.workers <= 1 or len(pending) == 1:
             for index, job in pending:
@@ -253,9 +268,11 @@ class AnalysisEngine:
                 self.bus.publish("job_start", name=job.name)
             try:
                 analysis = job.build_analysis(tracer=self.tracer)
-                tasks = analysis.set_tasks(self.set_timeout,
-                                           self.max_iterations,
-                                           trace=self.tracer.enabled)
+                context = getattr(self.tracer, "context", None)
+                tasks = analysis.set_tasks(
+                    self.set_timeout, self.max_iterations,
+                    trace=(context.to_dict() if context is not None
+                           else self.tracer.enabled))
             except ReproError as error:
                 failed[index] = JobResult(job.name, "failed",
                                           error=str(error))

@@ -23,6 +23,7 @@ telemetry event bus both the tracer and registry can publish into),
 See ``docs/observability.md``.
 """
 
+from .context import TraceContext, new_span_id, new_trace_id
 from .dashboard import LiveDashboard, live_capable
 from .explain import (EXPLANATION_SCHEMA, BreakdownRow, ConstraintLine,
                       DeltaRow, Explanation, ExplanationDelta,
@@ -32,6 +33,11 @@ from .explain import (EXPLANATION_SCHEMA, BreakdownRow, ConstraintLine,
                       render_explanation, render_explanation_delta)
 from .export import (to_chrome, to_json, trace_skeleton,
                      write_chrome_trace)
+from .flight import (SpanNode, TrajectoryStore, assemble_trees,
+                     build_tree, gate_runs, group_by_trace,
+                     host_fingerprint, orphan_spans, render_tree)
+from .profile import (DEFAULT_HZ, PROFILE_SCHEMA, SamplingProfiler,
+                      collapse_frame, frame_label)
 from .registry import (DEFAULT_BUCKETS, SNAPSHOT_SCHEMA, Counter, Gauge,
                        Histogram, MetricsRegistry)
 from .stream import (EventBus, Subscription, parse_sse_stream,
@@ -43,6 +49,12 @@ from .tracediff import (SpanAggregate, TraceDelta, aggregate_trace,
 
 __all__ = [
     "Tracer", "NullTracer", "NULL_TRACER", "counters_from_stats",
+    "TraceContext", "new_trace_id", "new_span_id",
+    "SamplingProfiler", "collapse_frame", "frame_label",
+    "PROFILE_SCHEMA", "DEFAULT_HZ",
+    "SpanNode", "group_by_trace", "build_tree", "assemble_trees",
+    "orphan_spans", "render_tree",
+    "TrajectoryStore", "host_fingerprint", "gate_runs",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
     "DEFAULT_BUCKETS", "SNAPSHOT_SCHEMA",
     "EventBus", "Subscription", "sse_format", "sse_comment",

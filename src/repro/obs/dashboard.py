@@ -94,7 +94,7 @@ class LiveDashboard:
 
     # -- lifecycle -----------------------------------------------------
     def __enter__(self) -> "LiveDashboard":
-        self._sub = self.bus.subscribe(maxlen=8192)
+        self._sub = self.bus.subscribe(maxlen=8192, name="dashboard")
         self._thread = threading.Thread(target=self._loop,
                                         name="repro-dashboard",
                                         daemon=True)
@@ -114,6 +114,7 @@ class LiveDashboard:
             self._redraw(final=True)
         elif not self.live:
             self._line(self._summary())
+            self._line(self._drops_footer())
         if self._sub is not None:
             self._sub.close()
 
@@ -257,7 +258,22 @@ class LiveDashboard:
                 f"{j.sets_done:>3}/{j.sets_total or '?':<3} sets  "
                 f"pivots {j.pivots:>8,}  nodes {j.nodes:>6,}  "
                 f"{j.status}{bound}")
+        lines.append(self._drops_footer())
         return lines
+
+    def _drops_footer(self) -> str:
+        """Per-subscriber drop counts — the bus-wide health line.
+
+        ``drops: none`` is the healthy reading; otherwise each lossy
+        subscriber is named so a slow consumer is attributable.
+        """
+        counts = self.bus.drop_counts() if hasattr(self.bus,
+                                                   "drop_counts") else {}
+        if not counts:
+            return "drops: none"
+        detail = "  ".join(f"{name}={count}"
+                           for name, count in sorted(counts.items()))
+        return f"drops: {sum(counts.values())} ({detail})"
 
     def _redraw(self, final: bool = False) -> None:
         lines = self._render_lines()

@@ -38,7 +38,7 @@ def to_chrome(records: list[dict]) -> dict:
                 else f"repro worker {len(seen_pids) - 1}"
             events.append({"ph": "M", "name": "process_name", "pid": pid,
                            "tid": 0, "args": {"name": label}})
-        events.append({
+        event = {
             "ph": "X",
             "name": record["name"],
             "cat": record["cat"],
@@ -47,7 +47,14 @@ def to_chrome(records: list[dict]) -> dict:
             "pid": pid,
             "tid": record["tid"],
             "args": record["args"],
-        })
+        }
+        # Distributed-trace stamps survive the round trip so
+        # repro.obs.flight can reassemble cross-process trees from an
+        # exported file (trace_skeleton ignores them by design).
+        for extra in ("trace", "parent"):
+            if extra in record:
+                event[extra] = record[extra]
+        events.append(event)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 

@@ -1,0 +1,280 @@
+"""Continuous statistical profiling of the solver, stdlib-only.
+
+The tracer answers *what phase* wall time went to; this module answers
+*what code*.  A :class:`SamplingProfiler` is a daemon thread that
+snapshots every thread's Python stack (``sys._current_frames``) at a
+configurable rate and folds each snapshot into **collapsed stacks** —
+the ``root;caller;...;leaf count`` aggregation flamegraph tooling
+consumes directly.  Attach it around a solve (``repro analyze
+--profile``), or leave it running under the service (``repro serve
+--profile-sample-hz``) and read ``GET /v1/profilez`` any time.
+
+Design points
+-------------
+* **No dependencies, no signals.**  ``sys._current_frames`` works from
+  a plain thread, needs no ``setitimer`` (which only fires on the main
+  thread) and profiles *all* threads, including asyncio's executor
+  workers.  Process-pool workers are separate interpreters and are
+  not visible; profile those with ``executor="thread"`` or per-solve
+  ``--profile`` inside the worker command.
+* **Bounded, deterministic aggregation.**  Samples fold into a dict
+  keyed by the frame tuple; memory is proportional to distinct stacks,
+  not run time.  The fold step is a pure function
+  (:meth:`SamplingProfiler.ingest`) so tests can drive it with
+  synthetic frames and assert exact counts.
+* **Self-measuring.**  The profiler records the wall time its own
+  sampling consumed; :attr:`overhead_fraction` is the figure the
+  ``bench_obs`` guard keeps under 5%.
+
+Exports: collapsed-stack text lines (``collapsed()``) and a
+speedscope_ JSON document (``to_speedscope()``) loadable at
+https://www.speedscope.app.
+
+.. _speedscope: https://github.com/jlfwong/speedscope
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from pathlib import Path
+
+#: Schema tag on /v1/profilez and ``--profile`` output documents.
+PROFILE_SCHEMA = 1
+
+#: Default sampling rate (Hz).  97 on purpose: a prime rate cannot
+#: alias against loops that happen to iterate at a round frequency.
+DEFAULT_HZ = 97.0
+
+#: Stacks deeper than this are truncated at the root end.
+MAX_DEPTH = 128
+
+
+def frame_label(frame) -> str:
+    """``file.py:function`` label for one frame (stdlib frame or any
+    object with ``f_code.co_filename`` / ``co_name``)."""
+    code = frame.f_code
+    return f"{Path(code.co_filename).name}:{code.co_name}"
+
+
+def collapse_frame(frame, max_depth: int = MAX_DEPTH) -> tuple:
+    """One thread's stack as a root-to-leaf tuple of frame labels."""
+    labels = []
+    while frame is not None and len(labels) < max_depth:
+        labels.append(frame_label(frame))
+        frame = frame.f_back
+    labels.reverse()
+    return tuple(labels)
+
+
+class SamplingProfiler:
+    """Wall-clock sampling profiler over ``sys._current_frames``.
+
+    Use as a context manager, or :meth:`start` / :meth:`stop` (both
+    idempotent).  One instance may be started and stopped repeatedly;
+    samples accumulate until :meth:`reset`.
+
+    Parameters
+    ----------
+    hz:
+        Target sampling rate.  Actual rate is bounded by the sampling
+        cost itself; :attr:`samples` counts what really landed.
+    frames_fn:
+        Injectable stack source for tests; defaults to
+        ``sys._current_frames`` and must return ``{thread_id: frame}``.
+    max_depth:
+        Truncation depth per stack.
+    """
+
+    def __init__(self, hz: float = DEFAULT_HZ, frames_fn=None,
+                 max_depth: int = MAX_DEPTH):
+        if hz <= 0:
+            raise ValueError(f"hz must be positive, got {hz!r}")
+        self.hz = hz
+        self.interval = 1.0 / hz
+        self.max_depth = max_depth
+        self._frames_fn = frames_fn or sys._current_frames
+        self._lock = threading.Lock()
+        self._folds: dict[tuple, int] = {}
+        self._thread: threading.Thread | None = None
+        self._stop_event = threading.Event()
+        self.samples = 0
+        #: Wall seconds the sampler itself consumed (overhead).
+        self.sample_seconds = 0.0
+        #: Wall seconds the profiler has been running (across starts).
+        self.wall_seconds = 0.0
+        self._started_at: float | None = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        """Begin sampling; a no-op when already running."""
+        if self.running:
+            return self
+        self._stop_event.clear()
+        self._started_at = time.perf_counter()
+        self._thread = threading.Thread(target=self._loop,
+                                        name="repro-profiler",
+                                        daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling; a no-op when already stopped."""
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop_event.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        if self._started_at is not None:
+            self.wall_seconds += time.perf_counter() - self._started_at
+            self._started_at = None
+        return self
+
+    def reset(self) -> None:
+        """Drop all accumulated samples and overhead accounting."""
+        with self._lock:
+            self._folds.clear()
+            self.samples = 0
+            self.sample_seconds = 0.0
+            self.wall_seconds = 0.0
+            if self._started_at is not None:
+                self._started_at = time.perf_counter()
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+    def _loop(self) -> None:
+        own_id = threading.get_ident()
+        while not self._stop_event.wait(self.interval):
+            self.sample_once(skip={own_id})
+
+    def sample_once(self, skip=frozenset()) -> int:
+        """Take one snapshot of every thread's stack; returns the
+        number of stacks folded in.  Public for deterministic tests."""
+        clock = time.perf_counter()
+        frames = self._frames_fn()
+        stacks = [collapse_frame(frame, self.max_depth)
+                  for thread_id, frame in frames.items()
+                  if thread_id not in skip]
+        folded = self.ingest(stacks)
+        self.sample_seconds += time.perf_counter() - clock
+        return folded
+
+    def ingest(self, stacks) -> int:
+        """Fold pre-collapsed stack tuples into the aggregate.
+
+        Pure aggregation — no clocks, no frame walking — so tests can
+        assert exact fold counts.  Empty stacks are skipped.
+        """
+        folded = 0
+        with self._lock:
+            for stack in stacks:
+                if not stack:
+                    continue
+                key = tuple(stack)
+                self._folds[key] = self._folds.get(key, 0) + 1
+                folded += 1
+            if folded:
+                self.samples += 1
+        return folded
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def folds(self) -> dict[tuple, int]:
+        """``{stack tuple: sample count}`` snapshot."""
+        with self._lock:
+            return dict(self._folds)
+
+    def collapsed(self) -> list[str]:
+        """Collapsed-stack text lines: ``a;b;c count``, sorted by
+        descending count then stack — the flamegraph input format."""
+        folds = self.folds()
+        return [f"{';'.join(stack)} {count}"
+                for stack, count in sorted(folds.items(),
+                                           key=lambda kv: (-kv[1],
+                                                           kv[0]))]
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Sampler wall time over profiled wall time (0 when idle)."""
+        wall = self.wall_seconds
+        if self._started_at is not None:
+            wall += time.perf_counter() - self._started_at
+        if wall <= 0:
+            return 0.0
+        return self.sample_seconds / wall
+
+    def to_speedscope(self, name: str = "repro") -> dict:
+        """A speedscope ``sampled`` profile document of the folds.
+
+        Each distinct stack becomes one weighted sample (weight = its
+        fold count), which preserves the aggregate exactly while
+        keeping the file proportional to distinct stacks.
+        """
+        folds = self.folds()
+        frame_index: dict[str, int] = {}
+        frames = []
+        samples = []
+        weights = []
+        for stack, count in sorted(folds.items(),
+                                   key=lambda kv: (-kv[1], kv[0])):
+            row = []
+            for label in stack:
+                index = frame_index.get(label)
+                if index is None:
+                    index = frame_index[label] = len(frames)
+                    frames.append({"name": label})
+                row.append(index)
+            samples.append(row)
+            weights.append(count)
+        total = sum(weights)
+        return {
+            "$schema": "https://www.speedscope.app/"
+                       "file-format-schema.json",
+            "shared": {"frames": frames},
+            "profiles": [{
+                "type": "sampled",
+                "name": name,
+                "unit": "none",
+                "startValue": 0,
+                "endValue": total,
+                "samples": samples,
+                "weights": weights,
+            }],
+            "exporter": f"repro.obs.profile schema {PROFILE_SCHEMA}",
+        }
+
+    def to_dict(self, name: str = "repro",
+                format: str = "speedscope") -> dict:
+        """The ``/v1/profilez`` / ``--profile`` document."""
+        base = {
+            "schema": PROFILE_SCHEMA,
+            "hz": self.hz,
+            "samples": self.samples,
+            "distinct_stacks": len(self.folds()),
+            "overhead_fraction": self.overhead_fraction,
+            "wall_seconds": (self.wall_seconds
+                             + ((time.perf_counter() - self._started_at)
+                                if self._started_at is not None
+                                else 0.0)),
+        }
+        if format == "collapsed":
+            base["folds"] = self.collapsed()
+        else:
+            base["speedscope"] = self.to_speedscope(name)
+        return base

@@ -83,11 +83,13 @@ class Subscription:
     """
 
     def __init__(self, bus: "EventBus", maxlen: int,
-                 wakeup=None):
+                 wakeup=None, name: str | None = None):
         self._bus = bus
         self._queue: deque = deque(maxlen=maxlen)
         self._cond = threading.Condition()
         self._wakeup = wakeup
+        #: Stable label for drop accounting (``obs.stream.dropped.<name>``).
+        self.name = name or "anonymous"
         self.dropped = 0
         self.closed = False
 
@@ -148,7 +150,9 @@ class EventBus:
         self._ring: deque = deque(maxlen=ring_size)
         self._subs: list[Subscription] = []
         self._seq = 0
-        self._dropped_closed = 0
+        # Per-name drop totals of closed subscriptions; live
+        # subscriptions are summed in on top (drop_counts/dropped).
+        self._closed_drops: dict[str, int] = {}
 
     # ------------------------------------------------------------------
     def publish(self, type: str, **payload) -> dict:
@@ -166,21 +170,27 @@ class EventBus:
         return payload
 
     def subscribe(self, maxlen: int = SUBSCRIBER_QUEUE,
-                  wakeup=None) -> Subscription:
+                  wakeup=None, name: str | None = None) -> Subscription:
         """Attach a consumer.
 
         ``wakeup``, if given, is called (from the publisher's thread)
         after each delivery — the hook an asyncio consumer uses to poke
-        its event loop via ``call_soon_threadsafe``.
+        its event loop via ``call_soon_threadsafe``.  ``name`` labels
+        the consumer for drop accounting (:meth:`drop_counts`);
+        several subscriptions may share one name and their drops sum.
         """
-        sub = Subscription(self, maxlen, wakeup=wakeup)
+        with self._lock:
+            label = name or f"sub{len(self._subs) + 1}"
+        sub = Subscription(self, maxlen, wakeup=wakeup, name=label)
         with self._lock:
             self._subs = self._subs + [sub]
         return sub
 
     def _forget(self, sub: Subscription) -> None:
         with self._lock:
-            self._dropped_closed += sub.dropped
+            if sub.dropped:
+                self._closed_drops[sub.name] = \
+                    self._closed_drops.get(sub.name, 0) + sub.dropped
             self._subs = [s for s in self._subs if s is not sub]
 
     # ------------------------------------------------------------------
@@ -197,9 +207,24 @@ class EventBus:
     @property
     def dropped(self) -> int:
         """Total events dropped across all (live and past) consumers."""
+        return sum(self.drop_counts().values())
+
+    def drop_counts(self) -> dict[str, int]:
+        """``{subscriber name: events dropped}``, live + closed merged.
+
+        This is the export surface the drop counters were always
+        missing: ``/metricz`` publishes each entry as an
+        ``obs.stream.dropped.<name>`` gauge and the live dashboard
+        shows the sum in its footer.  Names with zero drops are
+        omitted — a healthy bus reports an empty dict.
+        """
         with self._lock:
-            return self._dropped_closed + sum(s.dropped
-                                              for s in self._subs)
+            counts = dict(self._closed_drops)
+            for sub in self._subs:
+                if sub.dropped:
+                    counts[sub.name] = counts.get(sub.name, 0) \
+                        + sub.dropped
+            return counts
 
     def replay(self, since: int = 0) -> list[dict]:
         """Ring-buffered events with ``seq > since``, oldest first.

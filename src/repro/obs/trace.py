@@ -41,12 +41,18 @@ from __future__ import annotations
 import os
 import threading
 import time
+from collections import deque
 
 #: Record keys, documented once: ``name`` (span label), ``cat``
 #: (coarse category: pipeline / solver / cache / ...), ``ts`` (wall
 #: clock seconds at start), ``dur`` (seconds), ``pid`` / ``tid``
 #: (origin process and thread), ``depth`` (nesting level within its
-#: thread) and ``args`` (attributes and counters).
+#: thread) and ``args`` (attributes and counters).  Tracers built with
+#: a :class:`~repro.obs.context.TraceContext` additionally stamp
+#: ``trace`` (the trace id) on every record and ``parent`` (the
+#: context's parent span id) on depth-0 records, which is how spans
+#: from different processes and replicas reassemble into one tree
+#: (see :mod:`repro.obs.flight`).
 RECORD_KEYS = ("name", "cat", "ts", "dur", "pid", "tid", "depth", "args")
 
 
@@ -123,6 +129,7 @@ class NullTracer:
 
     enabled = False
     bus = None
+    context = None
     _NULL_SPAN = _NullSpan()
 
     def span(self, name: str, cat: str = "pipeline", **attrs) -> _NullSpan:
@@ -150,10 +157,19 @@ class Tracer:
 
     enabled = True
 
-    def __init__(self):
-        self._records: list[dict] = []
+    def __init__(self, context=None, maxlen: int | None = None):
+        """`context` is an optional
+        :class:`~repro.obs.context.TraceContext`: when set, every
+        record is stamped with its trace id (roots also carry the
+        parent span id), tying this tracer's output to a distributed
+        trace.  `maxlen` bounds retained records (drop-oldest) for
+        long-lived tracers such as the service's."""
+        self._records: deque = deque(maxlen=maxlen)
         self._lock = threading.Lock()
         self._local = threading.local()
+        #: Optional :class:`~repro.obs.context.TraceContext` stamped
+        #: onto every emitted record.
+        self.context = context
         #: Optional :class:`~repro.obs.stream.EventBus`; when set,
         #: spans are also published live as they open and close.
         self.bus = None
@@ -174,6 +190,11 @@ class Tracer:
         return stack
 
     def _emit(self, record: dict) -> None:
+        context = self.context
+        if context is not None:
+            record["trace"] = context.trace_id
+            if record["depth"] == 0 and context.parent_span_id:
+                record["parent"] = context.parent_span_id
         with self._lock:
             self._records.append(record)
         bus = self.bus

@@ -107,7 +107,8 @@ class ServiceClient:
     def __exit__(self, *exc) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, body: dict | None = None):
+    def _request(self, method: str, path: str, body: dict | None = None,
+                 extra_headers: dict | None = None):
         payload = json.dumps(body).encode() if body is not None else None
         headers = {"Connection": "keep-alive"}
         if payload:
@@ -116,6 +117,8 @@ class ServiceClient:
             headers["X-API-Key"] = self.api_key
         if self.cluster_key:
             headers["X-Cluster-Key"] = self.cluster_key
+        if extra_headers:
+            headers.update(extra_headers)
         for attempt in (0, 1):
             connection = self._connection()
             reused = getattr(self._local, "used", False)
@@ -168,19 +171,29 @@ class ServiceClient:
     # ------------------------------------------------------------------
     # API surface
     # ------------------------------------------------------------------
-    def submit(self, spec) -> dict:
+    def submit(self, spec, trace=None) -> dict:
         """POST one job; returns ``{"id": ..., "state": "queued"}``.
 
         ``spec`` is a dict (the wire schema) or anything with a
-        ``to_dict()`` (a :class:`~.protocol.JobSpec`).
+        ``to_dict()`` (a :class:`~.protocol.JobSpec`).  `trace`
+        optionally carries the submitter's distributed trace identity
+        (a :class:`~repro.obs.context.TraceContext` or a pre-formatted
+        header string) as ``X-Repro-Trace``; a trace embedded in the
+        spec body wins over the header on the server side.
         """
         body = spec.to_dict() if hasattr(spec, "to_dict") else spec
-        status, headers, data = self._request("POST", "/v1/jobs", body)
+        extra = None
+        if trace is not None:
+            header = (trace.to_header() if hasattr(trace, "to_header")
+                      else str(trace))
+            extra = {"X-Repro-Trace": header}
+        status, headers, data = self._request("POST", "/v1/jobs", body,
+                                              extra_headers=extra)
         self._raise_for(status, headers, data)
         return data
 
     def submit_retry(self, spec, attempts: int = 8,
-                     max_sleep: float = 10.0,
+                     max_sleep: float = 10.0, trace=None,
                      _sleep=time.sleep, _random=random.uniform) -> dict:
         """Submit with **full-jitter** backoff on 429 responses.
 
@@ -193,9 +206,12 @@ class ServiceClient:
         queue again together.  ``_sleep``/``_random`` are injectable
         for tests.
         """
+        # Pass trace only when set: subclasses (and test doubles) that
+        # override submit(spec) without the kwarg keep working.
+        kwargs = {"trace": trace} if trace is not None else {}
         for attempt in range(attempts):
             try:
-                return self.submit(spec)
+                return self.submit(spec, **kwargs)
             except ServiceSaturated as error:
                 if attempt == attempts - 1:
                     raise
@@ -297,6 +313,33 @@ class ServiceClient:
                     return
             else:
                 time.sleep(0.2)
+
+    def trace(self, job_id: str) -> dict:
+        """GET a finished job's span tree as a Chrome trace document.
+
+        The ``repro`` key of the response carries the job id, state,
+        span count and trace id; for a stolen job the spans include
+        the thief replica's records, all under the submitter's trace.
+        """
+        status, headers, data = self._request(
+            "GET", f"/v1/jobs/{job_id}/trace")
+        self._raise_for(status, headers, data)
+        return data
+
+    def profilez(self, format: str | None = None) -> dict:
+        """GET the server's continuous-profiler snapshot.
+
+        Default is a speedscope document; ``format="collapsed"``
+        returns collapsed-stack folds instead.  404s (as
+        :class:`ClientError`) when the server runs without
+        ``--profile-sample-hz``.
+        """
+        path = "/v1/profilez"
+        if format:
+            path += f"?format={format}"
+        status, headers, data = self._request("GET", path)
+        self._raise_for(status, headers, data)
+        return data
 
     def explain(self, job_id: str, direction: str = "worst") -> dict:
         status, headers, data = self._request(

@@ -91,6 +91,10 @@ class JournalState:
     records: int = 0
     #: Progress frames seen (``set_done``).
     set_records: int = 0
+    #: Frames that changed nothing when folded (idempotent repeats —
+    #: e.g. a WAL replayed on top of a snapshot that already holds
+    #: those records after a crash mid-compaction).
+    duplicates: int = 0
     #: True when replay stopped at a torn/corrupt tail frame.
     tail_dropped: bool = False
 
@@ -176,6 +180,14 @@ class JobJournal:
         #: bench_service overhead guard (journal share of throughput).
         self.write_seconds = 0.0
         self._since_compact = 0
+        #: Optional callable(seconds) invoked with each fsync's
+        #: duration — the service hooks a latency histogram here
+        #: (``service.journal.fsync_seconds`` p50/p95/p99).
+        self.fsync_observer = None
+        #: The :class:`JournalState` the last :meth:`open` replayed
+        #: (frames read, duplicates folded, torn-tail drops) — the
+        #: replay half of the /metricz journal health gauges.
+        self.last_replay: JournalState | None = None
 
     # ------------------------------------------------------------------
     # Replay
@@ -195,6 +207,16 @@ class JobJournal:
             self._file.flush()
             os.fsync(self._file.fileno())
         self._last_sync = time.monotonic()
+        self.last_replay = state
+        return state
+
+    def inspect(self) -> JournalState:
+        """Read-only replay: recover the state without opening the WAL
+        for appends (``repro engine stats --journal``).  Safe to run
+        against a live service's journal directory."""
+        state = JournalState()
+        self._load_snapshot(state)
+        self._replay_wal(state)
         return state
 
     def _load_snapshot(self, state: JournalState) -> None:
@@ -246,7 +268,14 @@ class JobJournal:
                     return
                 if record.get("type") == "set_done":
                     state.set_records += 1
-                apply_record(state.jobs, record)
+                    apply_record(state.jobs, record)
+                else:
+                    before = state.jobs.get(record.get("id"))
+                    before = dict(before) if before is not None else None
+                    apply_record(state.jobs, record)
+                    after = state.jobs.get(record.get("id"))
+                    if before is not None and after == before:
+                        state.duplicates += 1
                 state.records += 1
 
     # ------------------------------------------------------------------
@@ -292,9 +321,12 @@ class JobJournal:
             clock = time.perf_counter()
             self._file.flush()
             os.fsync(self._file.fileno())
+            elapsed = time.perf_counter() - clock
             self.synced += 1
             self._unsynced = 0
-            self.write_seconds += time.perf_counter() - clock
+            self.write_seconds += elapsed
+            if self.fsync_observer is not None:
+                self.fsync_observer(elapsed)
         self._last_sync = time.monotonic()
 
     @property
@@ -303,6 +335,11 @@ class JobJournal:
             return self.wal_path.stat().st_size
         except OSError:
             return 0
+
+    @property
+    def frames_since_compaction(self) -> int:
+        """Frames appended since the last compaction (0 right after)."""
+        return self._since_compact
 
     # ------------------------------------------------------------------
     # Compaction

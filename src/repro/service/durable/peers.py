@@ -142,6 +142,12 @@ class PeerBalancer:
                    "peer": self.service.advertise}
         if record.report is not None:
             payload["report"] = report_to_dict(record.report)
+        if record.spans:
+            # The flight-recorder half of work sharing: the thief's
+            # span records (its scheduler + pool workers, stamped with
+            # the submitter's trace context) journey home in the
+            # complete payload so the owner reassembles one tree.
+            payload["spans"] = list(record.spans)
         host, _, port_text = peer.rpartition(":")
         try:
             with ServiceClient(host=host or "127.0.0.1",

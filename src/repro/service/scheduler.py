@@ -33,6 +33,8 @@ from __future__ import annotations
 
 import asyncio
 import math
+import os
+import threading
 import time
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
@@ -87,7 +89,7 @@ class Scheduler:
                  default_set_timeout: float | None = None,
                  max_iterations: int | None = None,
                  registry: MetricsRegistry | None = None,
-                 bus=None, journal=None, tenants=None):
+                 bus=None, journal=None, tenants=None, tracer=None):
         if executor not in ("process", "thread"):
             raise ValueError(f"unknown executor kind {executor!r}")
         self.queue = queue
@@ -109,6 +111,11 @@ class Scheduler:
         #: Optional :class:`~.durable.TenantRegistry` for per-tenant
         #: queued/running occupancy accounting.
         self.tenants = tenants
+        #: Optional service-level :class:`repro.obs.Tracer`; every
+        #: finished job's spans (scheduler + workers, local or shipped
+        #: back from a peer) are absorbed into it, which also streams
+        #: them over SSE when the tracer's bus is attached.
+        self.tracer = tracer
         self.engine_metrics = EngineMetrics(self.registry)
         for status in ("ok", "partial", "failed"):
             self.registry.counter(f"service.jobs.done.{status}")
@@ -224,8 +231,12 @@ class Scheduler:
         self.running += 1
         self.note_depth()
         started = time.monotonic()
+        span_ts = time.time()
+        span_clock = time.perf_counter()
         try:
             await self._execute(loop, record)
+            self._finish_spans(record, span_ts,
+                               time.perf_counter() - span_clock)
             self._journal_terminal(record)
             self._publish_done(record)
         finally:
@@ -243,7 +254,41 @@ class Scheduler:
             self.completed += 1
             self.registry.counter(
                 f"service.jobs.done.{record.status or 'failed'}").inc()
+            if record.tenant and not record.foreign:
+                self.registry.counter(
+                    f"tenant.{record.tenant}.completed").inc()
             self.note_depth()
+
+    def _finish_spans(self, record, span_ts: float,
+                      span_dur: float) -> None:
+        """Synthesize the enclosing ``service.job`` span for a record.
+
+        Built as a plain record dict, *not* via ``tracer.span(...)``:
+        a context manager held across the awaits in ``_run_record``
+        would corrupt the tracer's thread-local depth stack when
+        several jobs interleave on the event-loop thread.  The worker
+        spans shipped back in the result were filled into
+        ``record.spans`` by ``_execute``; the service span fronts them
+        and the whole set is absorbed into the service tracer (which
+        republishes over SSE when a bus is attached).
+        """
+        span = {
+            "name": "service.job", "cat": "service",
+            "ts": span_ts, "dur": span_dur,
+            "pid": os.getpid(), "tid": threading.get_ident(),
+            "depth": 0,
+            "args": {"job": record.id, "name": record.spec.name,
+                     "status": record.status or "failed",
+                     "cache_hit": record.cache_hit},
+        }
+        context = record.spec.trace
+        if context is not None:
+            span["trace"] = context.trace_id
+            if context.parent_span_id:
+                span["parent"] = context.parent_span_id
+        record.spans = [span] + list(record.spans or [])
+        if self.tracer is not None:
+            self.tracer.absorb(record.spans)
 
     def _journal_terminal(self, record) -> None:
         """Log per-set progress then the terminal frame for a record.
@@ -342,12 +387,16 @@ class Scheduler:
             if spec.max_iterations is not None else self.max_iterations
         cache_dir = str(self.cache.root) if self.cache is not None \
             else None
-        payload = (job, cache_dir, set_timeout, max_iterations, False)
+        # Ship the submitter's trace context across the pickle
+        # boundary so pool-worker spans carry the job's trace id.
+        trace = spec.trace.to_dict() if spec.trace is not None else False
+        payload = (job, cache_dir, set_timeout, max_iterations, trace)
 
         result = await self._dispatch(loop, payload, record)
         if result is None:           # retries exhausted; record failed
             return
         record.finish(result)
+        record.spans = list(getattr(result, "spans", []) or [])
         if result.report is not None:
             self.engine_metrics.record_report(result.report)
             for _ in range(result.set_cache_hits):

@@ -46,6 +46,7 @@ listener and exits 0.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import math
 import signal
@@ -53,8 +54,11 @@ import threading
 import time
 
 from ..engine.cache import ResultCache, report_from_dict
+from ..obs.context import TraceContext
+from ..obs.profile import SamplingProfiler
 from ..obs.registry import MetricsRegistry
 from ..obs.stream import EventBus, sse_comment, sse_format
+from ..obs.trace import Tracer
 from .durable import JobJournal, PeerBalancer, TenantRegistry
 from .protocol import BadRequest, JobRecord, JobSpec
 from .queue import JobQueue, QueueClosed, QueueSaturated
@@ -73,6 +77,12 @@ HEARTBEAT_SECONDS = 15.0
 #: How often the housekeeping task sweeps expired peer leases and
 #: checks journal-compaction thresholds.
 HOUSEKEEPING_SECONDS = 0.25
+
+#: Retained span records on the service tracer (drop-oldest).
+SERVICE_TRACE_MAXLEN = 16384
+
+#: Buckets for the journal fsync latency histogram (seconds).
+FSYNC_BUCKETS = (0.0001, 0.0005, 0.001, 0.005, 0.025, 0.1, 0.5)
 
 _REASONS = {200: "OK", 202: "Accepted", 400: "Bad Request",
             401: "Unauthorized", 403: "Forbidden", 404: "Not Found",
@@ -105,7 +115,8 @@ class AnalysisService:
                  journal_dir=None, tenants=None, share: bool = True,
                  cluster_key: str | None = None,
                  lease_seconds: float = 30.0,
-                 balance_interval: float = 0.5, max_claim: int = 2):
+                 balance_interval: float = 0.5, max_claim: int = 2,
+                 profile_hz: float | None = None):
         self.host = host
         self.port = port
         self.metrics_path = metrics_path
@@ -133,6 +144,16 @@ class AnalysisService:
         self.registry = registry if registry is not None \
             else MetricsRegistry()
         self.registry.attach_stream(self.bus)
+        #: The flight recorder's span sink: every finished job's spans
+        #: (local or shipped home by a peer) are absorbed here, which
+        #: both retains them for ``GET /v1/jobs/{id}/trace`` and
+        #: republishes them as SSE ``span`` events.
+        self.tracer = Tracer(maxlen=SERVICE_TRACE_MAXLEN)
+        self.tracer.attach_stream(self.bus)
+        #: Continuous statistical profiler (``serve
+        #: --profile-sample-hz``); serves ``GET /v1/profilez``.
+        self.profiler = SamplingProfiler(hz=profile_hz) \
+            if profile_hz else None
         for name in ("service.jobs.submitted", "service.jobs.rejected",
                      "service.jobs.throttled", "service.jobs.recovered",
                      "service.peer.claimed", "service.peer.completed",
@@ -140,6 +161,10 @@ class AnalysisService:
             self.registry.counter(name)
         #: The job journal (WAL); None runs the service ephemerally.
         self.journal = JobJournal(journal_dir) if journal_dir else None
+        if self.journal is not None:
+            fsync_hist = self.registry.histogram(
+                "service.journal.fsync_seconds", buckets=FSYNC_BUCKETS)
+            self.journal.fsync_observer = fsync_hist.observe
         #: Tenant registry: a path (loaded), a TenantRegistry, or None.
         if tenants is not None and not isinstance(tenants,
                                                  TenantRegistry):
@@ -154,7 +179,8 @@ class AnalysisService:
             executor=executor, runner=runner, retries=retries,
             backoff=backoff, default_set_timeout=set_timeout,
             max_iterations=max_iterations, registry=self.registry,
-            bus=self.bus, journal=self.journal, tenants=self.tenants)
+            bus=self.bus, journal=self.journal, tenants=self.tenants,
+            tracer=self.tracer)
         self.records: dict[str, JobRecord] = {}
         self._seq = 0
         self._server: asyncio.AbstractServer | None = None
@@ -173,6 +199,8 @@ class AnalysisService:
     async def start(self) -> None:
         """Replay the journal, bind the listener, start the workers."""
         self._drained = asyncio.Event()
+        if self.profiler is not None:
+            self.profiler.start()
         if self.journal is not None:
             self._recover(self.journal.open())
         self.scheduler.start()
@@ -291,6 +319,8 @@ class AnalysisService:
             except asyncio.CancelledError:
                 pass
         await self.scheduler.join()
+        if self.profiler is not None:
+            self.profiler.stop()
         if self.journal is not None:
             self.journal.compact(self._journal_jobs())
             self.journal.close()
@@ -495,7 +525,8 @@ class AnalysisService:
         wake = asyncio.Event()
         sub = self.bus.subscribe(
             maxlen=4096,
-            wakeup=lambda: loop.call_soon_threadsafe(wake.set))
+            wakeup=lambda: loop.call_soon_threadsafe(wake.set),
+            name="sse.job" if job_id is not None else "sse.firehose")
         try:
             writer.write(b"HTTP/1.1 200 OK\r\n"
                          b"Content-Type: text/event-stream\r\n"
@@ -616,19 +647,32 @@ class AnalysisService:
             self.registry.gauge("stream.dropped").set(self.bus.dropped)
             self.registry.gauge("stream.subscribers").set(
                 self.bus.subscribers)
-            if self.journal is not None:
-                self.registry.gauge("service.journal.wal_bytes").set(
-                    self.journal.wal_bytes)
-                self.registry.gauge("service.journal.records").set(
-                    self.journal.appended)
-                self.registry.gauge("service.journal.compactions").set(
-                    self.journal.compactions)
+            for name, count in self.bus.drop_counts().items():
                 self.registry.gauge(
-                    "service.journal.write_seconds").set(
-                    self.journal.write_seconds)
+                    f"obs.stream.dropped.{name}").set(count)
+            self._journal_gauges()
+            self._tenant_gauges()
+            if self.profiler is not None:
+                self.registry.gauge("service.profiler.samples").set(
+                    self.profiler.samples)
+                self.registry.gauge(
+                    "service.profiler.overhead_fraction").set(
+                    self.profiler.overhead_fraction)
             if query.get("merge") == "peers":
                 return 200, await self._merged_metricz(), None
             return 200, self.registry.snapshot(), None
+        if path == "/v1/profilez":
+            if method != "GET":
+                return 405, {"error": "GET only"}, None
+            if self.profiler is None:
+                return (404,
+                        {"error": "profiler is off (serve "
+                                  "--profile-sample-hz)"},
+                        None)
+            fmt = "collapsed" if query.get("format") == "collapsed" \
+                else "speedscope"
+            return 200, self.profiler.to_dict(
+                name=f"repro serve {self.advertise}", format=fmt), None
         if path == "/v1/jobs":
             if method != "POST":
                 return 405, {"error": "POST only"}, None
@@ -649,6 +693,11 @@ class AnalysisService:
                 if method != "GET":
                     return 405, {"error": "GET only"}, None
                 return await self._explain(job_id, query)
+            if rest.endswith("/trace"):
+                job_id = rest[: -len("/trace")]
+                if method != "GET":
+                    return 405, {"error": "GET only"}, None
+                return self._job_trace(job_id)
             if method != "GET":
                 return 405, {"error": "GET only"}, None
             record = self.records.get(rest)
@@ -656,6 +705,46 @@ class AnalysisService:
                 return 404, {"error": f"unknown job {rest!r}"}, None
             return 200, record.to_dict(), None
         return 404, {"error": f"no route for {path}"}, None
+
+    def _journal_gauges(self) -> None:
+        """Refresh the journal-health gauges in the registry."""
+        journal = self.journal
+        if journal is None:
+            return
+        gauge = self.registry.gauge
+        gauge("service.journal.wal_bytes").set(journal.wal_bytes)
+        gauge("service.journal.records").set(journal.appended)
+        gauge("service.journal.compactions").set(journal.compactions)
+        gauge("service.journal.write_seconds").set(
+            journal.write_seconds)
+        gauge("service.journal.frames_since_compaction").set(
+            journal.frames_since_compaction)
+        fsync = self.registry.histogram(
+            "service.journal.fsync_seconds", buckets=FSYNC_BUCKETS)
+        for q in (50, 95, 99):
+            gauge(f"service.journal.fsync_seconds.p{q}").set(
+                fsync.percentile(q / 100.0))
+        replay = journal.last_replay
+        if replay is not None:
+            gauge("service.journal.replay.records").set(replay.records)
+            gauge("service.journal.replay.duplicates").set(
+                replay.duplicates)
+            gauge("service.journal.replay.tail_dropped").set(
+                int(replay.tail_dropped))
+
+    def _tenant_gauges(self) -> None:
+        """Refresh per-tenant occupancy gauges (fair share made
+        visible: counters for submitted/completed/throttled_429 move
+        at their call sites; queue occupancy is a level read here)."""
+        if self.tenants is None:
+            return
+        for name in self.tenants.tenants:
+            self.registry.gauge(
+                f"tenant.{name}.queue_occupancy").set(
+                self.tenants.queued.get(name, 0))
+            self.registry.gauge(
+                f"tenant.{name}.running").set(
+                self.tenants.running.get(name, 0))
 
     def _health(self) -> dict:
         return {
@@ -686,6 +775,8 @@ class AnalysisService:
         if not admission.ok:
             self.registry.counter("service.jobs.rejected").inc()
             self.registry.counter("service.jobs.throttled").inc()
+            self.registry.counter(
+                f"tenant.{tenant.name}.throttled_429").inc()
             header = max(1, math.ceil(admission.retry_after))
             return None, (429,
                           {"error": admission.reason,
@@ -707,6 +798,7 @@ class AnalysisService:
         except json.JSONDecodeError as error:
             raise BadRequest(f"body is not valid JSON: {error}")
         spec = JobSpec.from_dict(data)
+        spec = self._attach_trace(spec, headers)
         self._seq += 1
         record = JobRecord(id=f"j{self._seq:06d}", spec=spec,
                            tenant=tenant.name if tenant else None)
@@ -734,14 +826,40 @@ class AnalysisService:
                                 spec=spec.to_dict(),
                                 tenant=record.tenant)
         self.registry.counter("service.jobs.submitted").inc()
+        if record.tenant:
+            self.registry.counter(
+                f"tenant.{record.tenant}.submitted").inc()
         self.bus.publish("job_queued", job=record.id,
                          name=record.spec.name,
                          queue_depth=self.queue.depth)
         self.scheduler.note_depth()
         return (202,
                 {"id": record.id, "state": record.state,
+                 "trace_id": (spec.trace.trace_id
+                              if spec.trace is not None else None),
                  "queue_depth": self.queue.depth},
                 None)
+
+    @staticmethod
+    def _attach_trace(spec: JobSpec, headers: dict) -> JobSpec:
+        """Ensure the spec carries a trace context.
+
+        Precedence: an explicit ``trace`` in the body, then the
+        ``X-Repro-Trace`` header (a malformed header is a 400 — a
+        caller who asked for tracing should not silently lose it),
+        then a context minted at admission so every job is traceable.
+        """
+        if spec.trace is not None:
+            return spec
+        header = headers.get("x-repro-trace")
+        if header:
+            try:
+                context = TraceContext.from_header(header)
+            except ValueError as error:
+                raise BadRequest(f"bad X-Repro-Trace header: {error}")
+        else:
+            context = TraceContext.new()
+        return dataclasses.replace(spec, trace=context)
 
     # ------------------------------------------------------------------
     # Peer work sharing (owner side)
@@ -861,6 +979,16 @@ class AnalysisService:
         record.lease = None
         if self.tenants is not None:
             self.tenants.note_done(record.tenant)
+        spans = data.get("spans")
+        if isinstance(spans, list) and spans:
+            # The thief's flight-recorder records come home with the
+            # result: retain them on the record (GET /v1/jobs/{id}/
+            # trace) and absorb into the service tracer, which
+            # republishes them as SSE span events — a follower of a
+            # stolen job sees the same span stream as a local run.
+            record.spans = [span for span in spans
+                            if isinstance(span, dict)]
+            self.tracer.absorb(record.spans)
         if data.get("state") == "failed":
             record.fail(data.get("error") or "peer execution failed",
                         status=data.get("status") or "failed")
@@ -874,8 +1002,36 @@ class AnalysisService:
         self.registry.counter("service.peer.completed").inc()
         self.registry.counter(
             f"service.jobs.done.{record.status or 'failed'}").inc()
+        if record.tenant:
+            self.registry.counter(
+                f"tenant.{record.tenant}.completed").inc()
         self.scheduler._publish_done(record)
         return 200, {"state": record.state, "duplicate": False}, None
+
+    def _job_trace(self, job_id: str):
+        """``GET /v1/jobs/{id}/trace``: the job's reassembled spans.
+
+        A Chrome trace document of the record's span records —
+        scheduler + pool workers, and for a stolen job the thief's
+        spans shipped home by peer-complete — plus a ``repro`` stanza
+        carrying the trace id so ``repro obs diff-trace`` and the
+        flight recorder can join files across replicas.
+        """
+        record = self.records.get(job_id)
+        if record is None:
+            return 404, {"error": f"unknown job {job_id!r}"}, None
+        from ..obs.export import to_chrome
+
+        doc = to_chrome(record.spans)
+        doc["repro"] = {
+            "job": record.id,
+            "name": record.spec.name,
+            "state": record.state,
+            "spans": len(record.spans),
+            "trace_id": (record.spec.trace.trace_id
+                         if record.spec.trace is not None else None),
+        }
+        return 200, doc, None
 
     async def _explain(self, job_id: str, query):
         record = self.records.get(job_id)
