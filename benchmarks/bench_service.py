@@ -168,3 +168,75 @@ def test_journal_overhead_under_five_percent(benchmark, tmp_path,
           f"{share:.2%} of throughput")
     assert share < MAX_JOURNAL_OVERHEAD
     assert per_frame < MAX_SECONDS_PER_FRAME
+
+
+# ----------------------------------------------------------------------
+# Chaos disabled-path guard
+# ----------------------------------------------------------------------
+#: The injection seams are production code; with no plan installed
+#: (the NULL_INJECTOR default) they may tax the journal+cache hot
+#: path by at most 5% — and an installed-but-idle plan (rules that
+#: never match the exercised points) must stay inside the same bound.
+MAX_CHAOS_OVERHEAD = 0.05
+
+_CHAOS_ROUNDS = 8
+_CHAOS_OPS = 400
+
+
+def test_chaos_seams_overhead_under_five_percent(benchmark, tmp_path):
+    """Time the seam-dense loop (WAL appends + sealed cache reads)
+    with the null injector against the same loop with an idle plan
+    installed, interleaved round by round (the NULL_TRACER guard
+    pattern) so CPU drift hits both arms equally."""
+    from repro.analysis.report import SetResult
+    from repro.chaos import FaultPlan, inject
+    from repro.engine.cache import ResultCache
+    from repro.ilp import Status
+    from repro.service import JobJournal, JobSpec
+
+    spec = JobSpec.from_dict({"name": "guard", "benchmark": "des"}) \
+        .to_dict()
+    cache = ResultCache(tmp_path / "cache")
+    for n in range(8):
+        cache.put_set(f"k{n}", SetResult(index=n, status=Status.OPTIMAL,
+                                         worst=10.0, best=2.0))
+    journal = JobJournal(tmp_path / "journal", fsync_interval=3600.0)
+    journal.open()
+
+    def one_round() -> float:
+        clock = time.perf_counter()
+        for n in range(_CHAOS_OPS):
+            journal.append("set_done", id="j000001", set=n,
+                           worst=10, best=2, feasible=True)
+            cache.get_set(f"k{n % 8}")
+        return time.perf_counter() - clock
+
+    one_round()                       # warm file handles and imports
+
+    # An idle plan: armed points none of the exercised seams visit,
+    # so every seam pays the full "installed" lookup yet never fires.
+    idle_plan = FaultPlan.parse("seed=1,peer.error=*,worker.hang=*")
+
+    def interleaved() -> tuple[float, float]:
+        null_arm = idle_arm = float("inf")
+        for _ in range(_CHAOS_ROUNDS):
+            inject.reset()
+            null_arm = min(null_arm, one_round())
+            inject.install(idle_plan)
+            try:
+                idle_arm = min(idle_arm, one_round())
+            finally:
+                inject.reset()
+        return null_arm, idle_arm
+
+    try:
+        null_arm, idle_arm = one_shot(benchmark, interleaved)
+    finally:
+        journal.close()
+
+    overhead = idle_arm / null_arm - 1.0
+    per_op = null_arm / (2 * _CHAOS_OPS)
+    print(f"\nnull injector {null_arm * 1e3:.2f}ms vs idle plan "
+          f"{idle_arm * 1e3:.2f}ms over {2 * _CHAOS_OPS} seam ops "
+          f"({per_op * 1e6:.1f}us/op) -> overhead {overhead:+.2%}")
+    assert idle_arm <= null_arm * (1.0 + MAX_CHAOS_OVERHEAD)

@@ -1,0 +1,31 @@
+"""Chaos engineering for the serving stack: deterministic fault
+injection (:mod:`repro.chaos.inject`) and post-run soundness
+invariants (:mod:`repro.chaos.invariants`).
+
+See ``docs/chaos.md`` for the schedule grammar, the injection-point
+catalogue, and the degraded-mode state machine the faults exercise.
+"""
+
+from .inject import (FaultPlan, FaultRule, FaultScheduleError,
+                     InjectedFault, Injector, NULL_INJECTOR,
+                     NullInjector, POINTS, install, reset)
+
+__all__ = [
+    "FaultPlan", "FaultRule", "FaultScheduleError", "InjectedFault",
+    "Injector", "InvariantReport", "NULL_INJECTOR", "NullInjector",
+    "POINTS", "Violation", "install", "reset", "verify_journal",
+]
+
+_INVARIANT_EXPORTS = ("InvariantReport", "Violation", "verify_journal")
+
+
+def __getattr__(name):
+    # Lazy: the invariant harness pulls in the journal and analysis
+    # layers, which themselves import repro.chaos.inject — loading it
+    # here eagerly would be circular.
+    if name in _INVARIANT_EXPORTS:
+        from . import invariants
+
+        return getattr(invariants, name)
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}")

@@ -276,6 +276,12 @@ def build_parser() -> argparse.ArgumentParser:
                             "at HZ samples/second and serve the "
                             "aggregate at GET /v1/profilez "
                             "(speedscope or ?format=collapsed)")
+    serve.add_argument("--chaos", metavar="SCHEDULE",
+                       default=os.environ.get("REPRO_CHAOS"),
+                       help="deterministic fault injection: "
+                            "'seed=N,POINT=COUNT[@PROB][~SECONDS],"
+                            "...' (default $REPRO_CHAOS; see "
+                            "'repro chaos points' and docs/chaos.md)")
 
     submit = sub.add_parser(
         "submit", help="submit benchmark jobs to a running service")
@@ -365,6 +371,37 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="FRACTION",
                        help="allowed fractional wall-time regression "
                             "(default 0.5 = +50%%)")
+
+    chaos = sub.add_parser(
+        "chaos", help="deterministic fault injection: inspect "
+                      "schedules and verify soundness invariants")
+    csub = chaos.add_subparsers(dest="chaos_command", required=True)
+    cshow = csub.add_parser(
+        "show", help="parse a fault schedule and print its plan")
+    cshow.add_argument("schedule", metavar="SCHEDULE",
+                       help="'seed=N,POINT=COUNT[@PROB][~SECONDS],...'")
+    csub.add_parser("points",
+                    help="list the named injection points")
+    cverify = csub.add_parser(
+        "verify", help="audit a job journal: no job lost or "
+                       "duplicated, quotas held, bounds bit-identical "
+                       "to a serial re-solve, witnesses satisfy their "
+                       "ILP constraints")
+    cverify.add_argument("--journal", required=True, metavar="DIR",
+                         help="journal directory of the run to audit")
+    cverify.add_argument("--tenants", metavar="FILE",
+                         help="tenants file to replay quota "
+                              "accounting against")
+    cverify.add_argument("--no-serial", action="store_true",
+                         help="skip the serial re-solve bound "
+                              "comparison (structural audit only)")
+    cverify.add_argument("--no-witness", action="store_true",
+                         help="skip witness-vector validation")
+    cverify.add_argument("--allow-pending", action="store_true",
+                         help="tolerate non-terminal jobs (journal "
+                              "from a live or undrained service)")
+    cverify.add_argument("--json", action="store_true",
+                         help="machine-readable report on stdout")
     return parser
 
 
@@ -594,6 +631,8 @@ def _cmd_engine(args) -> int:
               f"({stats.set_entries} sets, {stats.job_entries} jobs), "
               f"{stats.total_bytes:,} bytes")
         print(f"evictions: {stats.evictions} (lifetime)")
+        print(f"quarantined: {stats.quarantined} (lifetime, "
+              f"corrupt entries moved aside and recomputed)")
         return 0
 
     assert args.engine_command == "run"
@@ -674,6 +713,14 @@ def _cmd_serve(args) -> int:
     workers = args.workers or max(1, os.cpu_count() or 1)
     peers = [peer.strip() for peer in (args.peers or "").split(",")
              if peer.strip()]
+    chaos = None
+    if args.chaos:
+        from .chaos import FaultPlan, FaultScheduleError
+
+        try:
+            chaos = FaultPlan.parse(args.chaos)
+        except FaultScheduleError as error:
+            raise ReproError(f"--chaos: {error}")
     service = AnalysisService(
         host=args.host, port=args.port, workers=workers,
         queue_depth=args.queue_depth, executor=args.executor,
@@ -684,8 +731,43 @@ def _cmd_serve(args) -> int:
         journal_dir=args.journal, tenants=args.tenants,
         share=not args.no_share, cluster_key=args.cluster_key,
         lease_seconds=args.lease_seconds,
-        profile_hz=args.profile_sample_hz)
+        profile_hz=args.profile_sample_hz, chaos=chaos)
     return service.run()
+
+
+def _cmd_chaos(args) -> int:
+    if args.chaos_command == "show":
+        from .chaos import FaultPlan, FaultScheduleError
+
+        try:
+            plan = FaultPlan.parse(args.schedule)
+        except FaultScheduleError as error:
+            raise ReproError(str(error))
+        print(plan.describe())
+        return 0
+
+    if args.chaos_command == "points":
+        from .chaos.inject import POINT_HELP
+
+        width = max(len(point) for point in POINT_HELP)
+        for point, help_text in POINT_HELP.items():
+            print(f"{point:<{width}}  {help_text}")
+        return 0
+
+    assert args.chaos_command == "verify"
+    import json
+
+    from .chaos import verify_journal
+
+    report = verify_journal(
+        args.journal, tenants=args.tenants,
+        serial=not args.no_serial, witnesses=not args.no_witness,
+        require_terminal=not args.allow_pending)
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        print(report.render())
+    return 0 if report.ok else 1
 
 
 def _follow_job(client, name: str, job_id: str) -> None:
@@ -914,6 +996,8 @@ def _dispatch(args) -> int:
         return _cmd_obs(args)
     if args.command == "explain":
         return _cmd_explain(args)
+    if args.command == "chaos":
+        return _cmd_chaos(args)
 
     source = _load(args.file)
 

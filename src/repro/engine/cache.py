@@ -44,6 +44,7 @@ from pathlib import Path
 
 from .. import __version__
 from ..analysis.report import BoundReport, SetResult
+from ..chaos import inject
 from ..ilp import SolveStats, Status
 
 #: Bump when solver semantics change in a way that invalidates cached
@@ -86,6 +87,8 @@ class CacheStats:
     total_bytes: int
     #: Lifetime LRU evictions recorded in the cache's meta file.
     evictions: int = 0
+    #: Lifetime corrupt entries moved to ``quarantine/`` on read.
+    quarantined: int = 0
     max_entries: int | None = None
     max_bytes: int | None = None
 
@@ -109,6 +112,9 @@ class ResultCache:
         #: Evictions performed by *this* cache object (the meta file
         #: keeps the lifetime total across processes).
         self.evictions = 0
+        #: Corrupt entries this cache object quarantined on read
+        #: (lifetime total lives in the meta file).
+        self.quarantined = 0
 
     # ------------------------------------------------------------------
     # Keys
@@ -160,8 +166,24 @@ class ResultCache:
     def _read(self, key: str) -> dict | None:
         path = self._path(key)
         try:
-            payload = json.loads(path.read_text())
-        except (FileNotFoundError, json.JSONDecodeError, OSError):
+            text = path.read_text()
+        except UnicodeDecodeError:
+            # A flipped bit can break UTF-8 itself, before JSON even
+            # gets a look; same treatment as unparseable content.
+            self._quarantine(path)
+            return None
+        except OSError:
+            return None
+        text = inject.corrupt("cache.read", text)
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            self._quarantine(path)
+            return None
+        digest = payload.pop("sha256", None)
+        if digest is not None and digest != self._digest(
+                json.dumps(payload, sort_keys=True)):
+            self._quarantine(path)
             return None
         try:
             os.utime(path)           # mark recently used for the LRU
@@ -169,9 +191,31 @@ class ResultCache:
             pass
         return payload
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry to ``root/quarantine/`` and count it.
+
+        The caller then reports a miss, so a flipped bit costs one
+        recompute instead of crashing (or silently poisoning) the job
+        that hit it; the file is kept aside for forensics rather than
+        deleted."""
+        target = self.root / "quarantine" / path.name
+        try:
+            target.parent.mkdir(parents=True, exist_ok=True)
+            os.replace(path, target)
+        except OSError:  # pragma: no cover - racing eviction
+            return
+        self.quarantined += 1
+        self._bump_meta("quarantined", 1)
+
     def _write(self, key: str, payload: dict) -> None:
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Seal the entry with its own content hash; _read verifies it
+        # so on-disk corruption surfaces as a quarantined miss, never
+        # as a wrong bound.  "kind" still sorts first, which the
+        # _read_kind() head sniff relies on.
+        payload = dict(payload, sha256=self._digest(
+            json.dumps(payload, sort_keys=True)))
         text = json.dumps(payload, sort_keys=True)
         handle = tempfile.NamedTemporaryFile(
             "w", dir=path.parent, suffix=".tmp", delete=False)
@@ -194,7 +238,10 @@ class ResultCache:
     def _entries(self) -> list[tuple[float, int, Path]]:
         """Every entry as (mtime_ns, size, path), oldest first."""
         entries = []
-        for path in self.root.glob("*/*.json"):
+        # Entry shards are two hex characters; the glob deliberately
+        # misses quarantine/ so quarantined files are neither counted
+        # nor evicted as live entries.
+        for path in self.root.glob("??/*.json"):
             try:
                 stat = path.stat()
             except OSError:  # pragma: no cover - racing eviction
@@ -302,7 +349,7 @@ class ResultCache:
     def stats(self) -> CacheStats:
         entries = set_entries = job_entries = 0
         total_bytes = 0
-        for path in self.root.glob("*/*.json"):
+        for path in self.root.glob("??/*.json"):
             entries += 1
             total_bytes += path.stat().st_size
             payload = self._read_kind(path)
@@ -310,9 +357,11 @@ class ResultCache:
                 set_entries += 1
             elif payload == "job":
                 job_entries += 1
+        meta = self._load_meta()
         return CacheStats(str(self.root), entries, set_entries,
                           job_entries, total_bytes,
-                          evictions=self._load_meta().get("evictions", 0),
+                          evictions=meta.get("evictions", 0),
+                          quarantined=meta.get("quarantined", 0),
                           max_entries=self.max_entries,
                           max_bytes=self.max_bytes)
 
@@ -333,7 +382,7 @@ class ResultCache:
     def clear(self) -> int:
         """Delete every entry; returns how many were removed."""
         removed = 0
-        for path in self.root.glob("*/*.json"):
+        for path in self.root.glob("??/*.json"):
             try:
                 path.unlink()
                 removed += 1

@@ -21,10 +21,11 @@ CLI: ``repro serve`` / ``repro submit``.  See ``docs/service.md``.
 """
 
 from .client import (ClientError, JobFailed, ServiceClient,
-                     ServiceSaturated, ServiceUnavailable)
-from .durable import (JobJournal, JournalError, JournalState,
-                      PeerBalancer, Tenant, TenantConfigError,
-                      TenantRegistry)
+                     ServiceDegraded, ServiceSaturated,
+                     ServiceTimeout, ServiceUnavailable)
+from .durable import (CircuitBreaker, JobJournal, JournalError,
+                      JournalState, PeerBalancer, Tenant,
+                      TenantConfigError, TenantRegistry)
 from .protocol import BadRequest, JobRecord, JobSpec, STATES
 from .queue import JobQueue, QueueClosed, QueueSaturated
 from .scheduler import LATENCY_BUCKETS, Scheduler
@@ -50,8 +51,11 @@ __all__ = [
     "QueueSaturated",
     "QueueClosed",
     "ClientError",
+    "ServiceDegraded",
     "ServiceSaturated",
+    "ServiceTimeout",
     "ServiceUnavailable",
+    "CircuitBreaker",
     "JobFailed",
     "LATENCY_BUCKETS",
     "MAX_BODY_BYTES",

@@ -45,6 +45,37 @@ class ServiceUnavailable(ClientError):
     """503 (draining) or the server cannot be reached at all."""
 
 
+class ServiceTimeout(ServiceUnavailable):
+    """The server accepted the connection but did not answer within
+    the client's wall-clock ``timeout`` (connect or read stall — a
+    hung, not dead, server).
+
+    Subclasses :class:`ServiceUnavailable` so existing handlers keep
+    working; :meth:`ServiceClient.submit_retry` treats it as
+    retryable, so a hung replica costs a backoff, not a forever-block.
+    """
+
+    def __init__(self, message: str, retry_after: float = 0.1):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
+class ServiceDegraded(ServiceUnavailable):
+    """503 with ``"degraded": true``: the service is in read-only
+    degraded mode (journal I/O failure) and expects to recover.
+
+    Unlike a draining 503 — the server is going away and a retry
+    against it is pointless — a degraded server keeps running and
+    probes its journal every housekeeping pass, so
+    :meth:`ServiceClient.submit_retry` backs off and tries again
+    using the server's ``Retry-After`` hint.
+    """
+
+    def __init__(self, message: str, retry_after: float = 2.0):
+        self.retry_after = retry_after
+        super().__init__(message)
+
+
 class JobFailed(ClientError):
     """A waited-on job finished in the ``failed`` state."""
 
@@ -138,6 +169,15 @@ class ServiceClient:
                 except json.JSONDecodeError:
                     data = {"error": raw.decode(errors="replace")}
                 return response.status, response_headers, data
+            except TimeoutError as error:
+                # The wall-clock socket timeout tripped: the server is
+                # hung, not gone.  No stale-reuse retry here — a fresh
+                # connection to a hung server would only burn a second
+                # full timeout.
+                self._drop_connection()
+                raise ServiceTimeout(
+                    f"no response from {self.host}:{self.port} within "
+                    f"{self.timeout}s ({error or 'timed out'})")
             except (ConnectionError, OSError,
                     http.client.HTTPException) as error:
                 self._drop_connection()
@@ -162,8 +202,15 @@ class ServiceClient:
             raise ServiceSaturated(data.get("error", "queue saturated"),
                                    retry_after=retry_after)
         if status == 503:
-            raise ServiceUnavailable(data.get("error",
-                                              "service unavailable"))
+            message = data.get("error", "service unavailable")
+            if data.get("degraded"):
+                try:
+                    retry_after = float(headers.get(
+                        "retry-after", data.get("retry_after", 2)))
+                except (TypeError, ValueError):
+                    retry_after = 2.0
+                raise ServiceDegraded(message, retry_after=retry_after)
+            raise ServiceUnavailable(message)
         if status >= 400:
             raise ClientError(
                 f"HTTP {status}: {data.get('error', data)}")
@@ -195,7 +242,10 @@ class ServiceClient:
     def submit_retry(self, spec, attempts: int = 8,
                      max_sleep: float = 10.0, trace=None,
                      _sleep=time.sleep, _random=random.uniform) -> dict:
-        """Submit with **full-jitter** backoff on 429 responses.
+        """Submit with **full-jitter** backoff on 429 responses,
+        request timeouts (:class:`ServiceTimeout` — a hung server)
+        and read-only degraded mode (:class:`ServiceDegraded` — a
+        journal-wounded server that expects to recover).
 
         The server-sent ``Retry-After`` hint seeds the backoff window:
         attempt *n* sleeps a uniform random duration in
@@ -212,7 +262,8 @@ class ServiceClient:
         for attempt in range(attempts):
             try:
                 return self.submit(spec, **kwargs)
-            except ServiceSaturated as error:
+            except (ServiceSaturated, ServiceTimeout,
+                    ServiceDegraded) as error:
                 if attempt == attempts - 1:
                     raise
                 window = min(max(error.retry_after, 0.05)

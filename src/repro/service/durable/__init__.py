@@ -16,8 +16,8 @@ See ``docs/durability.md``.
 """
 
 from .journal import (JobJournal, JournalError, JournalState,
-                      apply_record)
-from .peers import PeerBalancer
+                      apply_record, scan_wal)
+from .peers import CircuitBreaker, PeerBalancer
 from .tenants import (Admission, Tenant, TenantConfigError,
                       TenantRegistry)
 
@@ -26,6 +26,8 @@ __all__ = [
     "JournalError",
     "JournalState",
     "apply_record",
+    "scan_wal",
+    "CircuitBreaker",
     "PeerBalancer",
     "Admission",
     "Tenant",

@@ -45,6 +45,7 @@ applies the WAL on top of the snapshot idempotently.
 
 from __future__ import annotations
 
+import errno
 import json
 import os
 import struct
@@ -53,6 +54,7 @@ import zlib
 from dataclasses import dataclass, field
 from pathlib import Path
 
+from ...chaos import inject
 from ...errors import ReproError
 
 #: File magic; the trailing digit is the frame-schema version.
@@ -68,9 +70,11 @@ _FRAME_HEADER = struct.Struct("<II")
 MAX_FRAME_BYTES = 64 * 1024 * 1024
 
 #: Record types replay understands.  ``set_done`` frames are progress
-#: breadcrumbs (counted, not state-changing).
+#: breadcrumbs (counted, not state-changing); ``noop`` frames are
+#: write-probes appended while degraded (see :meth:`JobJournal.probe`)
+#: and fold to nothing.
 RECORD_TYPES = ("submit", "start", "set_done", "complete", "fail",
-                "lease", "release")
+                "lease", "release", "noop")
 
 #: Job states that no later record may leave.
 _TERMINAL = ("done", "failed")
@@ -102,6 +106,44 @@ class JournalState:
         """(id, job) pairs in the given states, in id order."""
         return sorted((i, j) for i, j in self.jobs.items()
                       if j.get("state") in states)
+
+
+def scan_wal(path) -> tuple[list[dict], bool, int]:
+    """Read every intact frame of a WAL file.
+
+    Returns ``(records, tail_dropped, good_offset)`` where
+    ``good_offset`` is the byte offset just past the last intact frame
+    — the truncation point that makes the file appendable again after
+    a torn tail.  This is the read-side primitive shared by replay and
+    the chaos invariant harness (``repro chaos verify``), which audits
+    the raw frame sequence rather than the folded state.
+    """
+    records: list[dict] = []
+    with open(path, "rb") as handle:
+        magic = handle.read(len(MAGIC))
+        if not magic:
+            return records, False, 0
+        if magic != MAGIC:
+            raise JournalError(
+                f"{path} is not a schema-{MAGIC[-1:].decode()} "
+                f"job journal (magic {magic!r})")
+        offset = len(MAGIC)
+        while True:
+            header = handle.read(_FRAME_HEADER.size)
+            if len(header) < _FRAME_HEADER.size:
+                return records, bool(header), offset
+            length, crc = _FRAME_HEADER.unpack(header)
+            if length > MAX_FRAME_BYTES:
+                return records, True, offset
+            payload = handle.read(length)
+            if len(payload) < length or zlib.crc32(payload) != crc:
+                return records, True, offset
+            try:
+                record = json.loads(payload)
+            except json.JSONDecodeError:
+                return records, True, offset
+            records.append(record)
+            offset += _FRAME_HEADER.size + length
 
 
 def apply_record(jobs: dict, record: dict) -> bool:
@@ -184,6 +226,17 @@ class JobJournal:
         #: duration — the service hooks a latency histogram here
         #: (``service.journal.fsync_seconds`` p50/p95/p99).
         self.fsync_observer = None
+        #: The last write/fsync :class:`OSError`, or None when healthy.
+        #: The service's housekeeping loop watches this to enter
+        #: read-only degraded mode; :meth:`probe` clears it.
+        self.last_error: OSError | None = None
+        #: Lifetime count of failed writes/fsyncs (mirrored to
+        #: /metricz as ``service.journal.write_errors``).
+        self.write_errors = 0
+        #: Byte offset just past the last intact frame — the
+        #: truncation point that repairs a torn tail after a failed
+        #: append.
+        self._good_offset = 0
         #: The :class:`JournalState` the last :meth:`open` replayed
         #: (frames read, duplicates folded, torn-tail drops) — the
         #: replay half of the /metricz journal health gauges.
@@ -195,9 +248,20 @@ class JobJournal:
     def open(self) -> JournalState:
         """Replay snapshot + WAL, then open the WAL for appending."""
         self.root.mkdir(parents=True, exist_ok=True)
+        # A crash (or ENOSPC) between the snapshot tmp write and its
+        # rename leaves a stale snapshot.json.tmp behind; replay never
+        # reads it, so drop it rather than letting it accumulate.
+        self.snapshot_path.with_suffix(".json.tmp").unlink(
+            missing_ok=True)
         state = JournalState()
         self._load_snapshot(state)
-        self._replay_wal(state)
+        good_offset = self._replay_wal(state)
+        if state.tail_dropped:
+            # Repair the torn tail now: frames appended below must
+            # land at a replayable offset, not after garbage that
+            # would shadow them from every future replay.
+            with open(self.wal_path, "rb+") as handle:
+                handle.truncate(good_offset)
         # Open for append, stamping the magic on a fresh file.
         fresh = not self.wal_path.exists() \
             or self.wal_path.stat().st_size == 0
@@ -206,6 +270,7 @@ class JobJournal:
             self._file.write(MAGIC)
             self._file.flush()
             os.fsync(self._file.fileno())
+        self._good_offset = self.wal_path.stat().st_size
         self._last_sync = time.monotonic()
         self.last_replay = state
         return state
@@ -235,76 +300,123 @@ class JobJournal:
         state.jobs.update(data.get("jobs", {}))
         state.records += len(state.jobs)
 
-    def _replay_wal(self, state: JournalState) -> None:
+    def _replay_wal(self, state: JournalState) -> int:
+        """Fold the WAL into ``state``; returns the byte offset just
+        past the last intact frame (the torn-tail repair point)."""
         if not self.wal_path.exists():
-            return
-        with open(self.wal_path, "rb") as handle:
-            magic = handle.read(len(MAGIC))
-            if not magic:
-                return
-            if magic != MAGIC:
-                raise JournalError(
-                    f"{self.wal_path} is not a schema-"
-                    f"{MAGIC[-1:].decode()} job journal "
-                    f"(magic {magic!r})")
-            while True:
-                header = handle.read(_FRAME_HEADER.size)
-                if len(header) < _FRAME_HEADER.size:
-                    state.tail_dropped = bool(header)
-                    return
-                length, crc = _FRAME_HEADER.unpack(header)
-                if length > MAX_FRAME_BYTES:
-                    state.tail_dropped = True
-                    return
-                payload = handle.read(length)
-                if len(payload) < length \
-                        or zlib.crc32(payload) != crc:
-                    state.tail_dropped = True
-                    return
-                try:
-                    record = json.loads(payload)
-                except json.JSONDecodeError:
-                    state.tail_dropped = True
-                    return
-                if record.get("type") == "set_done":
-                    state.set_records += 1
-                    apply_record(state.jobs, record)
-                else:
-                    before = state.jobs.get(record.get("id"))
-                    before = dict(before) if before is not None else None
-                    apply_record(state.jobs, record)
-                    after = state.jobs.get(record.get("id"))
-                    if before is not None and after == before:
-                        state.duplicates += 1
-                state.records += 1
+            return 0
+        records, dropped, offset = scan_wal(self.wal_path)
+        state.tail_dropped = dropped
+        for record in records:
+            if record.get("type") == "set_done":
+                state.set_records += 1
+                apply_record(state.jobs, record)
+            else:
+                before = state.jobs.get(record.get("id"))
+                before = dict(before) if before is not None else None
+                apply_record(state.jobs, record)
+                after = state.jobs.get(record.get("id"))
+                if before is not None and after == before:
+                    state.duplicates += 1
+            state.records += 1
+        return offset
 
     # ------------------------------------------------------------------
     # Append path
     # ------------------------------------------------------------------
     def append(self, type: str, durable: bool = False,
-               **payload) -> dict:
-        """Frame and append one record.
+               **payload) -> dict | None:
+        """Frame and append one record; ``None`` if the write failed.
 
         ``durable=True`` (submit frames: the caller is about to
         acknowledge the admission) pushes the buffer to the OS so a
         killed process cannot lose the record; other frames stay
         buffered until the next durable append or :meth:`maybe_sync`
         — losing one to a crash only re-runs an idempotent job.
+
+        A write failure (ENOSPC, I/O error — real or injected) never
+        raises.  The tail is repaired by truncating back to the last
+        good frame boundary (a half-written frame must not shadow
+        later appends from replay), ``last_error``/``write_errors``
+        record the failure for the service's degraded mode, and the
+        caller gets ``None``.
         """
+        if self._file is None or self._file.closed:
+            if self.last_error is None:
+                self.last_error = OSError("journal WAL is not open")
+            return None
         clock = time.perf_counter()
         record = {"type": type, "t": time.time(), **payload}
         data = json.dumps(record, separators=(",", ":")).encode()
-        self._file.write(
-            _FRAME_HEADER.pack(len(data), zlib.crc32(data)) + data)
+        frame = _FRAME_HEADER.pack(len(data), zlib.crc32(data)) + data
+        try:
+            if inject.trip("journal.torn"):
+                # Half the frame reaches the file, as if power failed
+                # mid-write; the repair below truncates it back off.
+                self._file.write(frame[:len(frame) // 2])
+                raise inject.InjectedFault(
+                    errno.EIO, "chaos: injected torn journal frame")
+            inject.fire("journal.write")
+            inject.fire("journal.enospc")
+            self._file.write(frame)
+            if durable and self.fsync_interval > 0:
+                self._file.flush()
+        except OSError as error:
+            self._repair_tail(error)
+            self.write_seconds += time.perf_counter() - clock
+            return None
+        self._good_offset += len(frame)
         self.appended += 1
         self._since_compact += 1
         self._unsynced += 1
         if self.fsync_interval <= 0:
             self.sync()
-        elif durable:
-            self._file.flush()
         self.write_seconds += time.perf_counter() - clock
+        if self.fsync_interval <= 0 and self.last_error is not None:
+            return None       # the inline fsync failed
         return record
+
+    def _repair_tail(self, error: OSError) -> None:
+        """A frame write failed; truncate the WAL back to the last
+        good frame boundary and remember the fault.
+
+        Reopens the file handle so no partial frame can linger in the
+        writer's buffer and surface later between good frames."""
+        self.last_error = error
+        self.write_errors += 1
+        try:
+            self._file.close()
+        except OSError:
+            pass
+        self._file = None
+        try:
+            handle = open(self.wal_path, "ab")
+            handle.truncate(self._good_offset)
+            self._file = handle
+        except OSError:
+            # The disk is truly gone; probe() retries the reopen.
+            pass
+
+    def probe(self) -> bool:
+        """Append-and-sync a ``noop`` frame; True means healthy.
+
+        The degraded service calls this from housekeeping: once a
+        probe round-trips (write + flush + fsync all succeed) the
+        journal is writable again and submits may resume.  ``noop``
+        frames fold to nothing at replay.
+        """
+        if self._file is None or self._file.closed:
+            try:
+                self._file = open(self.wal_path, "ab")
+                self._good_offset = self.wal_path.stat().st_size
+            except OSError as error:
+                self.last_error = error
+                return False
+        self.last_error = None
+        if self.append("noop", durable=True) is None:
+            return False
+        self.sync()
+        return self.last_error is None
 
     def maybe_sync(self) -> None:
         """Group commit: fsync when ``fsync_interval`` has elapsed.
@@ -316,11 +428,25 @@ class JobJournal:
             self.sync()
 
     def sync(self) -> None:
-        """Force the unsynced batch to stable storage now."""
-        if self._file is not None and self._unsynced:
+        """Force the unsynced batch to stable storage now.
+
+        An fsync failure is captured in ``last_error`` (feeding the
+        service's degraded mode) rather than raised; the batch stays
+        accounted as unsynced so the next :meth:`probe` retries it.
+        """
+        if self._file is not None and not self._file.closed \
+                and self._unsynced:
             clock = time.perf_counter()
-            self._file.flush()
-            os.fsync(self._file.fileno())
+            try:
+                inject.fire("journal.fsync")
+                self._file.flush()
+                os.fsync(self._file.fileno())
+            except OSError as error:
+                self.last_error = error
+                self.write_errors += 1
+                self.write_seconds += time.perf_counter() - clock
+                self._last_sync = time.monotonic()
+                return
             elapsed = time.perf_counter() - clock
             self.synced += 1
             self._unsynced = 0
@@ -362,25 +488,42 @@ class JobJournal:
 
     def _write_snapshot(self, jobs: dict) -> None:
         tmp = self.snapshot_path.with_suffix(".json.tmp")
-        with open(tmp, "w") as handle:
-            json.dump({"schema": SNAPSHOT_SCHEMA, "jobs": jobs},
-                      handle, separators=(",", ":"))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.snapshot_path)
+        try:
+            with open(tmp, "w") as handle:
+                json.dump({"schema": SNAPSHOT_SCHEMA, "jobs": jobs},
+                          handle, separators=(",", ":"))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.snapshot_path)
+        except OSError:
+            # Don't leave a stale tmp behind a failed compaction
+            # (open() also sweeps one up after a hard crash).
+            try:
+                tmp.unlink(missing_ok=True)
+            except OSError:
+                pass
+            raise
 
     def _reset_wal(self) -> None:
         if self._file is not None:
-            self._file.close()
+            try:
+                self._file.close()
+            except OSError:
+                pass
+            self._file = None
         self._file = open(self.wal_path, "wb")
         self._file.write(MAGIC)
         self._file.flush()
         os.fsync(self._file.fileno())
+        self._good_offset = self._file.tell()
         self._unsynced = 0
         self._last_sync = time.monotonic()
 
     def close(self) -> None:
         if self._file is not None:
             self.sync()
-            self._file.close()
+            try:
+                self._file.close()
+            except OSError:  # pragma: no cover - dying disk
+                pass
             self._file = None

@@ -27,8 +27,51 @@ from __future__ import annotations
 
 import asyncio
 import random
+import time
 
+from ...chaos import inject
 from ..protocol import BadRequest, JobRecord, JobSpec
+
+
+class CircuitBreaker:
+    """Per-peer failure gate for the steal loop.
+
+    ``closed`` while the peer behaves; ``threshold`` *consecutive*
+    failures open it, after which calls are skipped for ``cooldown``
+    seconds.  Then one half-open probe is allowed through: success
+    closes the breaker, failure re-opens it for another cooldown.  A
+    partitioned replica thus costs the steal loop one timed-out call
+    per cooldown instead of one per cycle.
+    """
+
+    def __init__(self, threshold: int = 3, cooldown: float = 5.0):
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.failures = 0
+        self.state = "closed"
+        self._opened_at = 0.0
+
+    def allow(self) -> bool:
+        """May a call go out now?  Transitions open -> half-open when
+        the cooldown has elapsed (the single probe)."""
+        if self.state == "closed":
+            return True
+        if self.state == "open" and time.monotonic() - self._opened_at \
+                >= self.cooldown:
+            self.state = "half-open"
+            return True
+        return self.state == "half-open"
+
+    def record(self, ok: bool) -> None:
+        if ok:
+            self.failures = 0
+            self.state = "closed"
+            return
+        self.failures += 1
+        if self.state == "half-open" \
+                or self.failures >= self.threshold:
+            self.state = "open"
+            self._opened_at = time.monotonic()
 
 
 class PeerBalancer:
@@ -42,11 +85,17 @@ class PeerBalancer:
     """
 
     def __init__(self, service, peers, interval: float = 0.5,
-                 max_claim: int = 2):
+                 max_claim: int = 2, breaker_threshold: int = 3,
+                 breaker_cooldown: float = 5.0):
         self.service = service
         self.peers = list(peers)
         self.interval = interval
         self.max_claim = max_claim
+        #: One :class:`CircuitBreaker` per peer; opened by consecutive
+        #: claim/complete failures, probed half-open after cooldown.
+        self.breakers = {
+            peer: CircuitBreaker(breaker_threshold, breaker_cooldown)
+            for peer in self.peers}
         self._task: asyncio.Task | None = None
         self._stolen_running = 0
 
@@ -85,8 +134,13 @@ class PeerBalancer:
                 peers = list(self.peers)
                 random.shuffle(peers)
                 for peer in peers:
+                    breaker = self.breakers[peer]
+                    if not breaker.allow():
+                        continue
                     claimed = await asyncio.to_thread(
                         self._claim, peer, spare)
+                    self._note_breaker(peer, breaker,
+                                       ok=claimed is not None)
                     if claimed:
                         for payload in claimed:
                             asyncio.ensure_future(
@@ -94,14 +148,41 @@ class PeerBalancer:
                         break
             await asyncio.sleep(self.interval)
 
-    def _claim(self, peer: str, limit: int) -> list:
-        """Blocking ``/v1/peer/claim`` against one peer; [] on any
-        failure (an unreachable peer degrades balancing, never the
-        replica)."""
+    def _note_breaker(self, peer: str, breaker: CircuitBreaker,
+                      ok: bool) -> None:
+        """Fold one call outcome into the peer's breaker, surfacing
+        transitions as metrics + bus events."""
+        before = breaker.state
+        breaker.record(ok)
+        registry = self.service.registry
+        bus = self.service.bus
+        if breaker.state == "open" and before != "open":
+            registry.counter("service.peer.breaker_open").inc()
+            if bus is not None:
+                bus.publish("peer_breaker_open", peer=peer,
+                            failures=breaker.failures)
+        elif breaker.state == "closed" and before != "closed":
+            if bus is not None:
+                bus.publish("peer_breaker_closed", peer=peer)
+        registry.gauge("service.peer.breakers_open").set(
+            sum(1 for b in self.breakers.values()
+                if b.state == "open"))
+
+    def _claim(self, peer: str, limit: int) -> list | None:
+        """Blocking ``/v1/peer/claim`` against one peer.
+
+        A list on success (possibly empty: the peer had no work), None
+        on failure — the circuit breaker needs the distinction.  An
+        unreachable peer degrades balancing, never the replica.
+        """
         from ..client import ClientError, ServiceClient
 
+        latency = inject.delay("peer.latency")
+        if latency > 0:
+            time.sleep(latency)
         host, _, port_text = peer.rpartition(":")
         try:
+            inject.fire("peer.partition")
             with ServiceClient(host=host or "127.0.0.1",
                                port=int(port_text), timeout=2.0,
                                cluster_key=self.service.cluster_key) \
@@ -109,7 +190,7 @@ class PeerBalancer:
                 return client.peer_claim(
                     limit=limit, peer=self.service.advertise)
         except (ClientError, OSError, ValueError):
-            return []
+            return None
 
     async def _run_stolen(self, peer: str, payload: dict) -> None:
         """Run one claimed job locally, then hand the result back."""
@@ -127,6 +208,9 @@ class PeerBalancer:
             self._stolen_running -= 1
         delivered = await asyncio.to_thread(
             self._complete, peer, record)
+        breaker = self.breakers.get(peer)
+        if breaker is not None:
+            self._note_breaker(peer, breaker, ok=delivered)
         if delivered:
             service.registry.counter("service.peer.returned").inc()
         # An undeliverable result is dropped: the owner's lease
@@ -148,8 +232,12 @@ class PeerBalancer:
             # the submitter's trace context) journey home in the
             # complete payload so the owner reassembles one tree.
             payload["spans"] = list(record.spans)
+        latency = inject.delay("peer.latency")
+        if latency > 0:
+            time.sleep(latency)
         host, _, port_text = peer.rpartition(":")
         try:
+            inject.fire("peer.partition")
             with ServiceClient(host=host or "127.0.0.1",
                                port=int(port_text), timeout=5.0,
                                cluster_key=self.service.cluster_key) \

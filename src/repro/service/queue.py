@@ -117,6 +117,24 @@ class JobQueue:
             return heapq.heappop(self._heap)[3]
         return None
 
+    def remove(self, record) -> bool:
+        """Withdraw a record that has not been popped yet.
+
+        The admission-rollback primitive: a submit whose journal frame
+        cannot be written must not stay admitted (the 503 tells the
+        client to retry, and an unjournaled job would be silently lost
+        by the next crash).  O(depth), which is fine for an error
+        path.  True if the record was found and removed.
+        """
+        for index, entry in enumerate(self._heap):
+            if entry[3] is record:
+                last = self._heap.pop()
+                if index < len(self._heap):
+                    self._heap[index] = last
+                    heapq.heapify(self._heap)
+                return True
+        return False
+
     def close(self) -> None:
         """Stop admitting; pending pops return once the heap empties."""
         self._closed = True

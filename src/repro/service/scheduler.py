@@ -39,6 +39,7 @@ import time
 import multiprocessing
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 
+from ..chaos import inject
 from ..engine.core import execute_job
 from ..engine.metrics import EngineMetrics
 from ..errors import ReproError
@@ -230,6 +231,13 @@ class Scheduler:
                              queue_seconds=record.queue_seconds)
         self.running += 1
         self.note_depth()
+        # Chaos seam: stall the job on its way to the executor,
+        # consuming its deadline budget (the deadline check inside
+        # _execute then fires exactly as it would for a genuinely
+        # overloaded pool).
+        hang = inject.delay("worker.hang")
+        if hang > 0:
+            await asyncio.sleep(hang)
         started = time.monotonic()
         span_ts = time.time()
         span_clock = time.perf_counter()
@@ -383,6 +391,10 @@ class Scheduler:
         if remaining is not None:
             set_timeout = remaining if set_timeout is None \
                 else min(set_timeout, remaining)
+        # Chaos seam: collapse the solver budget so the set solver
+        # trips its deadline and degrades to the (sound) LP
+        # relaxation — the "partial" path under injection.
+        set_timeout = inject.budget("solver.budget", set_timeout)
         max_iterations = spec.max_iterations \
             if spec.max_iterations is not None else self.max_iterations
         cache_dir = str(self.cache.root) if self.cache is not None \
@@ -412,6 +424,10 @@ class Scheduler:
         while True:
             record.attempts += 1
             try:
+                # Chaos seam: a dead worker, surfaced exactly where a
+                # real pool crash surfaces (exercises retry + pool
+                # reset below).
+                inject.fire("worker.kill")
                 return await loop.run_in_executor(
                     self._executor, self.runner, payload)
             except asyncio.CancelledError:

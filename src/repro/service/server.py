@@ -53,6 +53,7 @@ import signal
 import threading
 import time
 
+from ..chaos import inject
 from ..engine.cache import ResultCache, report_from_dict
 from ..obs.context import TraceContext
 from ..obs.profile import SamplingProfiler
@@ -116,9 +117,20 @@ class AnalysisService:
                  cluster_key: str | None = None,
                  lease_seconds: float = 30.0,
                  balance_interval: float = 0.5, max_claim: int = 2,
-                 profile_hz: float | None = None):
+                 profile_hz: float | None = None,
+                 chaos: object = None):
         self.host = host
         self.port = port
+        #: A chaos schedule (text or :class:`repro.chaos.FaultPlan`);
+        #: installed process-wide at :meth:`start` (``serve --chaos`` /
+        #: ``$REPRO_CHAOS``).
+        self.chaos = chaos
+        #: Why the service is in read-only degraded mode, or None when
+        #: healthy.  Set when journal writes start failing (ENOSPC,
+        #: I/O errors): submits answer 503 + Retry-After while
+        #: finished bounds keep being served; housekeeping probes the
+        #: journal and clears this automatically once writes succeed.
+        self.degraded_reason: str | None = None
         self.metrics_path = metrics_path
         self.keepalive_timeout = keepalive_timeout
         #: "host:port" strings of sibling replicas: their /metricz
@@ -199,6 +211,11 @@ class AnalysisService:
     async def start(self) -> None:
         """Replay the journal, bind the listener, start the workers."""
         self._drained = asyncio.Event()
+        if self.chaos:
+            injector = inject.install(self.chaos, bus=self.bus,
+                                      registry=self.registry)
+            print(f"chaos: fault plan active "
+                  f"({injector.plan.to_text()})", flush=True)
         if self.profiler is not None:
             self.profiler.start()
         if self.journal is not None:
@@ -262,14 +279,56 @@ class AnalysisService:
                   f"({len(requeue)} re-queued{torn})", flush=True)
 
     async def _housekeeping(self) -> None:
-        """Expire peer leases back to the queue; compact the journal."""
+        """Expire peer leases back to the queue; compact the journal;
+        run the degraded-mode state machine (enter on journal write
+        failure, probe, recover)."""
         while not self._draining:
             await asyncio.sleep(HOUSEKEEPING_SECONDS)
             self._expire_leases()
-            if self.journal is not None:
-                self.journal.maybe_sync()
-                if self.journal.should_compact():
-                    self.journal.compact(self._journal_jobs())
+            journal = self.journal
+            if journal is None:
+                continue
+            if self.degraded_reason is None \
+                    and journal.last_error is not None:
+                # A buffered frame (start/terminal/lease) failed since
+                # the last sweep; the submit path finds out here.
+                self._enter_degraded(
+                    f"journal write failed: {journal.last_error}")
+            if self.degraded_reason is not None:
+                if journal.probe():
+                    self._exit_degraded()
+                else:
+                    continue
+            journal.maybe_sync()
+            if journal.last_error is not None:
+                continue            # fsync failed; next sweep degrades
+            if journal.should_compact():
+                try:
+                    journal.compact(self._journal_jobs())
+                except OSError as error:
+                    self._enter_degraded(
+                        f"journal compaction failed: {error}")
+
+    def _enter_degraded(self, reason: str) -> None:
+        """Flip into read-only degraded mode.
+
+        Finished bounds keep being served with 200; submits and peer
+        claims answer 503 + Retry-After until a journal probe
+        round-trips, at which point :meth:`_exit_degraded` restores
+        normal admission automatically.
+        """
+        self.degraded_reason = reason
+        self.registry.counter("service.degraded.entered").inc()
+        self.registry.gauge("service.degraded").set(1)
+        self.bus.publish("service_degraded", reason=reason)
+        print(f"service degraded (read-only): {reason}", flush=True)
+
+    def _exit_degraded(self) -> None:
+        self.degraded_reason = None
+        self.registry.gauge("service.degraded").set(0)
+        self.bus.publish("service_recovered")
+        print("service recovered: journal writes succeeding again",
+              flush=True)
 
     def _expire_leases(self) -> None:
         now = time.monotonic()
@@ -322,7 +381,13 @@ class AnalysisService:
         if self.profiler is not None:
             self.profiler.stop()
         if self.journal is not None:
-            self.journal.compact(self._journal_jobs())
+            try:
+                self.journal.compact(self._journal_jobs())
+            except OSError as error:
+                # A dying disk must not wedge the drain; the WAL (as
+                # far as it got) still replays on restart.
+                print(f"journal: compaction failed during drain: "
+                      f"{error}", flush=True)
             self.journal.close()
         if self.metrics_path:
             self.registry.dump(self.metrics_path)
@@ -652,6 +717,12 @@ class AnalysisService:
                     f"obs.stream.dropped.{name}").set(count)
             self._journal_gauges()
             self._tenant_gauges()
+            self.registry.gauge("service.degraded").set(
+                0 if self.degraded_reason is None else 1)
+            cache = self.scheduler.cache
+            if cache is not None:
+                self.registry.gauge("engine.cache.quarantined").set(
+                    cache.quarantined)
             if self.profiler is not None:
                 self.registry.gauge("service.profiler.samples").set(
                     self.profiler.samples)
@@ -719,6 +790,8 @@ class AnalysisService:
             journal.write_seconds)
         gauge("service.journal.frames_since_compaction").set(
             journal.frames_since_compaction)
+        gauge("service.journal.write_errors").set(
+            journal.write_errors)
         fsync = self.registry.histogram(
             "service.journal.fsync_seconds", buckets=FSYNC_BUCKETS)
         for q in (50, 95, 99):
@@ -747,8 +820,14 @@ class AnalysisService:
                 self.tenants.running.get(name, 0))
 
     def _health(self) -> dict:
-        return {
-            "status": "draining" if self._draining else "ok",
+        if self._draining:
+            status = "draining"
+        elif self.degraded_reason is not None:
+            status = "degraded"
+        else:
+            status = "ok"
+        health = {
+            "status": status,
             "queue_depth": self.queue.depth,
             "running": self.scheduler.running,
             "completed": self.scheduler.completed,
@@ -757,6 +836,9 @@ class AnalysisService:
                           if record.state == "leased"),
             "journal": self.journal is not None,
         }
+        if self.degraded_reason is not None:
+            health["degraded_reason"] = self.degraded_reason
+        return health
 
     def _authenticate(self, headers):
         """(tenant, error response) for one submission's headers."""
@@ -784,10 +866,25 @@ class AnalysisService:
                           {"Retry-After": str(header)})
         return tenant, None
 
+    def _degraded_response(self):
+        """503 + Retry-After for writes while in degraded mode.
+
+        The hint is short: housekeeping probes the journal every
+        sweep, so recovery is noticed within a second of the fault
+        clearing."""
+        return (503,
+                {"error": f"service degraded (read-only): "
+                          f"{self.degraded_reason}",
+                 "degraded": True, "retry_after": 2},
+                {"Retry-After": "2"})
+
     def _submit(self, body: bytes, headers: dict):
         if self._draining:
             self.registry.counter("service.jobs.rejected").inc()
             return 503, {"error": "service is draining"}, None
+        if self.degraded_reason is not None:
+            self.registry.counter("service.jobs.rejected").inc()
+            return self._degraded_response()
         tenant = None
         if self.tenants is not None:
             tenant, error = self._authenticate(headers)
@@ -822,9 +919,24 @@ class AnalysisService:
             # WAL before the 202: once acked, the job survives a
             # killed process (and a power loss, within the journal's
             # group-commit fsync window).
-            self.journal.append("submit", durable=True, id=record.id,
-                                spec=spec.to_dict(),
-                                tenant=record.tenant)
+            frame = self.journal.append("submit", durable=True,
+                                        id=record.id,
+                                        spec=spec.to_dict(),
+                                        tenant=record.tenant)
+            if frame is None:
+                # The admission could not be journaled (ENOSPC, I/O
+                # error): undo it entirely — a 202 whose job the next
+                # crash would silently forget is worse than a 503 the
+                # client retries — and go read-only until a probe
+                # shows the journal writable again.
+                self.queue.remove(record)
+                self.records.pop(record.id, None)
+                if self.tenants is not None:
+                    self.tenants.note_dequeued(record.tenant)
+                self.registry.counter("service.jobs.rejected").inc()
+                self._enter_degraded(
+                    f"journal write failed: {self.journal.last_error}")
+                return self._degraded_response()
         self.registry.counter("service.jobs.submitted").inc()
         if record.tenant:
             self.registry.counter(
@@ -897,6 +1009,15 @@ class AnalysisService:
             return error
         if self._draining:
             return 503, {"error": "service is draining"}, None
+        if self.degraded_reason is not None:
+            # Leases are journaled; while the journal is unwritable,
+            # keep the work here (the 503 also backs thieves off via
+            # their circuit breakers).
+            return self._degraded_response()
+        if inject.trip("peer.error"):
+            # Chaos seam: the owner answers a claim with a 5xx, which
+            # the thief's breaker must absorb.
+            return 500, {"error": "chaos: injected peer error"}, None
         try:
             data = json.loads(body or b"{}")
         except json.JSONDecodeError as error:

@@ -103,6 +103,57 @@ class TestEventBus:
         bus.publish("tick")            # must not raise
         assert fired
 
+    def test_drop_counts_attribute_losses_per_consumer(self):
+        bus = EventBus()
+        slow = bus.subscribe(maxlen=2, name="sse")
+        other = bus.subscribe(maxlen=2, name="dashboard")
+        fast = bus.subscribe(name="logger")
+        for n in range(8):
+            bus.publish("counter", n=n)
+        counts = bus.drop_counts()
+        assert counts["sse"] == 6
+        assert counts["dashboard"] == 6
+        assert counts.get("logger", 0) == 0
+        # Closing keeps the blame on the books: a leaky consumer that
+        # disconnects must not launder its losses.
+        slow.close()
+        assert bus.drop_counts()["sse"] == 6
+        # Two subscriptions sharing a name sum their drops: the full
+        # first subscription sheds 2 more, the new maxlen-1 one sheds 1.
+        second = bus.subscribe(maxlen=1, name="dashboard")
+        bus.publish("counter", n=8)
+        bus.publish("counter", n=9)
+        assert bus.drop_counts()["dashboard"] == 6 + 2 + 1
+        other.close()
+        second.close()
+        fast.close()
+
+    def test_concurrent_publishers_never_block_on_slow_consumers(self):
+        bus = EventBus()
+        for n in range(4):
+            bus.subscribe(maxlen=2, name=f"stuck{n}")  # never drained
+        errors = []
+
+        def hammer(worker):
+            try:
+                for n in range(2_000):
+                    bus.publish("counter", worker=worker, n=n)
+            except Exception as error:  # pragma: no cover
+                errors.append(error)
+
+        threads = [threading.Thread(target=hammer, args=(w,))
+                   for w in range(4)]
+        clock = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+        elapsed = time.perf_counter() - clock
+        assert not errors
+        assert elapsed < 5.0            # drop-oldest, not backpressure
+        # Every event not sitting in a queue was counted dropped.
+        assert bus.dropped == 4 * (4 * 2_000 - 2)
+
     def test_get_blocks_until_event(self):
         bus = EventBus()
         sub = bus.subscribe()
