@@ -310,6 +310,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "service's SSE endpoint while waiting")
     submit.add_argument("--json", action="store_true",
                         help="emit the final job records as JSON")
+    submit.add_argument("--corpus", metavar="DIR",
+                        help="submit synthesized programs from this "
+                             "corpus directory (repro synth gen/fuzz "
+                             "--corpus) instead of Table-I benchmarks")
+    submit.add_argument("--limit", type=int, metavar="N",
+                        help="with --corpus: submit at most N entries")
     submit.add_argument("--api-key", metavar="KEY",
                         default=os.environ.get("REPRO_API_KEY"),
                         help="tenant API key (default: $REPRO_API_KEY)"
@@ -402,6 +408,73 @@ def build_parser() -> argparse.ArgumentParser:
                               "from a live or undrained service)")
     cverify.add_argument("--json", action="store_true",
                          help="machine-readable report on stdout")
+
+    synth = sub.add_parser(
+        "synth", help="tightness lab: generate MiniC programs, hunt "
+                      "worst-case inputs, fuzz analysis soundness")
+    ysub = synth.add_subparsers(dest="synth_command", required=True)
+    grades = ("tiny", "small", "medium", "large")
+    ygen = ysub.add_parser(
+        "gen", help="generate seeded random MiniC programs")
+    ygen.add_argument("--seed", type=int, default=0)
+    ygen.add_argument("--count", type=int, default=10, metavar="N")
+    ygen.add_argument("--grade", choices=grades, default="small")
+    ygen.add_argument("--corpus", metavar="DIR",
+                      help="store the programs in this "
+                           "content-addressed corpus directory")
+    ygen.add_argument("--show", action="store_true",
+                      help="print each program's source")
+    yhunt = ysub.add_parser(
+        "hunt", help="witness-guided worst-case input search on the "
+                     "cycle-accurate simulator")
+    yhunt.add_argument("benchmarks", nargs="*", metavar="NAME",
+                       help="Table-I benchmark names (default: the "
+                            "whole suite)")
+    yhunt.add_argument("--machine", choices=sorted(MACHINES),
+                       default="i960kb")
+    yhunt.add_argument("--iterations", type=int, default=24,
+                       metavar="N", help="hill-climb budget per "
+                                         "benchmark (default 24)")
+    yhunt.add_argument("--seed", type=int, default=0)
+    yhunt.add_argument("--json", action="store_true")
+    yfuzz = ysub.add_parser(
+        "fuzz", help="differential soundness campaign: generate, "
+                     "analyze (serial + engine), measure, assert "
+                     "best <= measured <= worst, shrink violations")
+    yfuzz.add_argument("--seed", type=int, default=0)
+    yfuzz.add_argument("--count", type=int, default=100, metavar="N")
+    yfuzz.add_argument("--grade", choices=grades, default="small")
+    yfuzz.add_argument("--inputs", type=int, default=6, metavar="N",
+                       help="input vectors measured per program "
+                            "(default 6)")
+    yfuzz.add_argument("--machine", choices=sorted(MACHINES),
+                       default="i960kb")
+    yfuzz.add_argument("--no-engine", action="store_true",
+                       help="skip the serial-vs-engine differential")
+    yfuzz.add_argument("--corpus", metavar="DIR",
+                       help="store every generated program here")
+    yfuzz.add_argument("--max-violations", type=int, default=5,
+                       metavar="N")
+    yfuzz.add_argument("--reproducer", metavar="PATH",
+                       help="write the first violation's minimized "
+                            "source here")
+    yfuzz.add_argument("--metrics", metavar="PATH",
+                       help="dump the campaign's synth.* metrics "
+                            "snapshot as JSON")
+    yfuzz.add_argument("--json", action="store_true",
+                       help="machine-readable campaign report")
+    ytight = ysub.add_parser(
+        "tightness", help="realized-vs-estimated tightness table "
+                          "(the experiments table next to Table III)")
+    ytight.add_argument("benchmarks", nargs="*", metavar="NAME",
+                        help="Table-I benchmark names (default: the "
+                             "whole suite)")
+    ytight.add_argument("--machine", choices=sorted(MACHINES),
+                        default="i960kb")
+    ytight.add_argument("--iterations", type=int, default=24,
+                        metavar="N")
+    ytight.add_argument("--seed", type=int, default=0)
+    ytight.add_argument("--json", action="store_true")
     return parser
 
 
@@ -808,18 +881,42 @@ def _cmd_submit(args) -> int:
     from .obs.context import TraceContext
     from .service import JobFailed, ServiceClient
 
-    names = args.benchmarks
-    if not names:
-        from .programs import all_benchmarks
+    if args.corpus:
+        if args.benchmarks:
+            raise ReproError(
+                "--corpus replays synthesized programs; drop the "
+                "benchmark name arguments")
+        from .synth import Corpus
 
-        names = list(all_benchmarks())
+        corpus = Corpus(args.corpus)
+        ids = corpus.ids()
+        if args.limit is not None:
+            ids = ids[:args.limit]
+        if not ids:
+            raise ReproError(f"corpus {args.corpus!r} is empty")
+        jobs = []
+        for digest in ids:
+            prog = corpus.get(digest)
+            spec = prog.job_spec(machine=args.machine,
+                                 backend=args.backend,
+                                 priority=args.priority,
+                                 deadline_seconds=args.deadline)
+            jobs.append((prog.name, spec))
+    else:
+        names = args.benchmarks
+        if not names:
+            from .programs import all_benchmarks
+
+            names = list(all_benchmarks())
+        jobs = [(name, {"benchmark": name, "machine": args.machine,
+                        "backend": args.backend,
+                        "priority": args.priority,
+                        "deadline_seconds": args.deadline})
+                for name in names]
     client = ServiceClient(host=args.host, port=args.port,
                            api_key=args.api_key)
     submitted = []
-    for name in names:
-        spec = {"benchmark": name, "machine": args.machine,
-                "backend": args.backend, "priority": args.priority,
-                "deadline_seconds": args.deadline}
+    for name, spec in jobs:
         # Mint the distributed trace identity client-side so every
         # span — scheduler, pool worker, even a thief replica's — is
         # joinable back to this submission.
@@ -901,6 +998,131 @@ def _submit_flight_outputs(args, client, submitted) -> None:
                       file=sys.stderr)
         except ClientError as error:
             print(f"profiler unavailable ({error})", file=sys.stderr)
+
+
+def _cmd_synth(args) -> int:
+    import json
+
+    from .hw import MACHINES as machines
+    from .obs import MetricsRegistry
+
+    if args.synth_command == "gen":
+        from .synth import Corpus, generate_many
+
+        corpus = Corpus(args.corpus) if args.corpus else None
+        registry = MetricsRegistry()
+        for prog in generate_many(args.seed, args.count,
+                                  grade=args.grade,
+                                  registry=registry):
+            if corpus is not None:
+                corpus.add(prog)
+            lines = len(prog.source.splitlines())
+            loops = len(prog.loop_bounds)
+            print(f"{prog.digest}  seed={prog.seed} "
+                  f"grade={prog.grade} lines={lines} loops={loops}")
+            if args.show:
+                print(prog.source)
+        if corpus is not None:
+            print(f"{args.count} programs in corpus {args.corpus} "
+                  f"({len(corpus)} total)")
+        return 0
+
+    if args.synth_command == "hunt":
+        from .programs import all_benchmarks, get_benchmark
+        from .synth import hunt_benchmark
+
+        names = args.benchmarks or list(all_benchmarks())
+        machine = machines[args.machine]()
+        registry = MetricsRegistry()
+        results = []
+        for name in names:
+            result = hunt_benchmark(get_benchmark(name),
+                                    machine=machine,
+                                    iterations=args.iterations,
+                                    seed=args.seed,
+                                    registry=registry)
+            results.append(result)
+            if not args.json:
+                agree = (f"{result.agreement:.2f}"
+                         if result.agreement is not None else "n/a")
+                print(f"{result.name}: realized {result.realized:,} "
+                      f"of estimated {result.estimated:,} "
+                      f"({result.ratio:.1%}, witness agreement "
+                      f"{agree}, {result.sim_runs} sim runs)")
+        if args.json:
+            print(json.dumps(
+                [{"function": r.name, "estimated": r.estimated,
+                  "realized": r.realized, "reference": r.reference,
+                  "ratio": round(r.ratio, 6),
+                  "agreement": r.agreement, "exact": r.exact,
+                  "sim_runs": r.sim_runs, "inputs": r.inputs}
+                 for r in results], indent=2))
+        return 0
+
+    if args.synth_command == "fuzz":
+        from .synth import Corpus, run_campaign
+
+        corpus = Corpus(args.corpus) if args.corpus else None
+        machine = machines[args.machine]()
+        registry = MetricsRegistry()
+
+        def progress(done, total, violations) -> None:
+            if not args.json and (done % 25 == 0 or done == total):
+                print(f"  {done}/{total} programs, "
+                      f"{violations} violation(s)", file=sys.stderr)
+
+        report = run_campaign(
+            args.seed, args.count, grade=args.grade,
+            machine=machine, inputs_per_program=args.inputs,
+            engine=not args.no_engine, corpus=corpus,
+            max_violations=args.max_violations, registry=registry,
+            progress=progress)
+        if args.metrics:
+            registry.dump(args.metrics)
+        if args.json:
+            print(json.dumps(report.to_dict(), indent=2))
+        else:
+            print(report.render())
+        if report.violations and args.reproducer:
+            worst = report.violations[0]
+            reproducer = worst.minimized or worst.program
+            with open(args.reproducer, "w") as handle:
+                handle.write(f"// {worst.kind}: {worst.detail}\n")
+                if worst.inputs is not None:
+                    handle.write(f"// inputs: {worst.inputs}\n")
+                handle.write(reproducer.source)
+            print(f"minimized reproducer written to "
+                  f"{args.reproducer}", file=sys.stderr)
+        return 0 if report.ok else 1
+
+    # tightness
+    from .experiments import Experiments, render_tightness
+    from .programs import get_benchmark
+
+    machine = machines[args.machine]()
+    selected = None
+    if args.benchmarks:
+        selected = {name: get_benchmark(name)
+                    for name in args.benchmarks}
+    experiments = Experiments(machine=machine, benchmarks=selected)
+    rows = experiments.tightness(iterations=args.iterations,
+                                 seed=args.seed)
+    if args.json:
+        print(json.dumps(
+            [{"function": r.function, "estimated": r.estimated,
+              "realized": r.realized, "reference": r.reference,
+              "ratio": round(r.ratio, 6),
+              "agreement": r.agreement, "exact": r.exact,
+              "sound": r.sound, "sim_runs": r.sim_runs}
+             for r in rows], indent=2))
+    else:
+        print(render_tightness(rows))
+    unsound = [r.function for r in rows if not r.sound]
+    if unsound:
+        print(f"UNSOUND: measured worst case escapes the estimate for "
+              f"{', '.join(unsound)}", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _cmd_bench(args) -> int:
@@ -998,6 +1220,8 @@ def _dispatch(args) -> int:
         return _cmd_explain(args)
     if args.command == "chaos":
         return _cmd_chaos(args)
+    if args.command == "synth":
+        return _cmd_synth(args)
 
     source = _load(args.file)
 

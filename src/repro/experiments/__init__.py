@@ -6,12 +6,14 @@ from .ablations import (CacheSplitRow, ContextRow, EnumVsIpetRow,
                         information_value_study, solver_study)
 from .fig1 import render_fig1
 from .results import collect_results, write_results
-from .tables import (BoundRow, Experiments, Table1Row, render_table1,
-                     render_table2, render_table3)
+from .tables import (BoundRow, Experiments, Table1Row, TightnessRow,
+                     render_table1, render_table2, render_table3,
+                     render_tightness)
 
 __all__ = [
-    "Experiments", "Table1Row", "BoundRow",
+    "Experiments", "Table1Row", "BoundRow", "TightnessRow",
     "render_table1", "render_table2", "render_table3",
+    "render_tightness",
     "EnumVsIpetRow", "CacheSplitRow", "ContextRow", "SolverRow",
     "enumeration_blowup", "cache_split_study", "context_study",
     "solver_study",

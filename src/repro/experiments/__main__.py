@@ -9,7 +9,7 @@ import sys
 from . import (Experiments, cache_split_study, context_study,
                enumeration_blowup, information_value_study,
                render_fig1, render_table1, render_table2,
-               render_table3, solver_study)
+               render_table3, render_tightness, solver_study)
 
 
 def _print_ablations() -> None:
@@ -53,8 +53,9 @@ def main(argv: list[str] | None = None) -> int:
         prog="python -m repro.experiments",
         description="Regenerate the paper's tables on the simulator.")
     parser.add_argument("what", nargs="?", default="all",
-                        choices=["table1", "table2", "table3", "fig1",
-                                 "ablations", "all"])
+                        choices=["table1", "table2", "table3",
+                                 "tightness", "fig1", "ablations",
+                                 "all"])
     parser.add_argument("--json", metavar="PATH",
                         help="also dump all tables as JSON")
     parser.add_argument("--workers", type=int, metavar="N",
@@ -113,6 +114,11 @@ def main(argv: list[str] | None = None) -> int:
         print("TABLE III: DISCREPANCY BETWEEN THE ESTIMATED BOUND AND "
               "THE MEASURED BOUND")
         print(render_table3(experiments.table3()))
+        print()
+    if args.what in ("tightness", "all"):
+        print("TIGHTNESS: REALIZED vs ESTIMATED WORST CASE "
+              "(witness-guided input search)")
+        print(render_tightness(experiments.tightness()))
         print()
     if args.what in ("fig1", "all"):
         print("FIG 1: ESTIMATED vs MEASURED BOUND NESTING")

@@ -51,11 +51,21 @@ def collect_results(experiments: Experiments) -> dict:
             "first_relaxations_integral":
                 report.all_first_relaxations_integral,
         })
+    tightness = [
+        {"function": r.function, "estimated": r.estimated,
+         "realized": r.realized, "reference": r.reference,
+         "ratio": round(r.ratio, 6), "agreement": r.agreement,
+         "exact": r.exact, "sound": r.sound,
+         "sim_runs": r.sim_runs}
+        for r in experiments.tightness()
+    ]
+
     return {
         "machine": experiments.machine.name,
         "table1": table1,
         "table2": bound_rows(experiments.table2()),
         "table3": bound_rows(experiments.table3()),
+        "tightness": tightness,
         "solver": solver,
     }
 

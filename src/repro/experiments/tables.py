@@ -37,6 +37,37 @@ class Table1Row:
 
 
 @dataclass
+class TightnessRow:
+    """A row of the tightness table (next to Table III): how much of
+    the estimated worst-case bound witness-guided input search
+    actually *realized* on the cycle-accurate simulator."""
+
+    function: str
+    estimated: int                 # IPET worst-case bound
+    realized: int                  # best cycles found by the search
+    reference: int                 # curated worst-data measurement
+    agreement: float | None        # witness path agreement (None:
+    #                                context-scoped witness)
+    sim_runs: int
+    iterations: int
+
+    @property
+    def ratio(self) -> float:
+        """Realized/estimated: 1.0 means the bound is exact."""
+        return self.realized / self.estimated if self.estimated else 1.0
+
+    @property
+    def exact(self) -> bool:
+        return self.realized == self.estimated
+
+    @property
+    def sound(self) -> bool:
+        """The search may match or beat the curated data but must
+        never exceed the estimate."""
+        return self.reference <= self.realized <= self.estimated
+
+
+@dataclass
 class BoundRow:
     """A row of Table II (reference = calculated) or Table III
     (reference = measured)."""
@@ -151,6 +182,31 @@ class Experiments:
                 pessimism(report.interval, measured.interval)))
         return rows
 
+    def tightness(self, iterations: int = 24,
+                  seed: int = 0) -> list[TightnessRow]:
+        """Realized-vs-estimated worst-case tightness for the suite.
+
+        Runs witness-guided worst-case input search
+        (:func:`repro.synth.search.hunt_benchmark`) per routine,
+        seeded with the curated §VI-A worst-case data, reusing the
+        cached IPET reports so the solver runs once per routine."""
+        from ..synth.search import hunt_benchmark
+
+        rows = []
+        for name, bench in self.benchmarks.items():
+            result = hunt_benchmark(
+                bench, machine=self.machine, iterations=iterations,
+                seed=seed, report=self.report(name),
+                tracer=self.tracer)
+            rows.append(TightnessRow(
+                function=name, estimated=result.estimated,
+                realized=result.realized,
+                reference=result.reference,
+                agreement=result.agreement,
+                sim_runs=result.sim_runs,
+                iterations=result.iterations))
+        return rows
+
 
 # ----------------------------------------------------------------------
 # Rendering
@@ -188,3 +244,22 @@ def render_table2(rows: list[BoundRow]) -> str:
 
 def render_table3(rows: list[BoundRow]) -> str:
     return render_bound_table(rows, "Measured Bound")
+
+
+def render_tightness(rows: list[TightnessRow]) -> str:
+    header = (f"{'Function':<18} {'Estimated':>10} {'Realized':>10} "
+              f"{'Reference':>10} {'Ratio':>7} {'Agree':>6} "
+              f"{'Runs':>5}")
+    lines = [header, "-" * len(header)]
+    for row in rows:
+        agree = (f"{row.agreement:.2f}"
+                 if row.agreement is not None else "n/a")
+        flag = " =" if row.exact else ""
+        lines.append(
+            f"{row.function:<18} {row.estimated:>10,} "
+            f"{row.realized:>10,} {row.reference:>10,} "
+            f"{row.ratio:>6.1%} {agree:>6} {row.sim_runs:>5}{flag}")
+    lines.append(
+        "Ratio = realized/estimated worst case; '=' marks bounds the "
+        "search realized exactly.")
+    return "\n".join(lines)

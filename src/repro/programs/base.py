@@ -39,6 +39,11 @@ class Benchmark:
     #: Functional check: (best_value, worst_value) returned by the
     #: entry routine on the two data sets, or None to skip.
     expected_values: tuple | None = None
+    #: Input-domain declaration for worst-case input synthesis
+    #: (:mod:`repro.synth.search`): {global: (lo, hi)} for scalars,
+    #: {global: (lo, hi, size)} for arrays.  Any global left
+    #: undeclared gets a range derived from the curated data sets.
+    input_domain: dict | None = None
     _program: Program | None = field(default=None, repr=False)
 
     @property

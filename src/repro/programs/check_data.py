@@ -52,6 +52,8 @@ BENCHMARK = Benchmark(
     best_data=Dataset(globals={"data": [-1] + [0] * 9}),
     # Worst case: every element passes, loop runs DATASIZE times.
     worst_data=Dataset(globals={"data": [1] * 10}),
+    # Paper constraints (16)-(17) hold for arbitrary data values.
+    input_domain={"data": (-64, 64, 10)},
     add_constraints=_add_constraints,
     expected_values=(0, 1),
 )

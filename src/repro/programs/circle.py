@@ -54,4 +54,8 @@ BENCHMARK = Benchmark(
     best_data=Dataset(globals={"cx": 64, "cy": 64, "radius": 0}),
     # Worst case: the largest supported radius.
     worst_data=Dataset(globals={"cx": 64, "cy": 64, "radius": 32}),
+    # The (1, 23) loop bound assumes radius <= 32, and plot8 writes
+    # image[(cy +/- y) * 128 + (cx +/- x)], so centres must stay a
+    # radius away from the 128x128 edges.
+    input_domain={"cx": (32, 95), "cy": (32, 95), "radius": (0, 32)},
 )

@@ -249,5 +249,8 @@ BENCHMARK = Benchmark(
                                "decrypt": 0}),
     worst_data=Dataset(globals={"key": KEY_BITS,
                                 "message": [1] * 64, "decrypt": 0}),
+    # Bit vectors plus the direction flag; timing is data independent.
+    input_domain={"key": (0, 1, 64), "message": (0, 1, 64),
+                  "decrypt": (0, 1)},
     add_constraints=_add_constraints,
 )

@@ -89,5 +89,6 @@ BENCHMARK = Benchmark(
     # for the cache behaviour of the measured run.
     best_data=Dataset(globals={"re": _IMPULSE, "im": [0.0] * 32}),
     worst_data=Dataset(globals={"re": [1.0] * 32, "im": [0.5] * 32}),
+    input_domain={"re": (-4, 4, 32), "im": (-4, 4, 32)},
     add_constraints=_add_constraints,
 )

@@ -87,5 +87,8 @@ BENCHMARK = Benchmark(
     # Worst case: maximal mismatch; no candidate ever beats the first,
     # and no call aborts before the final row.
     worst_data=Dataset(globals={"ref": [0] * 2304, "cur": [255] * 256}),
+    # 8-bit luminance pixels; the (16)-style early-out constraint in
+    # _add_constraints depends on this 0..255 range.
+    input_domain={"ref": (0, 255, 2304), "cur": (0, 255, 256)},
     expected_values=(0, 65280),
 )

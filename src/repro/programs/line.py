@@ -154,4 +154,8 @@ BENCHMARK = Benchmark(
     # diagonal walk.
     worst_data=Dataset(globals={"gx0": 82, "gy0": 76,
                                 "gx1": -63, "gy1": -54}),
+    # Clipping bounds both loops for arbitrary endpoints; the search
+    # box generously brackets the 64x64 window on every side.
+    input_domain={"gx0": (-100, 130), "gy0": (-100, 130),
+                  "gx1": (-100, 130), "gy1": (-100, 130)},
 )

@@ -55,5 +55,7 @@ BENCHMARK = Benchmark(
     best_data=Dataset(globals={"arr": list(range(10))}),
     # Worst case: reverse sorted (inner loop runs j times, every j).
     worst_data=Dataset(globals={"arr": list(range(9, -1, -1))}),
+    # Any element values sort correctly; only their order matters.
+    input_domain={"arr": (-32, 32, 10)},
     add_constraints=_add_constraints,
 )

@@ -91,5 +91,9 @@ BENCHMARK = Benchmark(
     # Worst case: diagonal half-pel (4-tap average).
     worst_data=Dataset(globals={"ref": _REF, "px": 3, "py": 2,
                                 "hx": 1, "hy": 1}),
+    # The diagonal variant reads ref[p + 15*W + 15 + W + 1] at most;
+    # with W = 32 and ref[1024], p = py*W + px must stay <= 495.
+    input_domain={"ref": (0, 255, 1024), "px": (0, 15), "py": (0, 14),
+                  "hx": (0, 1), "hy": (0, 1)},
     add_constraints=_add_constraints,
 )

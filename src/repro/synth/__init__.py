@@ -1,0 +1,40 @@
+"""repro.synth — the tightness lab.
+
+Closes the estimate↔reality loop around the IPET analysis:
+
+* :mod:`repro.synth.gen` — seeded, knob-graded MiniC program
+  generator (exact loop bounds and input domains by construction);
+* :mod:`repro.synth.search` — witness-guided worst-case input
+  synthesis on the cycle-accurate simulator, reporting
+  realized-vs-estimated tightness;
+* :mod:`repro.synth.fuzz` — differential soundness fuzzing
+  (``best <= measured <= worst``, serial == engine) with a
+  delta-debugging shrinker;
+* :mod:`repro.synth.corpus` — content-addressed program corpus that
+  replays as service load (``repro submit --corpus``).
+
+CLI: ``repro synth gen|hunt|fuzz|tightness``; experiments:
+``python -m repro.experiments tightness``; docs: ``docs/synth.md``.
+"""
+
+from .corpus import Corpus, CorpusError, submit_corpus
+from .fuzz import (FuzzReport, Violation, check_program, run_campaign,
+                   shrink)
+from .gen import (GRADES, Domain, GenConfig, GeneratedProgram,
+                  generate, generate_many, random_minic_cases,
+                  resolve_config)
+from .search import (SearchResult, benchmark_domain, hunt_benchmark,
+                     hunt_generated, mutate_inputs, path_agreement,
+                     search_worst, witness_targets)
+
+__all__ = [
+    "Domain", "GenConfig", "GRADES", "GeneratedProgram",
+    "generate", "generate_many", "random_minic_cases",
+    "resolve_config",
+    "SearchResult", "search_worst", "hunt_benchmark",
+    "hunt_generated", "benchmark_domain", "witness_targets",
+    "path_agreement", "mutate_inputs",
+    "FuzzReport", "Violation", "check_program", "run_campaign",
+    "shrink",
+    "Corpus", "CorpusError", "submit_corpus",
+]

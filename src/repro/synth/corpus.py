@@ -1,0 +1,137 @@
+"""Content-addressed corpus of generated programs.
+
+A :class:`Corpus` is a directory of JSON entries, one per generated
+program, addressed by the program's content digest (sha256 of entry +
+source, truncated) and sharded by the first two digest characters the
+way the engine's result cache is.  Entries carry everything needed to
+re-analyze, re-simulate or re-submit the program without the generator
+that produced it: source, entry, exact loop bounds, input domains and
+the generating seed/grade.
+
+The corpus doubles as a **service load source**: every entry converts
+to a ``repro submit`` JobSpec payload (source-flavor job with explicit
+bounds), so a fuzz campaign's output can be replayed as heavy traffic
+against ``repro serve`` — see :func:`submit_corpus` and the
+``--corpus`` flag of ``repro submit``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..errors import ReproError
+from .gen import GeneratedProgram
+
+SCHEMA = 1
+
+
+class CorpusError(ReproError):
+    """A corpus entry is missing or corrupt."""
+
+
+class Corpus:
+    """Directory-backed, content-addressed program store."""
+
+    def __init__(self, root):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # -- layout --------------------------------------------------------
+    def path(self, digest: str) -> Path:
+        return self.root / digest[:2] / f"{digest}.json"
+
+    def ids(self) -> list[str]:
+        return sorted(p.stem for p in self.root.glob("??/*.json"))
+
+    def __len__(self) -> int:
+        return len(self.ids())
+
+    def __contains__(self, digest: str) -> bool:
+        return self.path(digest).exists()
+
+    # -- write ---------------------------------------------------------
+    def add(self, prog: GeneratedProgram,
+            meta: dict | None = None) -> str:
+        """Store one program; returns its digest.  Idempotent — an
+        existing entry with the same content is left untouched."""
+        digest = prog.digest
+        path = self.path(digest)
+        if path.exists():
+            return digest
+        entry = {"schema": SCHEMA, "digest": digest}
+        entry.update(prog.to_dict())
+        if meta:
+            entry["meta"] = dict(meta)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(entry, indent=1, sort_keys=True)
+                       + "\n")
+        tmp.replace(path)
+        return digest
+
+    # -- read ----------------------------------------------------------
+    def get(self, digest: str) -> GeneratedProgram:
+        path = self.path(digest)
+        if not path.exists():
+            raise CorpusError(f"no corpus entry {digest!r} under "
+                              f"{self.root}")
+        try:
+            entry = json.loads(path.read_text())
+        except (OSError, ValueError) as error:
+            raise CorpusError(
+                f"corpus entry {digest!r} is corrupt: {error}") \
+                from None
+        if entry.get("schema") != SCHEMA:
+            raise CorpusError(
+                f"corpus entry {digest!r} has schema "
+                f"{entry.get('schema')!r}, expected {SCHEMA}")
+        prog = GeneratedProgram.from_dict(entry)
+        if prog.digest != digest:
+            raise CorpusError(
+                f"corpus entry {digest!r} fails its content check "
+                f"(recomputed {prog.digest})")
+        return prog
+
+    def __iter__(self):
+        for digest in self.ids():
+            yield self.get(digest)
+
+
+# ----------------------------------------------------------------------
+# Service feed
+# ----------------------------------------------------------------------
+def submit_corpus(client, corpus: Corpus, *, ids=None,
+                  limit: int | None = None,
+                  machine: str | None = None,
+                  backend: str | None = None, wait: bool = True,
+                  timeout: float = 300.0, progress=None) -> list[dict]:
+    """Replay corpus entries through a running analysis service.
+
+    `client` is a :class:`repro.service.ServiceClient`.  Submits each
+    selected entry as a source-flavor job (exact bounds included) and,
+    when `wait` is true, blocks for every record.  Returns one dict
+    per entry: ``{digest, id, best, worst, cache_hit}`` (bounds are
+    None with ``wait=False``)."""
+    selected = list(ids) if ids is not None else corpus.ids()
+    if limit is not None:
+        selected = selected[:limit]
+    records = []
+    tickets = []
+    for digest in selected:
+        prog = corpus.get(digest)
+        spec = prog.job_spec(machine=machine, backend=backend)
+        ticket = client.submit_retry(spec)
+        tickets.append((digest, ticket["id"]))
+    for index, (digest, job_id) in enumerate(tickets):
+        record = {"digest": digest, "id": job_id, "best": None,
+                  "worst": None, "cache_hit": None}
+        if wait:
+            done = client.wait(job_id, timeout=timeout)
+            record.update(best=done.get("best"),
+                          worst=done.get("worst"),
+                          cache_hit=done.get("cache_hit"))
+        records.append(record)
+        if progress is not None:
+            progress(index + 1, len(tickets), record)
+    return records

@@ -1,0 +1,628 @@
+"""Seeded, knob-graded MiniC program generator.
+
+The promotion of the old ``tests/tests_support_random.py`` helper into
+a first-class subsystem: every generated program is
+
+* **semantically valid** — it compiles, every loop is a counted
+  ``for`` whose trip count the generator *knows*, so the emitted
+  :attr:`GeneratedProgram.loop_bounds` are exact by construction
+  (``lo == hi == trips``; the analysis's loop constraints are relative
+  to the loop-entry count, so the bounds stay exact even for loops
+  nested under data-dependent branches);
+* **terminating** — a per-function dynamic step budget caps the
+  product of nested trip counts;
+* **value-safe** — multiplications and shifts are clamped with the
+  benchmark suite's own ``% 65536`` idiom (cf. ``matgen``/``des``) so
+  no feedback loop can grow unbounded integers;
+* **input-driven** — globals (scalars and arrays) with a known
+  :class:`Domain` feed every branch condition, so worst-case input
+  search has something to optimize.
+
+Programs are graded (``tiny``/``small``/``medium``/``large``) by a
+:class:`GenConfig` knob bundle: statement count, nesting depth, loop
+trip ranges, array and helper-function counts.
+
+The generator builds a small statement IR first and pretty-prints it
+with line tracking; the IR is kept on the result so the fuzzer's
+shrinker (:mod:`repro.synth.fuzz`) can delta-debug violating programs
+structurally instead of textually.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field, replace
+
+from ..analysis import Analysis
+from ..codegen import Program, compile_source
+from ..engine.jobs import AnalysisJob
+from ..hw import Machine
+from ..sim import Dataset, run_with_cycles
+
+#: Default value range for generated scalar globals / array elements.
+VALUE_LO = -16
+VALUE_HI = 16
+
+#: Assignments whose expression multiplies or shifts are clamped with
+#: this modulus (the suite's own matgen/des idiom) so iterated products
+#: cannot blow up into huge integers.
+CLAMP = 65536
+
+
+# ----------------------------------------------------------------------
+# Input domains
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class Domain:
+    """Value range of one global input (scalar, or array of `size`)."""
+
+    lo: int
+    hi: int
+    size: int | None = None          # None => scalar
+
+    @property
+    def is_array(self) -> bool:
+        return self.size is not None
+
+    def clamp(self, value: int) -> int:
+        return max(self.lo, min(self.hi, value))
+
+    def sample(self, rng: random.Random):
+        if self.is_array:
+            return [rng.randint(self.lo, self.hi)
+                    for _ in range(self.size)]
+        return rng.randint(self.lo, self.hi)
+
+    def to_json(self) -> list:
+        if self.is_array:
+            return [self.lo, self.hi, self.size]
+        return [self.lo, self.hi]
+
+    @classmethod
+    def from_json(cls, data) -> "Domain":
+        if len(data) == 3:
+            return cls(int(data[0]), int(data[1]), int(data[2]))
+        return cls(int(data[0]), int(data[1]))
+
+
+# ----------------------------------------------------------------------
+# Statement IR
+# ----------------------------------------------------------------------
+@dataclass
+class Assign:
+    target: str
+    expr: str
+
+
+@dataclass
+class ArrayAssign:
+    array: str
+    index: str
+    expr: str
+
+
+@dataclass
+class Call:
+    target: str
+    callee: str
+
+
+@dataclass
+class If:
+    cond: str
+    then: list
+    orelse: list
+
+
+@dataclass
+class Loop:
+    var: str
+    trips: int
+    body: list
+
+
+@dataclass
+class FuncIR:
+    name: str
+    body: list
+    ret: str
+
+
+@dataclass
+class ProgramIR:
+    scalars: list
+    arrays: list                       # [(name, size), ...]
+    functions: list                    # helpers first, entry last
+
+    @property
+    def entry(self) -> str:
+        return self.functions[-1].name
+
+
+def _copy_stmts(body: list) -> list:
+    """Deep-copy a statement list (the shrinker mutates copies)."""
+    out = []
+    for stmt in body:
+        if isinstance(stmt, If):
+            out.append(If(stmt.cond, _copy_stmts(stmt.then),
+                          _copy_stmts(stmt.orelse)))
+        elif isinstance(stmt, Loop):
+            out.append(Loop(stmt.var, stmt.trips,
+                            _copy_stmts(stmt.body)))
+        else:
+            out.append(replace(stmt))
+    return out
+
+
+def copy_ir(ir: ProgramIR) -> ProgramIR:
+    return ProgramIR(
+        list(ir.scalars), list(ir.arrays),
+        [FuncIR(fn.name, _copy_stmts(fn.body), fn.ret)
+         for fn in ir.functions])
+
+
+# ----------------------------------------------------------------------
+# Emission (line-tracked, so loop bounds are exact by construction)
+# ----------------------------------------------------------------------
+def emit(ir: ProgramIR) -> tuple[str, tuple]:
+    """Pretty-print the IR; returns ``(source, loop_bounds)`` where
+    ``loop_bounds`` rows are ``(function, header_line, lo, hi)``."""
+    lines: list[str] = []
+    bounds: list[tuple] = []
+    for name in ir.scalars:
+        lines.append(f"int {name};")
+    for name, size in ir.arrays:
+        lines.append(f"int {name}[{size}];")
+    for fn in ir.functions:
+        lines.append(f"int {fn.name}() {{")
+        _emit_body(fn.name, fn.body, 1, lines, bounds)
+        lines.append(f"    return {fn.ret};")
+        lines.append("}")
+    return "\n".join(lines) + "\n", tuple(bounds)
+
+
+def _emit_body(function: str, body: list, depth: int,
+               lines: list, bounds: list) -> None:
+    pad = "    " * depth
+    for stmt in body:
+        if isinstance(stmt, Assign):
+            lines.append(f"{pad}{stmt.target} = {stmt.expr};")
+        elif isinstance(stmt, ArrayAssign):
+            lines.append(
+                f"{pad}{stmt.array}[{stmt.index}] = {stmt.expr};")
+        elif isinstance(stmt, Call):
+            lines.append(f"{pad}{stmt.target} = {stmt.callee}();")
+        elif isinstance(stmt, If):
+            lines.append(f"{pad}if ({stmt.cond}) {{")
+            _emit_body(function, stmt.then, depth + 1, lines, bounds)
+            if stmt.orelse:
+                lines.append(f"{pad}}} else {{")
+                _emit_body(function, stmt.orelse, depth + 1, lines,
+                           bounds)
+            lines.append(f"{pad}}}")
+        elif isinstance(stmt, Loop):
+            lines.append(
+                f"{pad}for (int {stmt.var} = 0; "
+                f"{stmt.var} < {stmt.trips}; {stmt.var}++) {{")
+            bounds.append(
+                (function, len(lines), stmt.trips, stmt.trips))
+            _emit_body(function, stmt.body, depth + 1, lines, bounds)
+            lines.append(f"{pad}}}")
+        else:                           # pragma: no cover
+            raise TypeError(f"unknown statement {stmt!r}")
+
+
+# ----------------------------------------------------------------------
+# Configuration grades
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class GenConfig:
+    """Knob bundle controlling program shape and size."""
+
+    grade: str = "small"
+    scalars: int = 4
+    arrays: int = 1
+    array_size: int = 8
+    helpers: int = 0
+    top_stmts: tuple = (2, 5)         # statements at function top level
+    max_depth: int = 3                # structural nesting (if + loop)
+    max_loop_nest: int = 2
+    trips: tuple = (1, 6)             # loop trip-count range
+    #: Cap on the product of nested trip counts per function — bounds
+    #: both simulator wall time and analysis blowup.
+    step_budget: int = 512
+    value_lo: int = VALUE_LO
+    value_hi: int = VALUE_HI
+
+
+GRADES: dict[str, GenConfig] = {
+    "tiny": GenConfig(grade="tiny", scalars=3, arrays=0, helpers=0,
+                      top_stmts=(1, 3), max_depth=2, max_loop_nest=1,
+                      trips=(1, 4), step_budget=64),
+    "small": GenConfig(grade="small", scalars=4, arrays=1, helpers=0,
+                       top_stmts=(2, 5), max_depth=3, max_loop_nest=2,
+                       trips=(1, 6), step_budget=512),
+    "medium": GenConfig(grade="medium", scalars=4, arrays=1, helpers=1,
+                        top_stmts=(3, 6), max_depth=3, max_loop_nest=2,
+                        trips=(1, 8), step_budget=2048),
+    "large": GenConfig(grade="large", scalars=6, arrays=2, helpers=2,
+                       top_stmts=(4, 8), max_depth=4, max_loop_nest=3,
+                       trips=(2, 8), step_budget=8192),
+}
+
+
+def resolve_config(grade: str | None = None,
+                   config: GenConfig | None = None) -> GenConfig:
+    if config is not None:
+        return config
+    try:
+        return GRADES[grade or "small"]
+    except KeyError:
+        raise ValueError(
+            f"unknown grade {grade!r}; choose from "
+            f"{sorted(GRADES)}") from None
+
+
+# ----------------------------------------------------------------------
+# Generated program handle
+# ----------------------------------------------------------------------
+@dataclass
+class GeneratedProgram:
+    """One generated MiniC program plus everything needed to analyze,
+    simulate and replay it: exact loop bounds, input domains, and the
+    statement IR (for shrinking)."""
+
+    seed: int
+    grade: str
+    source: str
+    entry: str
+    #: ((function, header_line, lo, hi), ...) — exact by construction.
+    loop_bounds: tuple
+    domain: dict                       # {global: Domain}
+    ir: ProgramIR | None = field(default=None, repr=False,
+                                 compare=False)
+    _program: Program | None = field(default=None, repr=False,
+                                     compare=False)
+
+    # -- identity ------------------------------------------------------
+    @property
+    def digest(self) -> str:
+        """Content address: the program *is* its source + entry."""
+        blob = f"{self.entry}\n{self.source}".encode()
+        return hashlib.sha256(blob).hexdigest()[:16]
+
+    @property
+    def name(self) -> str:
+        return f"synth-{self.digest}"
+
+    # -- compilation / analysis ----------------------------------------
+    @property
+    def program(self) -> Program:
+        if self._program is None:
+            self._program = compile_source(self.source)
+        return self._program
+
+    def analysis(self, machine: Machine | None = None,
+                 **kwargs) -> Analysis:
+        """A ready-to-estimate Analysis with all loops bounded."""
+        analysis = Analysis(self.program, self.entry, machine=machine,
+                            **kwargs)
+        for function, line, lo, hi in self.loop_bounds:
+            analysis.bound_loop(lo, hi, function=function, line=line)
+        return analysis
+
+    def analysis_job(self, machine: Machine | None = None,
+                     backend: str = "simplex") -> AnalysisJob:
+        """The same analysis as an engine job (source flavor)."""
+        return AnalysisJob(name=self.name, source=self.source,
+                           entry=self.entry, machine=machine,
+                           backend=backend,
+                           bounds=tuple(self.loop_bounds))
+
+    def job_spec(self, machine: str | None = None,
+                 backend: str | None = None, **extra) -> dict:
+        """A ``repro submit`` / service JobSpec payload."""
+        spec = {
+            "name": self.name,
+            "source": self.source,
+            "entry": self.entry,
+            "bounds": [list(row) for row in self.loop_bounds],
+        }
+        if machine:
+            spec["machine"] = machine
+        if backend:
+            spec["backend"] = backend
+        spec.update(extra)
+        return spec
+
+    # -- inputs --------------------------------------------------------
+    def boundary_inputs(self) -> list[dict]:
+        """Deterministic corner vectors: all-lo, all-hi, all-zero,
+        plus ascending/descending ramps for arrays."""
+        def vector(fill) -> dict:
+            out = {}
+            for name, dom in self.domain.items():
+                if dom.is_array:
+                    out[name] = [dom.clamp(fill(dom, i, dom.size))
+                                 for i in range(dom.size)]
+                else:
+                    out[name] = dom.clamp(fill(dom, 0, 1))
+            return out
+
+        span = lambda dom, i, n: dom.lo + (
+            (dom.hi - dom.lo) * i // max(1, n - 1))
+        return [
+            vector(lambda dom, i, n: dom.lo),
+            vector(lambda dom, i, n: dom.hi),
+            vector(lambda dom, i, n: 0),
+            vector(span),
+            vector(lambda dom, i, n: span(dom, n - 1 - i, n)),
+        ]
+
+    def random_inputs(self, rng: random.Random) -> dict:
+        return {name: dom.sample(rng)
+                for name, dom in self.domain.items()}
+
+    def sample_inputs(self, count: int, seed: int = 0) -> list[dict]:
+        """Boundary vectors first, then seeded random fill."""
+        rng = random.Random((seed << 8) ^ self.seed)
+        vectors = self.boundary_inputs()[:count]
+        while len(vectors) < count:
+            vectors.append(self.random_inputs(rng))
+        return vectors
+
+    # -- execution -----------------------------------------------------
+    def run(self, inputs: dict, machine: Machine | None = None,
+            flush: bool = True):
+        """One cycle-timed simulator run (cold cache by default)."""
+        return run_with_cycles(self.program, self.entry,
+                               Dataset(globals=dict(inputs)),
+                               machine=machine, flush=flush)
+
+    # -- persistence (corpus format) -----------------------------------
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "grade": self.grade,
+            "source": self.source,
+            "entry": self.entry,
+            "loop_bounds": [list(row) for row in self.loop_bounds],
+            "domain": {name: dom.to_json()
+                       for name, dom in self.domain.items()},
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "GeneratedProgram":
+        return cls(
+            seed=int(data.get("seed", 0)),
+            grade=str(data.get("grade", "small")),
+            source=data["source"],
+            entry=data["entry"],
+            loop_bounds=tuple(
+                (row[0], int(row[1]), int(row[2]), int(row[3]))
+                for row in data.get("loop_bounds", [])),
+            domain={name: Domain.from_json(dom)
+                    for name, dom in data.get("domain", {}).items()},
+        )
+
+
+def from_ir(ir: ProgramIR, seed: int, grade: str,
+            domain: dict) -> GeneratedProgram:
+    """Re-emit an IR (used by the shrinker after each reduction)."""
+    source, bounds = emit(ir)
+    return GeneratedProgram(seed=seed, grade=grade, source=source,
+                            entry=ir.entry, loop_bounds=bounds,
+                            domain=dict(domain), ir=ir)
+
+
+# ----------------------------------------------------------------------
+# The generator
+# ----------------------------------------------------------------------
+class _Gen:
+    def __init__(self, rng: random.Random, config: GenConfig):
+        self.rng = rng
+        self.config = config
+        self.scalars = [f"g{i}" for i in range(config.scalars)]
+        self.arrays = [(f"a{i}", config.array_size)
+                       for i in range(config.arrays)]
+        self.loop_counter = 0
+
+    # -- expressions ---------------------------------------------------
+    def _index(self, loops: list) -> str:
+        """A provably in-range array index expression."""
+        rng, size = self.rng, self.config.array_size
+        kinds = ["const"]
+        if loops:
+            kinds += ["loop", "loop"]
+        kinds.append("masked")
+        kind = rng.choice(kinds)
+        if kind == "const":
+            return str(rng.randrange(size))
+        if kind == "loop":
+            return f"{rng.choice(loops)} % {size}"
+        return f"({rng.choice(self.scalars)} & {size - 1})"
+
+    def _atom(self, loops: list, exclude: str | None = None) -> str:
+        rng = self.rng
+        pool = [s for s in self.scalars if s != exclude]
+        kinds = ["scalar", "scalar", "const"]
+        if loops:
+            kinds.append("loop")
+        if self.arrays:
+            kinds.append("array")
+        kind = rng.choice(kinds)
+        if kind == "scalar" and pool:
+            return rng.choice(pool)
+        if kind == "loop":
+            return rng.choice(loops)
+        if kind == "array":
+            name, _ = rng.choice(self.arrays)
+            return f"{name}[{self._index(loops)}]"
+        return str(rng.randint(-9, 9))
+
+    def _expr(self, loops: list, target: str | None = None,
+              depth: int = 0) -> str:
+        rng = self.rng
+        if depth >= 2 or rng.random() < 0.35:
+            return self._atom(loops)
+        op = rng.choice(["+", "+", "-", "*", "&", "|", "^",
+                         "<<", ">>"])
+        if op in ("<<", ">>"):
+            left = self._atom(loops, exclude=target)
+            return f"({left} {op} {rng.randint(0, 3)})"
+        if op == "*":
+            left = self._atom(loops, exclude=target)
+            right = rng.choice([str(rng.randint(2, 5)),
+                                self._atom(loops, exclude=target)])
+            return f"({left} * {right})"
+        left = self._expr(loops, target, depth + 1)
+        right = self._expr(loops, target, depth + 1)
+        return f"({left} {op} {right})"
+
+    def _clamped(self, expr: str) -> str:
+        if "*" in expr or "<<" in expr:
+            return f"({expr}) % {CLAMP}"
+        return expr
+
+    def _cond(self, loops: list) -> str:
+        rng = self.rng
+        lhs = self._atom(loops)
+        rhs = rng.choice([str(rng.randint(-8, 8)), self._atom(loops)])
+        op = rng.choice(["<", "<=", ">", ">=", "==", "!="])
+        return f"{lhs} {op} {rhs}"
+
+    # -- statements ----------------------------------------------------
+    def _assign(self, loops: list):
+        rng = self.rng
+        if self.arrays and rng.random() < 0.3:
+            name, _ = rng.choice(self.arrays)
+            return ArrayAssign(name, self._index(loops),
+                               self._clamped(self._expr(loops)))
+        target = rng.choice(self.scalars)
+        return Assign(target,
+                      self._clamped(self._expr(loops, target=target)))
+
+    def _statement(self, depth: int, loop_depth: int, mult: int,
+                   loops: list, callees: list):
+        rng, cfg = self.rng, self.config
+        kinds = ["assign", "assign", "assign"]
+        if depth < cfg.max_depth:
+            kinds.append("if")
+            if (loop_depth < cfg.max_loop_nest
+                    and mult * cfg.trips[0] <= cfg.step_budget):
+                kinds += ["loop", "loop"]
+        if callees:
+            kinds.append("call")
+        kind = rng.choice(kinds)
+        if kind == "assign":
+            return self._assign(loops)
+        if kind == "call":
+            return Call(rng.choice(self.scalars), rng.choice(callees))
+        if kind == "if":
+            then = self._block(rng.randint(1, 2), depth + 1,
+                               loop_depth, mult, loops, callees)
+            orelse = []
+            if rng.random() < 0.5:
+                orelse = self._block(rng.randint(1, 2), depth + 1,
+                                     loop_depth, mult, loops, callees)
+            return If(self._cond(loops), then, orelse)
+        # loop
+        self.loop_counter += 1
+        var = f"i{self.loop_counter}"
+        cap = max(1, cfg.step_budget // max(1, mult))
+        trips = min(rng.randint(*cfg.trips), cap)
+        body = self._block(rng.randint(1, 3), depth + 1,
+                           loop_depth + 1, mult * trips,
+                           loops + [var], callees)
+        return Loop(var, trips, body)
+
+    def _block(self, count: int, depth: int, loop_depth: int,
+               mult: int, loops: list, callees: list) -> list:
+        return [self._statement(depth, loop_depth, mult, loops,
+                                callees)
+                for _ in range(count)]
+
+    # -- functions -----------------------------------------------------
+    def _return_expr(self) -> str:
+        rng = self.rng
+        terms = list(self.scalars[:3]) or ["0"]
+        if self.arrays:
+            name, size = self.arrays[0]
+            terms.append(f"{name}[{rng.randrange(size)}]")
+        expr = terms[0]
+        for term in terms[1:]:
+            expr = f"{expr} {rng.choice(['+', '-', '^'])} {term}"
+        return expr
+
+    def build(self) -> ProgramIR:
+        rng, cfg = self.rng, self.config
+        helpers = [f"h{i + 1}" for i in range(cfg.helpers)]
+        functions = []
+        for name in helpers:
+            count = rng.randint(1, max(1, cfg.top_stmts[1] - 2))
+            body = self._block(count, 0, 0, 1, [], [])
+            functions.append(FuncIR(name, body, self._return_expr()))
+        count = rng.randint(*cfg.top_stmts)
+        body = self._block(count, 0, 0, 1, [], helpers)
+        # Every helper must be reachable so its loops stay on analyzed
+        # paths; append a call for any the random walk missed.
+        called = set()
+
+        def scan(stmts):
+            for stmt in stmts:
+                if isinstance(stmt, Call):
+                    called.add(stmt.callee)
+                elif isinstance(stmt, If):
+                    scan(stmt.then)
+                    scan(stmt.orelse)
+                elif isinstance(stmt, Loop):
+                    scan(stmt.body)
+
+        scan(body)
+        for name in helpers:
+            if name not in called:
+                body.append(Call(rng.choice(self.scalars), name))
+        functions.append(FuncIR("f", body, self._return_expr()))
+        return ProgramIR(list(self.scalars), list(self.arrays),
+                         functions)
+
+
+def generate(seed: int, grade: str = "small",
+             config: GenConfig | None = None,
+             registry=None) -> GeneratedProgram:
+    """Generate one program, deterministically from `seed`."""
+    cfg = resolve_config(grade, config)
+    rng = random.Random(seed)
+    ir = _Gen(rng, cfg).build()
+    source, bounds = emit(ir)
+    domain = {name: Domain(cfg.value_lo, cfg.value_hi)
+              for name in ir.scalars}
+    domain.update({name: Domain(cfg.value_lo, cfg.value_hi, size)
+                   for name, size in ir.arrays})
+    if registry is not None:
+        registry.counter("synth.gen.programs").inc()
+        registry.histogram("synth.gen.lines").observe(
+            len(source.splitlines()))
+    return GeneratedProgram(seed=seed, grade=cfg.grade, source=source,
+                            entry=ir.entry, loop_bounds=bounds,
+                            domain=domain, ir=ir)
+
+
+def generate_many(seed: int, count: int, grade: str = "small",
+                  config: GenConfig | None = None, registry=None):
+    """Yield `count` programs; program i depends only on (seed, i)."""
+    for index in range(count):
+        yield generate(seed * 1_000_003 + index, grade=grade,
+                       config=config, registry=registry)
+
+
+# ----------------------------------------------------------------------
+# Back-compat shim for the old tests_support_random API
+# ----------------------------------------------------------------------
+def random_minic_cases(seed: int, count: int):
+    """Yield ``(source, global_inputs)`` pairs of valid MiniC programs
+    (the old ``tests/tests_support_random.py`` contract)."""
+    rng = random.Random(seed ^ 0x5EED)
+    for prog in generate_many(seed, count, grade="small"):
+        yield prog.source, prog.random_inputs(rng)

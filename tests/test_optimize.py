@@ -222,7 +222,7 @@ class TestDifferential:
                 assert got.value == want.value
 
     def test_random_programs_agree(self):
-        from tests.tests_support_random import random_minic_cases
+        from repro.synth import random_minic_cases
 
         for source, inputs in random_minic_cases(seed=42, count=25):
             plain = compile_source(source)

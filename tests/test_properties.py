@@ -183,61 +183,21 @@ class TestSolverAgainstScipy:
 # ----------------------------------------------------------------------
 @st.composite
 def random_programs(draw):
-    """A random structured MiniC function over globals g0..g3.
+    """A program from the first-class generator (repro.synth.gen).
 
-    Only constructs whose loop trip counts are compile-time constants,
-    so exact loop bounds are known by construction.
+    The generator only emits counted loops, so exact bounds are known
+    by construction; hypothesis explores (and shrinks over) the
+    generator's seed, grade and input seed.
     """
-    var_names = ["g0", "g1", "g2", "g3"]
-    depth = draw(st.integers(1, 3))
-    bounds = []
+    import random
 
-    def expr(rng):
-        kind = draw(st.sampled_from(["var", "const", "sum", "prod"]))
-        if kind == "var":
-            return draw(st.sampled_from(var_names))
-        if kind == "const":
-            return str(draw(st.integers(-9, 9)))
-        op = "+" if kind == "sum" else "*"
-        left = draw(st.sampled_from(var_names))
-        right = draw(st.integers(1, 5))
-        return f"({left} {op} {right})"
+    from repro.synth import generate
 
-    def statement(level, in_loop):
-        kind = draw(st.sampled_from(
-            ["assign", "assign", "if", "loop"] if level < depth
-            else ["assign", "assign", "if"]))
-        target = draw(st.sampled_from(var_names))
-        if kind == "assign":
-            return f"{target} = {expr(in_loop)};"
-        if kind == "if":
-            cond_var = draw(st.sampled_from(var_names))
-            threshold = draw(st.integers(-5, 5))
-            then = statement(level + 1, in_loop)
-            if draw(st.booleans()):
-                other = statement(level + 1, in_loop)
-                return (f"if ({cond_var} > {threshold}) {{\n{then}\n}} "
-                        f"else {{\n{other}\n}}")
-            return f"if ({cond_var} > {threshold}) {{\n{then}\n}}"
-        trips = draw(st.integers(1, 5))
-        bounds.append(trips)
-        index = f"i{len(bounds)}"
-        body = statement(level + 1, True)
-        # Newlines keep nested loop headers on distinct source lines
-        # (loop bounds are addressed by (function, line)).
-        return (f"for (int {index} = 0; {index} < {trips}; {index}++) "
-                f"{{\n{body}\n}}")
-
-    body = "\n    ".join(statement(1, False)
-                         for _ in range(draw(st.integers(1, 4))))
-    source = (
-        "int g0; int g1; int g2; int g3;\n"
-        "int f() {\n"
-        f"    {body}\n"
-        "    return g0 + g1;\n"
-        "}\n")
-    inputs = {name: draw(st.integers(-20, 20)) for name in var_names}
-    return source, bounds, inputs
+    seed = draw(st.integers(0, 10_000))
+    grade = draw(st.sampled_from(["tiny", "small", "medium"]))
+    prog = generate(seed, grade=grade)
+    rng = random.Random(draw(st.integers(0, 10_000)))
+    return prog, prog.random_inputs(rng)
 
 
 class TestPipelineSoundness:
@@ -245,30 +205,9 @@ class TestPipelineSoundness:
               suppress_health_check=[HealthCheck.too_slow])
     @given(random_programs())
     def test_estimate_encloses_every_run(self, case):
-        from repro import Analysis
-        from repro.sim import CycleModel, Interpreter
-        from repro.hw import i960kb
-
-        source, _, inputs = case
-        analysis = Analysis(source, entry="f")
-        # Every generated loop has a constant trip count; its back
-        # edge count equals the trips.
-        for loop in analysis.loops:
-            # Recover the constant from the condition: for-loops
-            # compare i < K with K literal, visible in the header.
-            header = analysis.cfgs["f"].blocks[loop.header]
-            limit_instr = next(i for i in header.instrs
-                               if i.imm is not None)
-            analysis.bound_loop(lo=0, hi=int(limit_instr.imm),
-                                function="f", line=loop.header_line)
-        report = analysis.estimate()
-
-        model = CycleModel(i960kb())
-        model.flush()
-        interp = Interpreter(analysis.program, cycle_model=model)
-        for name, value in inputs.items():
-            interp.set_global(name, value)
-        result = interp.run("f")
+        prog, inputs = case
+        report = prog.analysis().estimate()
+        result = prog.run(inputs)          # cold-cache cycle run
         assert report.best <= result.cycles <= report.worst
 
     @settings(max_examples=30, deadline=None,
@@ -282,9 +221,9 @@ class TestPipelineSoundness:
         from repro.hw import i960kb
         from repro.sim import CycleModel, Interpreter
 
-        source, _, inputs = case
-        plain = compile_source(source)
-        opt = compile_source(source, optimize=True)
+        prog, inputs = case
+        plain = compile_source(prog.source)
+        opt = compile_source(prog.source, optimize=True)
 
         def run(program):
             model = CycleModel(i960kb())
@@ -292,18 +231,20 @@ class TestPipelineSoundness:
             interp = Interpreter(program, cycle_model=model)
             for name, value in inputs.items():
                 interp.set_global(name, value)
-            return interp.run("f")
+            return interp.run(prog.entry)
 
         a, b = run(plain), run(opt)
         assert a.value == b.value
 
-        analysis = Analysis(opt, entry="f")
+        # The loop headers keep their source lines through the
+        # optimizer, so the generator's exact bounds apply as-is.
+        analysis = Analysis(opt, entry=prog.entry)
+        trips = {(fn, line): (lo, hi)
+                 for fn, line, lo, hi in prog.loop_bounds}
         for loop in analysis.loops:
-            header = analysis.cfgs["f"].blocks[loop.header]
-            limit_instr = next(i for i in header.instrs
-                               if i.imm is not None)
-            analysis.bound_loop(lo=0, hi=int(limit_instr.imm),
-                                function="f", line=loop.header_line)
+            lo, hi = trips[(loop.function, loop.header_line)]
+            analysis.bound_loop(lo=lo, hi=hi, function=loop.function,
+                                line=loop.header_line)
         report = analysis.estimate()
         assert report.best <= b.cycles <= report.worst
 
@@ -316,25 +257,25 @@ class TestPipelineSoundness:
         from repro.constraints import structural_system
         from repro.sim import Interpreter
 
-        source, _, inputs = case
-        program = compile_source(source)
+        prog, inputs = case
+        program = compile_source(prog.source)
         cfgs = build_cfgs(program)
-        system = structural_system(CallGraph(cfgs), "f")
+        system = structural_system(CallGraph(cfgs), prog.entry)
 
         interp = Interpreter(program)
         for name, value in inputs.items():
             interp.set_global(name, value)
-        result = interp.run("f")
+        result = interp.run(prog.entry)
 
         # Check only the block-count equalities x_i = sum(in) against
         # x_i = sum(out): both sides reduce to block counters plus edge
         # counters; block counters alone must satisfy the *derived*
         # equality sum(in of B) = sum(out of B) at the join blocks.
-        cfg = cfgs["f"]
-        counts = {f"f::x{b.id}": result.counts[b.start]
+        cfg = cfgs[prog.entry]
+        counts = {f"{prog.entry}::x{b.id}": result.counts[b.start]
                   for b in cfg.blocks.values()}
         # Entry block runs exactly once.
-        assert counts[f"f::x{cfg.entry_block}"] == 1
+        assert counts[f"{prog.entry}::x{cfg.entry_block}"] == 1
         # Conservation: a block's count equals the total count of its
         # fall-through/branch realizations, which we verify via the
         # full edge reconstruction already covered in test_structural;
