@@ -14,6 +14,12 @@ Three cooperating layers, all dependency-free:
   constraint set, execution-count witness, binding constraints and a
   per-block cycle breakdown summing to the bound.
 
+History and alerting live in :mod:`repro.obs.series` (bounded time
+series sampled from the registry and EventBus at a fixed interval) and
+:mod:`repro.obs.slo` (error budgets, multi-window burn-rate rules and
+a pending/firing/resolved alert state machine); the zero-dependency
+HTML ops console in :mod:`repro.obs.console` renders both.
+
 Exporters in :mod:`repro.obs.export` render traces as Chrome
 ``trace_event`` JSON (``chrome://tracing`` / Perfetto) or plain JSON.
 Live consumption happens through :mod:`repro.obs.stream` (the
@@ -38,8 +44,13 @@ from .flight import (SpanNode, TrajectoryStore, assemble_trees,
                      host_fingerprint, orphan_spans, render_tree)
 from .profile import (DEFAULT_HZ, PROFILE_SCHEMA, SamplingProfiler,
                       collapse_frame, frame_label)
-from .registry import (DEFAULT_BUCKETS, SNAPSHOT_SCHEMA, Counter, Gauge,
-                       Histogram, MetricsRegistry)
+from .console import CONSOLE_VERSION, render_console
+from .registry import (DEFAULT_BUCKETS, SNAPSHOT_SCHEMA, SNAPSHOT_SCHEMAS,
+                       Counter, Gauge, Histogram, MetricsRegistry)
+from .series import (DEFAULT_INTERVAL, DEFAULT_RETENTION, SERIES_SCHEMA,
+                     RegistrySampler, Series, SeriesStore)
+from .slo import (ALERTS_SCHEMA, SLO, Alert, SLOConfigError, SLOEngine,
+                  default_slos, load_slos)
 from .stream import (EventBus, Subscription, parse_sse_stream,
                      sse_comment, sse_format)
 from .trace import (NULL_TRACER, NullTracer, Tracer, counters_from_stats)
@@ -56,7 +67,12 @@ __all__ = [
     "orphan_spans", "render_tree",
     "TrajectoryStore", "host_fingerprint", "gate_runs",
     "MetricsRegistry", "Counter", "Gauge", "Histogram",
-    "DEFAULT_BUCKETS", "SNAPSHOT_SCHEMA",
+    "DEFAULT_BUCKETS", "SNAPSHOT_SCHEMA", "SNAPSHOT_SCHEMAS",
+    "Series", "SeriesStore", "RegistrySampler", "SERIES_SCHEMA",
+    "DEFAULT_INTERVAL", "DEFAULT_RETENTION",
+    "SLO", "SLOEngine", "Alert", "SLOConfigError", "default_slos",
+    "load_slos", "ALERTS_SCHEMA",
+    "render_console", "CONSOLE_VERSION",
     "EventBus", "Subscription", "sse_format", "sse_comment",
     "parse_sse_stream",
     "LiveDashboard", "live_capable",

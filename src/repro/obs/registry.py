@@ -26,6 +26,7 @@ these registries.
 from __future__ import annotations
 
 import json
+import time
 from pathlib import Path
 
 #: Default histogram buckets: log-ish spread that covers both per-set
@@ -33,7 +34,16 @@ from pathlib import Path
 DEFAULT_BUCKETS = (0.001, 0.01, 0.1, 1.0, 10.0, 100.0, 1000.0)
 
 #: Snapshot schema version stamped into dumps; absent means 1.
-SNAPSHOT_SCHEMA = 1
+#: Schema 2 adds the ``_ts`` meta entry (wall + monotonic capture
+#: times) so two snapshots diff into rates, not just deltas.
+SNAPSHOT_SCHEMA = 2
+
+#: Schemas :meth:`MetricsRegistry.from_snapshot` understands.  Old
+#: dumps simply lack ``_ts``; everything else is unchanged.
+SNAPSHOT_SCHEMAS = (1, 2)
+
+#: Reserved snapshot key carrying capture timestamps, not a metric.
+TS_KEY = "_ts"
 
 
 class Counter:
@@ -207,9 +217,19 @@ class MetricsRegistry:
 
     # -- snapshots -----------------------------------------------------
     def snapshot(self) -> dict:
-        """All metrics as a JSON-safe dict, sorted by name."""
-        return {name: self._metrics[name].to_dict()
-                for name in sorted(self._metrics)}
+        """All metrics as a JSON-safe dict, sorted by name.
+
+        The reserved ``_ts`` entry records *when* the snapshot was
+        taken (wall clock for humans, monotonic clock for elapsed-time
+        math that survives NTP steps); it is skipped by
+        :meth:`from_snapshot` and turned into an ``elapsed`` figure by
+        :meth:`diff`.
+        """
+        out = {name: self._metrics[name].to_dict()
+               for name in sorted(self._metrics)}
+        out[TS_KEY] = {"type": "meta", "wall": time.time(),
+                       "monotonic": time.monotonic()}
+        return out
 
     @classmethod
     def from_snapshot(cls, data: dict) -> "MetricsRegistry":
@@ -218,6 +238,8 @@ class MetricsRegistry:
             if not isinstance(payload, dict):
                 continue            # top-level "schema" marker etc.
             kind = payload.get("type", "counter")
+            if kind == "meta":
+                continue            # the _ts capture-time stamp
             if kind == "histogram":
                 metric = Histogram(name, payload.get("buckets",
                                                      DEFAULT_BUCKETS))
@@ -247,7 +269,10 @@ class MetricsRegistry:
 
         Counters and gauges diff to ``after - before``; histograms diff
         on their ``count`` and ``sum``.  Metrics present on only one
-        side appear with the other side treated as zero.
+        side appear with the other side treated as zero.  When both
+        snapshots carry a ``_ts`` stamp (schema 2+) the result gains a
+        ``_ts`` entry with the ``elapsed`` seconds between captures,
+        which :meth:`render_diff` turns into per-counter rates.
         """
         out: dict[str, dict] = {}
         for name in sorted(set(before) | set(after)):
@@ -256,6 +281,11 @@ class MetricsRegistry:
             if not isinstance(a, dict) or not isinstance(b, dict):
                 continue            # top-level "schema" marker etc.
             kind = b.get("type", a.get("type", "counter"))
+            if kind == "meta":
+                elapsed = MetricsRegistry._elapsed(a, b)
+                if elapsed is not None:
+                    out[TS_KEY] = {"type": "meta", "elapsed": elapsed}
+                continue
             if kind == "histogram":
                 delta = {
                     "type": kind,
@@ -269,25 +299,57 @@ class MetricsRegistry:
         return out
 
     @staticmethod
+    def _elapsed(a: dict, b: dict):
+        """Seconds between two ``_ts`` stamps, or None if unknowable.
+
+        Prefers the monotonic clock; falls back to wall time when the
+        snapshots come from different processes (monotonic clocks are
+        only comparable within one boot of one process).
+        """
+        for key in ("monotonic", "wall"):
+            if key in a and key in b:
+                elapsed = b[key] - a[key]
+                if elapsed >= 0:
+                    return elapsed
+        return None
+
+    @staticmethod
     def render_diff(delta: dict) -> str:
-        """Human-readable table of :meth:`diff` output (nonzero rows)."""
+        """Human-readable table of :meth:`diff` output (nonzero rows).
+
+        With an ``elapsed`` stamp in the delta, counter and histogram
+        rows gain a per-second rate column.
+        """
+        elapsed = delta.get(TS_KEY, {}).get("elapsed")
         lines = [f"{'metric':<38} {'delta':>14}", "-" * 53]
+        if elapsed is not None:
+            lines.insert(1, f"{'elapsed':<38} {elapsed:>13.3f}s")
+
+        def rate(count) -> str:
+            if not elapsed:
+                return ""
+            return f" ({count / elapsed:,.2f}/s)"
+
         shown = 0
         for name, payload in delta.items():
-            if payload.get("type") == "histogram":
+            kind = payload.get("type")
+            if kind == "meta":
+                continue
+            if kind == "histogram":
                 value = payload.get("count", 0)
                 extra = payload.get("sum", 0.0)
                 if not value and not extra:
                     continue
                 lines.append(f"{name:<38} {value:>+14,} "
-                             f"(sum {extra:+.3f})")
+                             f"(sum {extra:+.3f}){rate(value)}")
             else:
                 value = payload.get("value", 0)
                 if not value:
                     continue
                 text = f"{value:+,.3f}" if isinstance(value, float) \
                     and not float(value).is_integer() else f"{value:+,.0f}"
-                lines.append(f"{name:<38} {text:>14}")
+                suffix = rate(value) if kind == "counter" else ""
+                lines.append(f"{name:<38} {text:>14}{suffix}")
             shown += 1
         if not shown:
             lines.append("(no differences)")

@@ -1,0 +1,370 @@
+"""Bounded in-process time series over the metrics registry.
+
+Snapshots (:mod:`repro.obs.registry`) answer *what are the totals now*;
+this module answers *what has been happening* — the third observability
+pillar next to traces and point-in-time metrics.  Two pieces:
+
+* :class:`SeriesStore` — named ring buffers of ``(ts, value)`` points
+  with configurable retention, windowed aggregation (avg, max,
+  rate-integral) and JSON export.  Thread-safe; readers (HTTP handlers,
+  the SLO engine) and the writer (the sampler) share one lock.
+* :class:`RegistrySampler` — a fixed-interval *pull* sampler that turns
+  registry metrics into series: counters become per-second **rates**
+  (delta over the tick), gauges become **levels**, histograms become
+  windowed **p50/p95/p99** over the observations of the tick plus an
+  observation rate.  EventBus traffic is folded in as per-event-type
+  rates.  Peer ``/metricz`` snapshots feed the same transforms under
+  ``federation.origin.<addr>.*`` names so one store holds per-replica
+  history.
+
+Pull-based sampling is what makes the disabled path *exactly* zero
+cost: no sampler object, no hooks on the hot metric mutators, nothing
+to skip.  The service drives :meth:`RegistrySampler.maybe_sample` from
+its housekeeping loop; embedders and tests can call :meth:`sample`
+directly with a synthetic clock.
+
+>>> store = SeriesStore()
+>>> store.record("queue_depth", 3.0, ts=10.0)
+>>> store.record("queue_depth", 5.0, ts=11.0)
+>>> store.latest("queue_depth")
+5.0
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from .registry import Histogram
+
+#: Version stamped into ``/v1/series`` documents.
+SERIES_SCHEMA = 1
+
+#: Default points kept per series ring (~8.5 min at 1 Hz).
+DEFAULT_RETENTION = 512
+
+#: Default seconds between samples.
+DEFAULT_INTERVAL = 1.0
+
+#: Histogram quantiles materialized as ``<name>.pNN`` series.
+QUANTILES = (("p50", 0.50), ("p95", 0.95), ("p99", 0.99))
+
+#: Prefix for series ingested from peer replicas.
+ORIGIN_PREFIX = "federation.origin."
+
+
+class Series:
+    """One named ring of ``(ts, value)`` points.
+
+    ``kind`` is advisory metadata for consumers (the console labels
+    rates differently from levels): ``rate``, ``gauge`` or ``quantile``.
+    """
+
+    __slots__ = ("name", "kind", "points")
+
+    def __init__(self, name: str, kind: str = "gauge",
+                 retention: int = DEFAULT_RETENTION):
+        self.name = name
+        self.kind = kind
+        self.points: deque[tuple[float, float]] = deque(maxlen=retention)
+
+    def add(self, ts: float, value: float) -> None:
+        self.points.append((ts, value))
+
+    def latest(self):
+        return self.points[-1][1] if self.points else None
+
+    def window(self, seconds: float, now=None) -> list[tuple[float, float]]:
+        """Points with ``ts > now - seconds``, oldest first."""
+        if now is None:
+            now = self.points[-1][0] if self.points else 0.0
+        cutoff = now - seconds
+        return [p for p in self.points if p[0] > cutoff]
+
+    def to_dict(self, since: float = 0.0) -> dict:
+        return {"kind": self.kind,
+                "points": [[ts, value] for ts, value in self.points
+                           if ts > since]}
+
+
+class SeriesStore:
+    """Thread-safe collection of bounded series plus window math."""
+
+    def __init__(self, retention: int = DEFAULT_RETENTION):
+        if retention < 2:
+            raise ValueError(f"retention {retention} < 2")
+        self.retention = retention
+        self._lock = threading.Lock()
+        self._series: dict[str, Series] = {}
+
+    # -- writing -------------------------------------------------------
+    def record(self, name: str, value: float, ts=None,
+               kind: str = "gauge") -> None:
+        if ts is None:
+            ts = time.time()
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                series = self._series[name] = Series(
+                    name, kind=kind, retention=self.retention)
+            series.add(ts, float(value))
+
+    # -- reading -------------------------------------------------------
+    def names(self, prefix: str = "") -> list[str]:
+        with self._lock:
+            return sorted(n for n in self._series if n.startswith(prefix))
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._series
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._series)
+
+    def point_count(self) -> int:
+        with self._lock:
+            return sum(len(s.points) for s in self._series.values())
+
+    def latest(self, name: str, default=None):
+        with self._lock:
+            series = self._series.get(name)
+            value = series.latest() if series is not None else None
+        return default if value is None else value
+
+    def window(self, name: str, seconds: float,
+               now=None) -> list[tuple[float, float]]:
+        with self._lock:
+            series = self._series.get(name)
+            if series is None:
+                return []
+            return series.window(seconds, now=now)
+
+    def window_avg(self, name: str, seconds: float, now=None,
+                   default=0.0) -> float:
+        points = self.window(name, seconds, now=now)
+        if not points:
+            return default
+        return sum(v for _, v in points) / len(points)
+
+    def window_max(self, name: str, seconds: float, now=None,
+                   default=0.0) -> float:
+        points = self.window(name, seconds, now=now)
+        if not points:
+            return default
+        return max(v for _, v in points)
+
+    def window_total(self, name: str, seconds: float, now=None) -> float:
+        """Integral of a *rate* series over the window.
+
+        Each point is a per-second rate over the tick that produced it,
+        so ``rate * dt`` recovers the raw delta and the sum over the
+        window recovers the raw count — which is what error-budget
+        ratios need.  ``dt`` is the spacing to the previous point; the
+        very first point has no predecessor, so the following interval
+        stands in for it (exact under fixed-interval sampling).
+        """
+        with self._lock:
+            series = self._series.get(name)
+            if series is None or len(series.points) < 2:
+                return 0.0
+            points = list(series.points)
+        if now is None:
+            now = points[-1][0]
+        cutoff = now - seconds
+        total = 0.0
+        for i, (ts, value) in enumerate(points):
+            if ts <= cutoff:
+                continue
+            dt = points[i][0] - points[i - 1][0] if i else \
+                points[1][0] - points[0][0]
+            total += value * dt
+        return total
+
+    # -- export / merge ------------------------------------------------
+    def to_dict(self, prefix: str = "", since: float = 0.0) -> dict:
+        """JSON document for ``/v1/series`` (and file dumps)."""
+        with self._lock:
+            names = sorted(n for n in self._series if n.startswith(prefix))
+            series = {name: self._series[name].to_dict(since=since)
+                      for name in names}
+        return {"schema": SERIES_SCHEMA, "retention": self.retention,
+                "series": series}
+
+    def merge_snapshot(self, doc: dict, origin: str = "") -> int:
+        """Fold another store's :meth:`to_dict` export into this one.
+
+        Series names gain a ``federation.origin.<origin>.`` prefix so a
+        merged store keeps per-replica history apart.  Returns the
+        number of points added.  Points already present (same ts) are
+        re-appended — callers merging repeatedly should pass ``since``
+        to the exporter instead.
+        """
+        prefix = f"{ORIGIN_PREFIX}{origin}." if origin else ""
+        added = 0
+        for name, payload in doc.get("series", {}).items():
+            kind = payload.get("kind", "gauge")
+            for ts, value in payload.get("points", ()):
+                self.record(prefix + name, value, ts=ts, kind=kind)
+                added += 1
+        return added
+
+
+class RegistrySampler:
+    """Fixed-interval sampler: registry + EventBus -> :class:`SeriesStore`.
+
+    Counter state from the previous tick lives in ``_prev`` (and
+    per-origin in ``_peer_prev`` for federated snapshots), so the first
+    tick only establishes baselines — a freshly attached sampler never
+    reports a process's whole cumulative history as one rate spike.
+    """
+
+    def __init__(self, registry, store: SeriesStore,
+                 interval: float = DEFAULT_INTERVAL, bus=None,
+                 clock=time.time):
+        if interval < 0:
+            raise ValueError(f"interval {interval} < 0")
+        self.registry = registry
+        self.store = store
+        self.interval = interval
+        self.clock = clock
+        self.samples = 0
+        self.peers_unreachable = 0
+        self._last_ts = None
+        self._prev: dict[str, object] = {}
+        self._peer_prev: dict[str, dict] = {}
+        self._sub = None
+        if bus is not None:
+            self._sub = bus.subscribe(maxlen=8192, name="series.sampler")
+        # Baseline so the first real tick yields deltas, not totals.
+        self._ingest(registry.snapshot(), self._prev, "", None, 0.0)
+
+    def close(self) -> None:
+        if self._sub is not None:
+            self._sub.close()
+            self._sub = None
+
+    # -- cadence -------------------------------------------------------
+    def due(self, now=None) -> bool:
+        if now is None:
+            now = self.clock()
+        return self._last_ts is None or now - self._last_ts >= self.interval
+
+    def maybe_sample(self, now=None) -> bool:
+        """Sample iff an interval has elapsed; returns whether it did."""
+        if now is None:
+            now = self.clock()
+        if not self.due(now):
+            return False
+        self.sample(now)
+        return True
+
+    # -- sampling ------------------------------------------------------
+    def sample(self, now=None) -> int:
+        """Take one sample; returns the number of points recorded."""
+        if now is None:
+            now = self.clock()
+        dt = now - self._last_ts if self._last_ts is not None \
+            else self.interval or 1.0
+        if dt <= 0:
+            dt = self.interval or 1.0
+        self._last_ts = now
+        points = self._ingest(self.registry.snapshot(), self._prev,
+                              "", now, dt)
+        points += self._sample_bus(now, dt)
+        self.samples += 1
+        return points
+
+    def _sample_bus(self, now: float, dt: float) -> int:
+        if self._sub is None:
+            return 0
+        counts: dict[str, int] = {}
+        for event in self._sub.pop_all():
+            kind = event.get("type", "?")
+            counts[kind] = counts.get(kind, 0) + 1
+        for kind, count in counts.items():
+            self.store.record(f"bus.events.{kind}", count / dt,
+                              ts=now, kind="rate")
+        self.store.record("bus.dropped", self._sub.dropped, ts=now)
+        return len(counts) + 1
+
+    # -- federation ----------------------------------------------------
+    def ingest_peer(self, origin: str, snapshot, now=None) -> int:
+        """Feed one peer's ``/metricz`` snapshot through the sampler.
+
+        ``snapshot=None`` means the peer was unreachable: it is counted
+        (``peers_unreachable``, plus a 0 on the per-origin ``up``
+        series) rather than allowed to stall anything.  Rates use the
+        spacing between this origin's successive ingests.
+        """
+        if now is None:
+            now = self.clock()
+        prefix = f"{ORIGIN_PREFIX}{origin}."
+        if snapshot is None:
+            self.peers_unreachable += 1
+            self.store.record(prefix + "up", 0.0, ts=now)
+            return 0
+        state = self._peer_prev.setdefault(origin, {})
+        last = state.pop("_last_ts", None)
+        dt = now - last if last is not None and now > last \
+            else self.interval or 1.0
+        self.store.record(prefix + "up", 1.0, ts=now)
+        points = self._ingest(snapshot, state, prefix, now, dt)
+        state["_last_ts"] = now
+        return points
+
+    # -- transforms ----------------------------------------------------
+    def _ingest(self, snapshot: dict, prev: dict, prefix: str,
+                now, dt: float) -> int:
+        """Apply counter->rate / gauge->level / histogram->quantile.
+
+        With ``now=None`` only baselines are stored (construction).
+        """
+        points = 0
+        for name, payload in snapshot.items():
+            if not isinstance(payload, dict):
+                continue
+            kind = payload.get("type", "counter")
+            if kind == "meta":
+                continue
+            full = prefix + name
+            if kind == "gauge":
+                if now is not None:
+                    self.store.record(full, payload.get("value", 0),
+                                      ts=now, kind="gauge")
+                    points += 1
+            elif kind == "histogram":
+                points += self._ingest_histogram(full, payload, prev,
+                                                 name, now, dt)
+            else:                   # counter
+                value = payload.get("value", 0)
+                last = prev.get(name)
+                prev[name] = value
+                if now is None or last is None:
+                    continue
+                delta = max(0.0, value - last)
+                self.store.record(full, delta / dt, ts=now, kind="rate")
+                points += 1
+        return points
+
+    def _ingest_histogram(self, full: str, payload: dict, prev: dict,
+                          name: str, now, dt: float) -> int:
+        counts = list(payload.get("counts", ()))
+        last = prev.get(name)
+        prev[name] = counts
+        if now is None or last is None or len(last) != len(counts):
+            return 0
+        delta = [max(0, b - a) for a, b in zip(last, counts)]
+        observed = sum(delta)
+        self.store.record(full + ".rate", observed / dt, ts=now,
+                          kind="rate")
+        if not observed:
+            return 1                # no observations: no quantile point
+        window = Histogram(name, payload.get("buckets", ()))
+        window.counts = delta
+        window.count = observed
+        for label, q in QUANTILES:
+            self.store.record(f"{full}.{label}", window.percentile(q),
+                              ts=now, kind="quantile")
+        return 1 + len(QUANTILES)

@@ -28,6 +28,16 @@ idle timeout lapses), JSON in and out.  Endpoints:
                                   schema as ``repro obs dump/diff``;
                                   ``?merge=peers`` folds in configured
                                   peers' snapshots
+``GET /v1/series``                bounded time-series history sampled
+                                  from the registry (rates, levels,
+                                  windowed percentiles; peers under
+                                  ``federation.origin.*``); takes
+                                  ``?prefix=`` and ``?since=ts``
+``GET /v1/alerts``                SLO engine state: objectives, burn
+                                  rates, alert state machines
+``GET /dashboard``                zero-dependency HTML ops console
+                                  (sparklines, tenants, alerts, SSE
+                                  event tail)
 ================================  =====================================
 
 Both SSE endpoints honour ``Last-Event-ID`` (or ``?since=N``): events
@@ -52,12 +62,17 @@ import math
 import signal
 import threading
 import time
+from pathlib import Path
 
 from ..chaos import inject
 from ..engine.cache import ResultCache, report_from_dict
+from ..obs.console import render_console
 from ..obs.context import TraceContext
 from ..obs.profile import SamplingProfiler
 from ..obs.registry import MetricsRegistry
+from ..obs.series import (DEFAULT_INTERVAL, DEFAULT_RETENTION,
+                          RegistrySampler, SeriesStore)
+from ..obs.slo import SLOEngine, load_slos
 from ..obs.stream import EventBus, sse_comment, sse_format
 from ..obs.trace import Tracer
 from .durable import JobJournal, PeerBalancer, TenantRegistry
@@ -118,7 +133,11 @@ class AnalysisService:
                  lease_seconds: float = 30.0,
                  balance_interval: float = 0.5, max_claim: int = 2,
                  profile_hz: float | None = None,
-                 chaos: object = None):
+                 chaos: object = None,
+                 slo=None, series: bool = True,
+                 series_interval: float = DEFAULT_INTERVAL,
+                 series_retention: int = DEFAULT_RETENTION,
+                 alert_webhook=None):
         self.host = host
         self.port = port
         #: A chaos schedule (text or :class:`repro.chaos.FaultPlan`);
@@ -193,6 +212,24 @@ class AnalysisService:
             max_iterations=max_iterations, registry=self.registry,
             bus=self.bus, journal=self.journal, tenants=self.tenants,
             tracer=self.tracer)
+        #: Time-series history + SLO alerting.  Pull-based: when
+        #: disabled (``series=False`` / ``--no-series``) nothing is
+        #: constructed and nothing samples — exactly zero cost on the
+        #: metric hot paths, not a cheap no-op check.
+        self.series_store: SeriesStore | None = None
+        self.sampler: RegistrySampler | None = None
+        self.slo: SLOEngine | None = None
+        if series and series_interval > 0:
+            self.series_store = SeriesStore(retention=series_retention)
+            self.sampler = RegistrySampler(
+                self.registry, self.series_store,
+                interval=series_interval, bus=self.bus)
+            slos = load_slos(slo) if isinstance(slo, (str, Path)) \
+                else slo
+            self.slo = SLOEngine(self.series_store, slos=slos,
+                                 bus=self.bus, registry=self.registry,
+                                 webhook=alert_webhook)
+        self._peer_series_poll: asyncio.Task | None = None
         self.records: dict[str, JobRecord] = {}
         self._seq = 0
         self._server: asyncio.AbstractServer | None = None
@@ -285,6 +322,7 @@ class AnalysisService:
         while not self._draining:
             await asyncio.sleep(HOUSEKEEPING_SECONDS)
             self._expire_leases()
+            self._series_tick()
             journal = self.journal
             if journal is None:
                 continue
@@ -308,6 +346,41 @@ class AnalysisService:
                 except OSError as error:
                     self._enter_degraded(
                         f"journal compaction failed: {error}")
+
+    def _series_tick(self) -> None:
+        """Sample the registry into the series store, evaluate SLOs.
+
+        Driven by housekeeping sweeps; the sampler's own interval
+        gating decides whether this sweep is a sample tick.  Gauges
+        that are normally refreshed lazily on ``/metricz`` are
+        refreshed here first so the history sees them move.  Peer
+        ``/metricz`` snapshots are fetched by an at-most-one in-flight
+        background task — an unreachable peer (2s connect timeout) is
+        skipped and counted, never allowed to stall the 0.25s sweep.
+        """
+        sampler = self.sampler
+        if sampler is None or not sampler.due():
+            return
+        self.scheduler.note_depth()
+        self._journal_gauges()
+        self._tenant_gauges()
+        self.registry.gauge("service.degraded").set(
+            0 if self.degraded_reason is None else 1)
+        sampler.sample()
+        if self.peers and (self._peer_series_poll is None
+                           or self._peer_series_poll.done()):
+            self._peer_series_poll = asyncio.create_task(
+                self._poll_peer_series(), name="peer-series")
+        if self.slo is not None:
+            self.slo.evaluate()
+
+    async def _poll_peer_series(self) -> None:
+        """Feed every peer's current snapshot through the sampler."""
+        snapshots = await asyncio.gather(
+            *(asyncio.to_thread(self._fetch_peer, peer)
+              for peer in self.peers))
+        for peer, snapshot in zip(self.peers, snapshots):
+            self.sampler.ingest_peer(peer, snapshot)
 
     def _enter_degraded(self, reason: str) -> None:
         """Flip into read-only degraded mode.
@@ -380,6 +453,8 @@ class AnalysisService:
         await self.scheduler.join()
         if self.profiler is not None:
             self.profiler.stop()
+        if self.sampler is not None:
+            self.sampler.close()
         if self.journal is not None:
             try:
                 self.journal.compact(self._journal_jobs())
@@ -483,10 +558,13 @@ class AnalysisService:
 
     async def _write_response(self, writer, status, payload, headers,
                               keep: bool) -> None:
-        body = json.dumps(payload).encode()
+        headers = dict(headers or {})
+        content_type = headers.pop("Content-Type", "application/json")
+        body = payload if isinstance(payload, (bytes, bytearray)) \
+            else json.dumps(payload).encode()
         reason = _REASONS.get(status, "")
         head = [f"HTTP/1.1 {status} {reason}",
-                "Content-Type: application/json",
+                f"Content-Type: {content_type}",
                 f"Content-Length: {len(body)}"]
         if keep:
             head.append("Connection: keep-alive")
@@ -494,7 +572,7 @@ class AnalysisService:
                         f"{int(self.keepalive_timeout)}")
         else:
             head.append("Connection: close")
-        head += [f"{k}: {v}" for k, v in (headers or {}).items()]
+        head += [f"{k}: {v}" for k, v in headers.items()]
         writer.write(("\r\n".join(head) + "\r\n\r\n").encode() + body)
         await writer.drain()
 
@@ -650,6 +728,11 @@ class AnalysisService:
     def _sse_match(event: dict, job_id: str | None) -> bool:
         if job_id is None:
             return True
+        if str(event.get("type", "")).startswith("alert_"):
+            # SLO transitions are an ops-wide signal: job followers
+            # (``submit --follow``) surface them inline rather than
+            # discovering an outage from their own timeout.
+            return True
         return event.get("job") == job_id
 
     # ------------------------------------------------------------------
@@ -729,9 +812,48 @@ class AnalysisService:
                 self.registry.gauge(
                     "service.profiler.overhead_fraction").set(
                     self.profiler.overhead_fraction)
+            if self.sampler is not None:
+                self.registry.gauge("series.samples").set(
+                    self.sampler.samples)
+                self.registry.gauge("series.points").set(
+                    self.series_store.point_count())
+                self.registry.gauge("series.peers_unreachable").set(
+                    self.sampler.peers_unreachable)
             if query.get("merge") == "peers":
                 return 200, await self._merged_metricz(), None
             return 200, self.registry.snapshot(), None
+        if path == "/v1/series":
+            if method != "GET":
+                return 405, {"error": "GET only"}, None
+            if self.series_store is None:
+                return 404, {"error": "series disabled "
+                                      "(serve without --no-series)"}, \
+                    None
+            try:
+                since = float(query.get("since") or 0.0)
+            except ValueError:
+                raise BadRequest(f"bad since={query.get('since')!r}")
+            doc = self.series_store.to_dict(
+                prefix=query.get("prefix", ""), since=since)
+            doc.update(origin=self.advertise,
+                       interval=self.sampler.interval,
+                       samples=self.sampler.samples,
+                       peers_unreachable=self.sampler.peers_unreachable)
+            return 200, doc, None
+        if path == "/v1/alerts":
+            if method != "GET":
+                return 405, {"error": "GET only"}, None
+            if self.slo is None:
+                return 404, {"error": "SLO engine disabled "
+                                      "(serve without --no-series)"}, \
+                    None
+            return 200, {**self.slo.to_dict(),
+                         "origin": self.advertise}, None
+        if path in ("/dashboard", "/dashboard/"):
+            if method != "GET":
+                return 405, {"error": "GET only"}, None
+            return 200, render_console(), \
+                {"Content-Type": "text/html; charset=utf-8"}
         if path == "/v1/profilez":
             if method != "GET":
                 return 405, {"error": "GET only"}, None
@@ -836,6 +958,8 @@ class AnalysisService:
                           if record.state == "leased"),
             "journal": self.journal is not None,
         }
+        if self.slo is not None:
+            health["alerts_firing"] = len(self.slo.firing())
         if self.degraded_reason is not None:
             health["degraded_reason"] = self.degraded_reason
         return health

@@ -152,8 +152,17 @@ class TestRegistry:
         registry.histogram("secs", buckets=(0.1, 1.0)).observe(0.5)
         snapshot = registry.snapshot()
         json.dumps(snapshot)  # JSON-safe
+        # Schema 2: every snapshot is stamped with capture times.
+        assert snapshot["_ts"]["type"] == "meta"
+        assert snapshot["_ts"]["wall"] > 0
+        assert snapshot["_ts"]["monotonic"] > 0
         clone = MetricsRegistry.from_snapshot(snapshot)
-        assert clone.snapshot() == snapshot
+        reread = clone.snapshot()
+        # The stamp is capture metadata, not a metric: it is not
+        # restored, and the re-read snapshot gets its own fresh one.
+        assert "_ts" not in clone
+        assert {k: v for k, v in reread.items() if k != "_ts"} \
+            == {k: v for k, v in snapshot.items() if k != "_ts"}
         assert clone.value("lp_calls") == 7
         assert clone.value("secs") == 1  # histograms report count
 
@@ -294,7 +303,10 @@ class TestEngineMetricsFacade:
         dump = metrics.to_dict()
         assert "registry" in dump
         clone = EngineMetrics.from_dict(dump)
-        assert clone.to_dict() == dump
+        redump = clone.to_dict()
+        redump["registry"].pop("_ts", None)    # fresh capture stamp
+        dump["registry"].pop("_ts", None)
+        assert redump == dump
 
     def test_legacy_flat_dict_still_loads(self):
         metrics = EngineMetrics()

@@ -467,11 +467,19 @@ class TestTraceDiff:
 class TestSchemaMismatchExits:
     def test_obs_diff_rejects_future_snapshot(self, tmp_path, capsys):
         snap = tmp_path / "snap.json"
-        snap.write_text(json.dumps({"schema": 2, "counters": {}}))
+        snap.write_text(json.dumps({"schema": 99, "counters": {}}))
         code = main(["obs", "diff", str(snap), str(snap)])
         err = capsys.readouterr().err
         assert code == 1
-        assert "schema 2" in err and "schema 1" in err
+        assert "schema 99" in err and "schema 2" in err
+
+    def test_obs_diff_accepts_v1_and_v2_snapshots(self, tmp_path,
+                                                  capsys):
+        v1 = tmp_path / "v1.json"
+        v1.write_text(json.dumps({"schema": 1, "counters": {}}))
+        v2 = tmp_path / "v2.json"
+        v2.write_text(json.dumps({"schema": 2, "counters": {}}))
+        assert main(["obs", "diff", str(v1), str(v2)]) == 0
 
     def test_obs_dump_rejects_future_snapshot(self, tmp_path, capsys):
         snap = tmp_path / "snap.json"
@@ -511,6 +519,6 @@ class TestSchemaMismatchExits:
         path = tmp_path / "snap.json"
         registry.dump(path)
         data = json.loads(path.read_text())
-        assert data["schema"] == 1
+        assert data["schema"] == 2
         assert main(["obs", "dump", str(path)]) == 0
         assert "engine.lp_calls" in capsys.readouterr().out
